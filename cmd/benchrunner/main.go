@@ -1,0 +1,301 @@
+// Command benchrunner regenerates every experiment table of
+// EXPERIMENTS.md: the full parameter sweeps behind the paper's figures
+// and claims (DESIGN.md §4). Output is plain aligned text, one table per
+// experiment.
+//
+//	go run ./cmd/benchrunner            # full sweeps (a few minutes)
+//	go run ./cmd/benchrunner -quick     # reduced sweeps (tens of seconds)
+//	go run ./cmd/benchrunner -only E6   # a single experiment
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"medshare"
+)
+
+var (
+	quick = flag.Bool("quick", false, "reduced parameter sweeps")
+	only  = flag.String("only", "", "run only the named experiment (E1..E10)")
+)
+
+func main() {
+	flag.Parse()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+
+	experiments := []struct {
+		id  string
+		run func(context.Context) error
+	}{
+		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
+		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
+		{"E9", runE9}, {"E10", runE10},
+	}
+	for _, e := range experiments {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		if err := e.run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func table(title string, header string, rows func(w *tabwriter.Writer)) {
+	fmt.Printf("\n=== %s ===\n", title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, header)
+	rows(w)
+	w.Flush()
+}
+
+func runE1(context.Context) error {
+	sizes := []int{10, 100, 1000, 10000}
+	if *quick {
+		sizes = []int{10, 100, 1000}
+	}
+	var results []medshare.E1Result
+	for _, n := range sizes {
+		r, err := medshare.RunE1ViewDerivation(n, 1)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	table("E1 — Fig. 1 view derivation (7 views per run)",
+		"records\tderive all\tper view\tper record", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%v\t%v\t%v\n", r.Records,
+					r.DeriveAll.Round(time.Microsecond), r.PerView.Round(time.Microsecond),
+					r.GetPerRecord.Round(time.Nanosecond))
+			}
+		})
+	return nil
+}
+
+func runE2(ctx context.Context) error {
+	type cfg struct{ nodes, records int }
+	cfgs := []cfg{{1, 10}, {1, 100}, {3, 10}, {3, 100}, {5, 100}}
+	if *quick {
+		cfgs = []cfg{{1, 10}, {3, 10}}
+	}
+	var results []medshare.E2Result
+	for _, c := range cfgs {
+		r, err := medshare.RunE2Bootstrap(ctx, c.nodes, c.records)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	table("E2 — Fig. 2 architecture bring-up (3 peers, 2 shares)",
+		"nodes\trecords\tbootstrap", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%d\t%v\n", r.Nodes, r.Records, r.Bootstrap.Round(time.Millisecond))
+			}
+		})
+	return nil
+}
+
+func runE3(context.Context) error {
+	n := 256
+	if *quick {
+		n = 64
+	}
+	r, err := medshare.RunE3ContractOps(n)
+	if err != nil {
+		return err
+	}
+	table(fmt.Sprintf("E3 — Fig. 3 metadata contract operations (n=%d each)", n),
+		"operation\tlatency/op", func(w *tabwriter.Writer) {
+			fmt.Fprintf(w, "register share\t%v\n", r.RegisterPerOp.Round(time.Microsecond))
+			fmt.Fprintf(w, "request_update (allowed)\t%v\n", r.AllowedPerOp.Round(time.Microsecond))
+			fmt.Fprintf(w, "request_update (denied)\t%v\n", r.DeniedPerOp.Round(time.Microsecond))
+			fmt.Fprintf(w, "ack_update\t%v\n", r.AckPerOp.Round(time.Microsecond))
+			fmt.Fprintf(w, "set_permission\t%v\n", r.SetPermPerOp.Round(time.Microsecond))
+			fmt.Fprintf(w, "state root (%d shares)\t%v\n", r.Shares, r.StateRootPerOp.Round(time.Microsecond))
+		})
+	return nil
+}
+
+func runE4(ctx context.Context) error {
+	n := 8
+	if *quick {
+		n = 3
+	}
+	r, err := medshare.RunE4CRUD(ctx, n)
+	if err != nil {
+		return err
+	}
+	table(fmt.Sprintf("E4 — Fig. 4 CRUD protocol, end to end (n=%d each, 2ms blocks)", n),
+		"operation\tlatency/op\tnote", func(w *tabwriter.Writer) {
+			fmt.Fprintf(w, "create entry\t%v\tcontract + ack + 2×put\n", r.Create.Round(time.Microsecond))
+			fmt.Fprintf(w, "read entry\t%v\tlocal database only\n", r.Read.Round(time.Microsecond))
+			fmt.Fprintf(w, "update entry\t%v\tcontract + ack + put\n", r.Update.Round(time.Microsecond))
+			fmt.Fprintf(w, "delete entry\t%v\tcontract + ack + put\n", r.Delete.Round(time.Microsecond))
+		})
+	return nil
+}
+
+func runE5(ctx context.Context) error {
+	sizes := []int{10, 100, 1000}
+	if *quick {
+		sizes = []int{10, 100}
+	}
+	var results []medshare.E5Result
+	for _, n := range sizes {
+		r, err := medshare.RunE5Cascade(ctx, n, 1)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	table("E5 — Fig. 5 workflow latency (2ms blocks)",
+		"records\tsingle hop (steps 1-5)\tfull cascade (steps 1-11)", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%v\t%v\n", r.Records,
+					r.SingleHop.Round(time.Millisecond), r.FullCascade.Round(time.Millisecond))
+			}
+		})
+	return nil
+}
+
+func runE6(ctx context.Context) error {
+	intervals := []time.Duration{100 * time.Millisecond, 1 * time.Second, 4 * time.Second, 12 * time.Second}
+	batches := []int{1, 10, 100}
+	rounds := 4
+	if *quick {
+		intervals = []time.Duration{1 * time.Second, 12 * time.Second}
+		batches = []int{1, 100}
+		rounds = 2
+	}
+	var results []medshare.E6Result
+	for _, iv := range intervals {
+		for _, b := range batches {
+			r, err := medshare.RunE6Throughput(ctx, medshare.ConsensusPoA, iv, b, rounds, 1000)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+	}
+	// Ablation: PoW at one point.
+	powRes, err := medshare.RunE6Throughput(ctx, medshare.ConsensusPoW, 1*time.Second, 10, rounds, 1000)
+	if err != nil {
+		return err
+	}
+	results = append(results, powRes)
+	table("E6 — §IV-1 throughput vs block interval and batching (modeled time; ×1000 compressed clock)",
+		"consensus\tinterval\tbatch\trows/s\tupdate cycles/s\tblocks used", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%s\t%v\t%d\t%.2f\t%.3f\t%d\n",
+					r.Consensus, r.BlockInterval, r.BatchSize,
+					r.RowsPerSecModeled, r.UpdatesPerSecModeled, r.BlocksUsed)
+			}
+		})
+	return nil
+}
+
+func runE7(ctx context.Context) error {
+	ms := []int{2, 4, 8}
+	if *quick {
+		ms = []int{2, 4}
+	}
+	var results []medshare.E7Result
+	for _, m := range ms {
+		r, err := medshare.RunE7ConflictRule(ctx, m)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	table("E7 — conflict rule: one m+1-peer share vs m independent shares (2ms blocks)",
+		"updaters\tcontended makespan\tindependent makespan\tserialization ×", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%v\t%v\t%.1f\n", r.Updaters,
+					r.ContendedMakespan.Round(time.Millisecond),
+					r.IndependentMakespan.Round(time.Millisecond),
+					r.SerializationFactor)
+			}
+		})
+	return nil
+}
+
+func runE8(context.Context) error {
+	sizes := []int{100, 1000, 10000}
+	if *quick {
+		sizes = []int{100, 1000}
+	}
+	var results []medshare.E8Result
+	for _, n := range sizes {
+		rows, err := medshare.RunE8Baseline(n, 1)
+		if err != nil {
+			return err
+		}
+		results = append(results, rows...)
+	}
+	table("E8 — fine-grained views vs full-record sharing (§V baseline)",
+		"records\tpeer\texposed bytes (full)\texposed bytes (view)\treduction ×\tunrelated attrs\ttransfer full\ttransfer view\ttransfer changeset", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%s\t%.0f\t%.0f\t%.1f\t%d of %d\t%.0f\t%.0f\t%.0f\n",
+					r.Records, r.Peer, r.FullRecordBytes, r.FineGrainedBytes, r.ExposureRatio,
+					r.AttrsUnrelated, r.AttrsFull,
+					r.TransferFullRecord, r.TransferFineGrained, r.TransferChangeset)
+			}
+		})
+	return nil
+}
+
+func runE9(context.Context) error {
+	type pt struct{ rows, depth int }
+	pts := []pt{{100, 1}, {1000, 1}, {10000, 1}, {1000, 2}, {1000, 3}, {1000, 4}}
+	if *quick {
+		pts = []pt{{100, 1}, {1000, 1}, {1000, 3}}
+	}
+	var results []medshare.E9Result
+	for _, p := range pts {
+		r, err := medshare.RunE9BX(p.rows, p.depth, 1)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	table("E9 — BX lens cost (get/put, D13-style projection)",
+		"rows\tcomposition depth\tget\tput", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%d\t%v\t%v\n", r.Rows, r.Depth,
+					r.Get.Round(time.Microsecond), r.Put.Round(time.Microsecond))
+			}
+		})
+	return nil
+}
+
+func runE10(ctx context.Context) error {
+	ks := []int{8, 32, 128}
+	if *quick {
+		ks = []int{8, 32}
+	}
+	var results []medshare.E10Result
+	for _, k := range ks {
+		r, err := medshare.RunE10Audit(ctx, k)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	table("E10 — audit: ledger history reconstruction and integrity verification",
+		"finalized updates\tblocks\thistory records\thistory time\tintegrity time", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%d\t%d\t%v\t%v\n", r.Updates, r.Blocks, r.HistoryCount,
+					r.HistoryTime.Round(time.Microsecond), r.IntegrityOK.Round(time.Microsecond))
+			}
+		})
+	return nil
+}

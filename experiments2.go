@@ -1,0 +1,552 @@
+package medshare
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"medshare/internal/audit"
+	"medshare/internal/bx"
+	"medshare/internal/core"
+	"medshare/internal/identity"
+	"medshare/internal/reldb"
+	"medshare/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// E6 — Section IV-1 throughput: finalized updates per second as a
+// function of the block interval and the batch size. The paper argues a
+// 12 s Ethereum-style interval is acceptable because "nodes may choose to
+// collect a lot of updates and then send requests": the sweep quantifies
+// exactly that trade-off. The system runs under a scaled clock; rates are
+// reported in *modeled* time (blocks consumed × configured interval), so
+// a 12 s interval does not require 12 s wall-clock waits.
+
+// E6Result reports throughput for one (interval, batch) point.
+type E6Result struct {
+	Consensus     string
+	BlockInterval time.Duration // modeled interval
+	BatchSize     int           // row updates per on-chain request
+	Rounds        int           // update requests completed
+	BlocksUsed    uint64
+	ModeledTime   time.Duration // BlocksUsed * BlockInterval
+	WallTime      time.Duration
+	// RowsPerSecModeled is rows synchronized per modeled second.
+	RowsPerSecModeled float64
+	// UpdatesPerSecModeled is on-chain update cycles per modeled second.
+	UpdatesPerSecModeled float64
+}
+
+// RunE6Throughput performs `rounds` update cycles of `batch` row edits on
+// the D13&D31 share, under the given consensus and modeled block
+// interval, compressed by timeScale.
+func RunE6Throughput(ctx context.Context, consensus string, interval time.Duration, batch, rounds int, timeScale float64) (E6Result, error) {
+	records := batch * 2
+	if records < 16 {
+		records = 16
+	}
+	sc, err := NewFig1Scenario(ctx, NetworkConfig{
+		Consensus:     consensus,
+		PoWDifficulty: 4,
+		BlockInterval: interval,
+		TimeScale:     timeScale,
+	}, records, 1)
+	if err != nil {
+		return E6Result{}, err
+	}
+	defer sc.Stop()
+
+	out := E6Result{
+		Consensus:     consensus,
+		BlockInterval: interval,
+		BatchSize:     batch,
+		Rounds:        rounds,
+	}
+	node := sc.Network.Node(0)
+	startHeight := node.Store().Height()
+	d3, err := sc.Doctor.Source("D3")
+	if err != nil {
+		return out, err
+	}
+	ups := workload.RandomUpdates(d3, []string{workload.ColDosage}, batch*rounds, 7)
+
+	wallStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		slice := ups[r*batch : (r+1)*batch]
+		err := sc.Doctor.UpdateSource("D3", func(tbl *reldb.Table) error {
+			for _, u := range slice {
+				if err := u.Apply(tbl); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return out, err
+		}
+		props, err := sc.Doctor.SyncShares(ctx, "D3")
+		if err != nil {
+			return out, fmt.Errorf("E6 round %d: %w", r, err)
+		}
+		for _, pr := range props {
+			if err := sc.Doctor.WaitFinal(ctx, pr.ShareID, pr.Seq); err != nil {
+				return out, err
+			}
+		}
+	}
+	out.WallTime = time.Since(wallStart)
+	out.BlocksUsed = node.Store().Height() - startHeight
+	if out.BlocksUsed == 0 {
+		out.BlocksUsed = 1
+	}
+	out.ModeledTime = time.Duration(out.BlocksUsed) * interval
+	modeledSec := out.ModeledTime.Seconds()
+	out.RowsPerSecModeled = float64(batch*rounds) / modeledSec
+	out.UpdatesPerSecModeled = float64(rounds) / modeledSec
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// E7 — conflict rule: cost of the one-update-at-a-time share gate. m
+// updaters hammer one m+1-peer share (fully serialized by the pending
+// gate and the one-tx-per-share-per-block rule) versus m independent
+// two-peer shares (parallel).
+
+// E7Result compares contended and independent makespans.
+type E7Result struct {
+	Updaters            int
+	ContendedMakespan   time.Duration
+	IndependentMakespan time.Duration
+	SerializationFactor float64
+}
+
+// RunE7ConflictRule measures both configurations with m updating peers.
+func RunE7ConflictRule(ctx context.Context, m int) (E7Result, error) {
+	out := E7Result{Updaters: m}
+
+	contended, err := runE7Contended(ctx, m)
+	if err != nil {
+		return out, fmt.Errorf("E7 contended: %w", err)
+	}
+	out.ContendedMakespan = contended
+
+	independent, err := runE7Independent(ctx, m)
+	if err != nil {
+		return out, fmt.Errorf("E7 independent: %w", err)
+	}
+	out.IndependentMakespan = independent
+	if independent > 0 {
+		out.SerializationFactor = float64(contended) / float64(independent)
+	}
+	return out, nil
+}
+
+// e7Schema is a single shared column plus key.
+func e7Schema(name string) reldb.Schema {
+	return reldb.Schema{
+		Name: name,
+		Columns: []reldb.Column{
+			{Name: "k", Type: reldb.KindInt},
+			{Name: "v", Type: reldb.KindString},
+		},
+		Key: []string{"k"},
+	}
+}
+
+func e7Lens(view string) bx.Lens { return bx.Project(view, []string{"k", "v"}, nil) }
+
+// runE7Contended: one share among m+1 peers; each of the m updaters
+// performs one update; the pending gate forces full serialization (every
+// update additionally needs m acks).
+func runE7Contended(ctx context.Context, m int) (time.Duration, error) {
+	nw, err := NewNetwork(NetworkConfig{BlockInterval: 2 * time.Millisecond})
+	if err != nil {
+		return 0, err
+	}
+	defer nw.Stop()
+
+	peers := make([]*core.Peer, m+1)
+	addrs := make([]identity.Address, m+1)
+	for i := range peers {
+		p, err := nw.NewPeer(fmt.Sprintf("peer%d", i), 0)
+		if err != nil {
+			return 0, err
+		}
+		peers[i] = p
+		addrs[i] = p.Address()
+		tbl := reldb.MustNewTable(e7Schema("T"))
+		tbl.MustInsert(reldb.Row{reldb.I(1), reldb.S("v0")})
+		p.DB().PutTable(tbl)
+	}
+	perm := map[string][]identity.Address{"v": addrs}
+	err = peers[0].RegisterShare(ctx, core.RegisterShareArgs{
+		ID: "S", SourceTable: "T", Lens: e7Lens("S0"), ViewName: "S0",
+		Peers: addrs, WritePerm: perm,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i := 1; i <= m; i++ {
+		if err := peers[i].AttachShare("S", "T", e7Lens(fmt.Sprintf("S%d", i)), fmt.Sprintf("S%d", i)); err != nil {
+			return 0, err
+		}
+	}
+
+	start := time.Now()
+	// Each updater proposes one update; contention means proposals bounce
+	// off the pending gate until their turn, so retry with backoff.
+	var wg sync.WaitGroup
+	errs := make(chan error, m)
+	for i := 1; i <= m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := peers[i]
+			if err := p.UpdateSource("T", func(tbl *reldb.Table) error {
+				return tbl.Update(reldb.Row{reldb.I(1)}, map[string]reldb.Value{"v": reldb.S(fmt.Sprintf("from-%d", i))})
+			}); err != nil {
+				errs <- err
+				return
+			}
+			backoff := 5 * time.Millisecond
+			for {
+				res, err := p.ProposeUpdate(ctx, "S")
+				if err == nil {
+					if err := p.WaitFinal(ctx, "S", res.Seq); err != nil {
+						errs <- err
+					}
+					return
+				}
+				if err == core.ErrNoChanges {
+					// A peer's edit was overwritten by an incoming update
+					// before it could propose: re-apply and retry.
+					if err := p.UpdateSource("T", func(tbl *reldb.Table) error {
+						return tbl.Update(reldb.Row{reldb.I(1)}, map[string]reldb.Value{"v": reldb.S(fmt.Sprintf("retry-%d-%d", i, time.Now().UnixNano()))})
+					}); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				// Denied while another update is pending: back off so the
+				// retry storm cannot starve the acknowledgements that
+				// unblock the share (each retry consumes this share's one
+				// tx slot per block).
+				select {
+				case <-ctx.Done():
+					errs <- ctx.Err()
+					return
+				case <-time.After(backoff):
+				}
+				if backoff < 50*time.Millisecond {
+					backoff *= 2
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// runE7Independent: m disjoint 2-peer shares updated concurrently.
+func runE7Independent(ctx context.Context, m int) (time.Duration, error) {
+	nw, err := NewNetwork(NetworkConfig{BlockInterval: 2 * time.Millisecond})
+	if err != nil {
+		return 0, err
+	}
+	defer nw.Stop()
+
+	type pair struct{ a, b *core.Peer }
+	pairs := make([]pair, m)
+	for i := 0; i < m; i++ {
+		a, err := nw.NewPeer(fmt.Sprintf("a%d", i), 0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := nw.NewPeer(fmt.Sprintf("b%d", i), 0)
+		if err != nil {
+			return 0, err
+		}
+		for _, p := range []*core.Peer{a, b} {
+			tbl := reldb.MustNewTable(e7Schema("T"))
+			tbl.MustInsert(reldb.Row{reldb.I(1), reldb.S("v0")})
+			p.DB().PutTable(tbl)
+		}
+		id := fmt.Sprintf("S%d", i)
+		err = a.RegisterShare(ctx, core.RegisterShareArgs{
+			ID: id, SourceTable: "T", Lens: e7Lens(id + "a"), ViewName: id + "a",
+			Peers:     []identity.Address{a.Address(), b.Address()},
+			WritePerm: map[string][]identity.Address{"v": {a.Address(), b.Address()}},
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := b.AttachShare(id, "T", e7Lens(id+"b"), id+"b"); err != nil {
+			return 0, err
+		}
+		pairs[i] = pair{a, b}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, m)
+	for i, pr := range pairs {
+		wg.Add(1)
+		go func(i int, a *core.Peer) {
+			defer wg.Done()
+			if err := a.UpdateSource("T", func(tbl *reldb.Table) error {
+				return tbl.Update(reldb.Row{reldb.I(1)}, map[string]reldb.Value{"v": reldb.S(fmt.Sprintf("u%d", i))})
+			}); err != nil {
+				errs <- err
+				return
+			}
+			res, err := a.ProposeUpdate(ctx, fmt.Sprintf("S%d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := a.WaitFinal(ctx, fmt.Sprintf("S%d", i), res.Seq); err != nil {
+				errs <- err
+			}
+		}(i, pr.a)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// ---------------------------------------------------------------------
+// E8 — baseline comparison (Section V): fine-grained views versus
+// MedRec-style full-record sharing. The paper's motivation is privacy
+// (peers see only what concerns them) and interference (unrelated
+// attributes mislead); the experiment quantifies bytes exposed, unrelated
+// attributes visible, and bytes transferred per single-field update.
+
+// E8Result compares one stakeholder's exposure under both schemes.
+type E8Result struct {
+	Records int
+	Peer    string
+	// Exposure in bytes of canonical payload visible to the peer.
+	FullRecordBytes  float64
+	FineGrainedBytes float64
+	ExposureRatio    float64
+	// Attributes visible vs needed.
+	AttrsFull      int
+	AttrsNeeded    int
+	AttrsUnrelated int
+	// Transfer bytes for one single-field update.
+	TransferFullRecord  float64
+	TransferFineGrained float64
+	TransferChangeset   float64
+}
+
+// RunE8Baseline computes the comparison for the patient and the
+// researcher at the given record count.
+func RunE8Baseline(records int, seed int64) ([]E8Result, error) {
+	full := workload.Generate("full", records, seed)
+	fullBytes := float64(len(full.AppendCanonical(nil)))
+
+	mk := func(peer string, lens bx.Lens, src *reldb.Table, needed int) (E8Result, error) {
+		view, err := lens.Get(src)
+		if err != nil {
+			return E8Result{}, err
+		}
+		viewBytes := float64(len(view.AppendCanonical(nil)))
+
+		// A single-field update payload under each scheme: the whole base
+		// table (full-record), the whole view (fine-grained, our wire
+		// format), or the row-level changeset (fine-grained incremental).
+		edited := view.Clone()
+		rows := edited.RowsCanonical()
+		if len(rows) > 0 {
+			cols := edited.Schema()
+			for _, c := range cols.Columns {
+				if !cols.IsKeyColumn(c.Name) && c.Type == reldb.KindString {
+					if err := edited.Update(edited.KeyValues(rows[0]),
+						map[string]reldb.Value{c.Name: reldb.S("edited")}); err != nil {
+						return E8Result{}, err
+					}
+					break
+				}
+			}
+		}
+		cs, err := view.Diff(edited)
+		if err != nil {
+			return E8Result{}, err
+		}
+		csRaw, err := reldb.MarshalChangeset(cs)
+		if err != nil {
+			return E8Result{}, err
+		}
+		viewRaw, err := reldb.MarshalTable(edited)
+		if err != nil {
+			return E8Result{}, err
+		}
+		fullRaw, err := reldb.MarshalTable(full)
+		if err != nil {
+			return E8Result{}, err
+		}
+		attrsFull := len(full.Schema().Columns)
+		return E8Result{
+			Records:             records,
+			Peer:                peer,
+			FullRecordBytes:     fullBytes,
+			FineGrainedBytes:    viewBytes,
+			ExposureRatio:       fullBytes / viewBytes,
+			AttrsFull:           attrsFull,
+			AttrsNeeded:         needed,
+			AttrsUnrelated:      attrsFull - needed,
+			TransferFullRecord:  float64(len(fullRaw)),
+			TransferFineGrained: float64(len(viewRaw)),
+			TransferChangeset:   float64(len(csRaw)),
+		}, nil
+	}
+
+	var out []E8Result
+	// Patient's concern: the D13 slice (4 of 7 attributes).
+	r, err := mk("Patient", bx.Project("D13", workload.ShareD13Cols, nil), full, len(workload.ShareD13Cols))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+	// Researcher's concern: the D23 slice (2 of 7 attributes).
+	r, err = mk("Researcher", bx.Project("D23", workload.ShareD23Cols, []string{workload.ColMedication}), full, len(workload.ShareD23Cols))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// E9 — BX microbenchmarks: get/put cost vs table size and lens
+// composition depth (plus the law checks the paper imports from the BX
+// literature, §II-B).
+
+// E9Result reports lens costs at one size/depth point.
+type E9Result struct {
+	Rows  int
+	Depth int
+	Get   time.Duration
+	Put   time.Duration
+}
+
+// RunE9BX measures get and put at the given table size and composition
+// depth (depth 1 is a plain projection; each extra level wraps a
+// selection or rename around it).
+func RunE9BX(rows, depth int, seed int64) (E9Result, error) {
+	full := workload.Generate("full", rows, seed)
+	lens := buildE9Lens(depth)
+
+	const reps = 8
+	start := time.Now()
+	var view *reldb.Table
+	var err error
+	for i := 0; i < reps; i++ {
+		view, err = lens.Get(full)
+		if err != nil {
+			return E9Result{}, err
+		}
+	}
+	getTime := time.Since(start) / reps
+
+	edited := view.Clone()
+	rowsC := edited.RowsCanonical()
+	if len(rowsC) > 0 {
+		if err := edited.Update(edited.KeyValues(rowsC[0]),
+			map[string]reldb.Value{workload.ColDosage: reldb.S("e9")}); err != nil {
+			return E9Result{}, err
+		}
+	}
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := lens.Put(full, edited); err != nil {
+			return E9Result{}, err
+		}
+	}
+	putTime := time.Since(start) / reps
+	return E9Result{Rows: rows, Depth: depth, Get: getTime, Put: putTime}, nil
+}
+
+// buildE9Lens builds a lens of the requested composition depth over the
+// full-record schema, always ending in the D13-style projection.
+func buildE9Lens(depth int) bx.Lens {
+	base := bx.Project("e9", workload.ShareD13Cols, nil)
+	if depth <= 1 {
+		return base
+	}
+	lenses := []bx.Lens{bx.Select("sel", reldb.True())}
+	for i := 2; i < depth; i++ {
+		lenses = append(lenses, bx.Select(fmt.Sprintf("sel%d", i), reldb.True()))
+	}
+	lenses = append(lenses, base)
+	return bx.Compose(lenses[0], lenses[1:]...)
+}
+
+// ---------------------------------------------------------------------
+// E10 — audit: ledger history reconstruction and tamper checking vs
+// chain length.
+
+// E10Result reports audit costs for one chain length.
+type E10Result struct {
+	Updates      int
+	Blocks       uint64
+	HistoryTime  time.Duration
+	IntegrityOK  time.Duration
+	HistoryCount int
+}
+
+// RunE10Audit drives k finalized updates through a scenario, then
+// measures history reconstruction and integrity verification.
+func RunE10Audit(ctx context.Context, k int) (E10Result, error) {
+	sc, err := NewFig1Scenario(ctx, NetworkConfig{BlockInterval: 2 * time.Millisecond}, 8, 1)
+	if err != nil {
+		return E10Result{}, err
+	}
+	defer sc.Stop()
+
+	d3, err := sc.Doctor.Source("D3")
+	if err != nil {
+		return E10Result{}, err
+	}
+	ups := workload.RandomUpdates(d3, []string{workload.ColDosage}, k, 3)
+	for i, u := range ups {
+		if err := sc.Doctor.UpdateSource("D3", u.Apply); err != nil {
+			return E10Result{}, err
+		}
+		if err := syncAndWait(ctx, sc.Doctor, "D3"); err != nil {
+			return E10Result{}, fmt.Errorf("E10 update %d: %w", i, err)
+		}
+	}
+
+	node := sc.Network.Node(0)
+	auditor := audit.New(node.Store(), node.Registry())
+	out := E10Result{Updates: k, Blocks: node.Store().Height()}
+
+	start := time.Now()
+	recs, err := auditor.History(ShareIDD13)
+	if err != nil {
+		return out, err
+	}
+	out.HistoryTime = time.Since(start)
+	out.HistoryCount = len(recs)
+
+	start = time.Now()
+	if err := auditor.VerifyIntegrity(); err != nil {
+		return out, err
+	}
+	out.IntegrityOK = time.Since(start)
+	return out, nil
+}

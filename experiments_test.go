@@ -1,0 +1,161 @@
+package medshare
+
+import (
+	"testing"
+	"time"
+)
+
+// Smoke tests for the experiment drivers: each must run end to end at a
+// small scale and produce sane values. The full sweeps live in
+// cmd/benchrunner; these tests keep the drivers honest under `go test`.
+
+func TestRunE1(t *testing.T) {
+	r, err := RunE1ViewDerivation(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Views != 7 || r.DeriveAll <= 0 || r.PerView <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestRunE2(t *testing.T) {
+	r, err := RunE2Bootstrap(testCtx(t), 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bootstrap <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestRunE3(t *testing.T) {
+	r, err := RunE3ContractOps(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RegisterPerOp <= 0 || r.AllowedPerOp <= 0 || r.DeniedPerOp <= 0 || r.AckPerOp <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestRunE4(t *testing.T) {
+	r, err := RunE4CRUD(testCtx(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads are local and must be orders of magnitude cheaper than the
+	// chain-gated mutations.
+	if r.Read*100 > r.Update {
+		t.Fatalf("read %v not much cheaper than update %v", r.Read, r.Update)
+	}
+}
+
+func TestRunE5(t *testing.T) {
+	r, err := RunE5Cascade(testCtx(t), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SingleHop <= 0 || r.FullCascade <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestRunE6ShapeHolds(t *testing.T) {
+	ctx := testCtx(t)
+	slow, err := RunE6Throughput(ctx, ConsensusPoA, 1*time.Second, 4, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunE6Throughput(ctx, ConsensusPoA, 100*time.Millisecond, 4, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper-relevant shape: shorter intervals give proportionally
+	// more update cycles per modeled second.
+	if fast.UpdatesPerSecModeled <= slow.UpdatesPerSecModeled {
+		t.Fatalf("fast %v <= slow %v", fast.UpdatesPerSecModeled, slow.UpdatesPerSecModeled)
+	}
+	// Each cycle costs exactly two blocks (request + ack).
+	if slow.BlocksUsed != uint64(2*slow.Rounds) {
+		t.Fatalf("blocks = %d, want %d", slow.BlocksUsed, 2*slow.Rounds)
+	}
+}
+
+func TestRunE7ShapeHolds(t *testing.T) {
+	r, err := RunE7ConflictRule(testCtx(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ContendedMakespan <= 0 || r.IndependentMakespan <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	// Contention must cost at least as much as independence.
+	if r.ContendedMakespan < r.IndependentMakespan {
+		t.Fatalf("contended %v < independent %v", r.ContendedMakespan, r.IndependentMakespan)
+	}
+}
+
+func TestRunE8ShapeHolds(t *testing.T) {
+	small, err := RunE8Baseline(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunE8Baseline(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPeer := func(rs []E8Result, peer string) E8Result {
+		for _, r := range rs {
+			if r.Peer == peer {
+				return r
+			}
+		}
+		t.Fatalf("peer %s missing", peer)
+		return E8Result{}
+	}
+	// The researcher's exposure reduction grows with record count (its
+	// medication-keyed view deduplicates); the patient's stays flat.
+	rs, rb := byPeer(small, "Researcher"), byPeer(big, "Researcher")
+	if rb.ExposureRatio <= rs.ExposureRatio {
+		t.Fatalf("researcher reduction did not grow: %v -> %v", rs.ExposureRatio, rb.ExposureRatio)
+	}
+	ps, pb := byPeer(small, "Patient"), byPeer(big, "Patient")
+	if pb.ExposureRatio > ps.ExposureRatio*1.5 {
+		t.Fatalf("patient reduction unexpectedly grew: %v -> %v", ps.ExposureRatio, pb.ExposureRatio)
+	}
+	// Changeset transfer is far below full-view transfer.
+	if rb.TransferChangeset*2 > rb.TransferFineGrained {
+		t.Fatalf("changeset %v not much smaller than view %v", rb.TransferChangeset, rb.TransferFineGrained)
+	}
+}
+
+func TestRunE9(t *testing.T) {
+	r1, err := RunE9BX(200, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := RunE9BX(200, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Get <= 0 || r1.Put <= 0 {
+		t.Fatalf("result = %+v", r1)
+	}
+	// Deeper compositions cost more.
+	if r3.Put < r1.Put {
+		t.Fatalf("depth-3 put %v cheaper than depth-1 %v", r3.Put, r1.Put)
+	}
+}
+
+func TestRunE10(t *testing.T) {
+	r, err := RunE10Audit(testCtx(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// register(2) + per update (request + ack) = 2 + 2k records for this
+	// share plus the second share's registration.
+	if r.HistoryCount < 2*r.Updates {
+		t.Fatalf("history %d too small for %d updates", r.HistoryCount, r.Updates)
+	}
+}

@@ -1,0 +1,98 @@
+package bx
+
+import (
+	"medshare/internal/reldb"
+)
+
+// ComposeLens chains two lenses: the view of Outer is computed from the
+// view of Inner. Composition of well-behaved lenses is well behaved:
+//
+//	get(s)    = Outer.get(Inner.get(s))
+//	put(s, v) = Inner.put(s, Outer.put(Inner.get(s), v))
+//
+// This is how a doctor shares a predicate-restricted projection (e.g.
+// "dosage columns, but only rows for patient 188"): Compose(Select(...),
+// Project(...)).
+type ComposeLens struct {
+	// Inner transforms the source into the intermediate view.
+	Inner Lens
+	// Outer transforms the intermediate view into the final view.
+	Outer Lens
+}
+
+// Compose chains lenses left-to-right: the first lens applies to the
+// source, the last produces the final view.
+func Compose(first Lens, rest ...Lens) Lens {
+	out := first
+	for _, l := range rest {
+		out = &ComposeLens{Inner: out, Outer: l}
+	}
+	return out
+}
+
+// ViewSchema implements Lens.
+func (l *ComposeLens) ViewSchema(src reldb.Schema) (reldb.Schema, error) {
+	mid, err := l.Inner.ViewSchema(src)
+	if err != nil {
+		return reldb.Schema{}, err
+	}
+	return l.Outer.ViewSchema(mid)
+}
+
+// Get implements Lens.
+func (l *ComposeLens) Get(src *reldb.Table) (*reldb.Table, error) {
+	mid, err := l.Inner.Get(src)
+	if err != nil {
+		return nil, err
+	}
+	return l.Outer.Get(mid)
+}
+
+// Put implements Lens.
+func (l *ComposeLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
+	mid, err := l.Inner.Get(src)
+	if err != nil {
+		return nil, err
+	}
+	newMid, err := l.Outer.Put(mid, view)
+	if err != nil {
+		return nil, err
+	}
+	return l.Inner.Put(src, newMid)
+}
+
+// Spec implements Lens.
+func (l *ComposeLens) Spec() Spec {
+	return Spec{Op: OpCompose, Inner: []Spec{l.Inner.Spec(), l.Outer.Spec()}}
+}
+
+// SourceColumnsRead implements Lens.
+func (l *ComposeLens) SourceColumnsRead(src reldb.Schema) ([]string, error) {
+	// Conservative: the composed view depends on whatever the inner lens
+	// reads that the outer lens retains; we approximate by mapping the
+	// outer lens's reads through the inner lens.
+	mid, err := l.Inner.ViewSchema(src)
+	if err != nil {
+		return nil, err
+	}
+	outerReads, err := l.Outer.SourceColumnsRead(mid)
+	if err != nil {
+		return nil, err
+	}
+	// Columns of the intermediate view read by the outer lens correspond
+	// to source columns written by the inner lens for those view columns.
+	return l.Inner.SourceColumnsWritten(src, outerReads)
+}
+
+// SourceColumnsWritten implements Lens.
+func (l *ComposeLens) SourceColumnsWritten(src reldb.Schema, viewCols []string) ([]string, error) {
+	mid, err := l.Inner.ViewSchema(src)
+	if err != nil {
+		return nil, err
+	}
+	midCols, err := l.Outer.SourceColumnsWritten(mid, viewCols)
+	if err != nil {
+		return nil, err
+	}
+	return l.Inner.SourceColumnsWritten(src, midCols)
+}

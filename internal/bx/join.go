@@ -1,0 +1,178 @@
+package bx
+
+import (
+	"fmt"
+
+	"medshare/internal/reldb"
+)
+
+// JoinLens enriches the source with columns from a *reference table*: the
+// view is the natural join of the source with a fixed lookup relation
+// (e.g. patient rows joined with a medication formulary, so the shared
+// view shows the mechanism of action next to each prescription).
+//
+// General join lenses are not well behaved — an edit to a joined-in
+// column is ambiguous between "change the reference row" and "re-point the
+// source row". This lens therefore adopts the classic restriction from
+// the lens literature: the reference side is **read-only**. put accepts
+// edits to source columns and rejects edits to reference columns, which
+// keeps both laws:
+//
+//   - GetPut: re-putting an unchanged view writes back the original
+//     source columns;
+//   - PutGet: get re-joins the updated source with the same reference,
+//     reproducing exactly the accepted view edits.
+//
+// The reference table is part of the lens definition. Its content is
+// embedded in the serialized spec, so counterparties rebuild an identical
+// lens from on-chain metadata.
+type JoinLens struct {
+	// ViewName names the produced view table.
+	ViewName string
+	// Ref is the read-only reference relation; it must share at least
+	// one column name with the source.
+	Ref *reldb.Table
+}
+
+// Join constructs a reference-join lens.
+func Join(viewName string, ref *reldb.Table) *JoinLens {
+	return &JoinLens{ViewName: viewName, Ref: ref}
+}
+
+// refColumns returns the reference columns that the join adds to the
+// source (i.e. the non-shared reference columns).
+func (l *JoinLens) refColumns(src reldb.Schema) []string {
+	var out []string
+	for _, c := range l.Ref.Schema().Columns {
+		if !src.HasColumn(c.Name) {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// ViewSchema implements Lens.
+func (l *JoinLens) ViewSchema(src reldb.Schema) (reldb.Schema, error) {
+	probe, err := reldb.NewTable(src)
+	if err != nil {
+		return reldb.Schema{}, err
+	}
+	joined, err := probe.NaturalJoin(l.ViewName, l.Ref)
+	if err != nil {
+		return reldb.Schema{}, err
+	}
+	// The view keeps the source's key: every source row joins to at most
+	// one reference row in a lookup join, so the source key still
+	// identifies view rows. (A reference with duplicate join keys makes
+	// Get fail instead of silently multiplying rows.)
+	s := joined.Schema()
+	s.Key = append([]string(nil), src.Key...)
+	if err := s.Validate(); err != nil {
+		return reldb.Schema{}, err
+	}
+	return s, nil
+}
+
+// Get implements Lens.
+func (l *JoinLens) Get(src *reldb.Table) (*reldb.Table, error) {
+	joined, err := src.NaturalJoin(l.ViewName, l.Ref)
+	if err != nil {
+		return nil, err
+	}
+	want, err := l.ViewSchema(src.Schema())
+	if err != nil {
+		return nil, err
+	}
+	out, err := reldb.NewTable(want)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range joined.RowsCanonical() {
+		if err := out.Insert(r); err != nil {
+			return nil, fmt.Errorf("bx: join of %s is not a lookup join (duplicate reference match): %w", src.Name(), err)
+		}
+	}
+	if out.Len() != src.Len() {
+		return nil, fmt.Errorf("%w: join lens dropped %d source rows with no reference match", ErrPutViolation, src.Len()-out.Len())
+	}
+	return out, nil
+}
+
+// Put implements Lens.
+func (l *JoinLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
+	want, err := l.ViewSchema(src.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if !want.Equal(view.Schema()) {
+		return nil, fmt.Errorf("%w: join view schema mismatch", ErrPutViolation)
+	}
+	// Recompute the expected reference columns and verify the view did
+	// not edit them; then strip them and write the source columns back.
+	expect, err := l.Get(src)
+	if err != nil {
+		return nil, err
+	}
+	srcSchema := src.Schema()
+	refCols := l.refColumns(srcSchema)
+	refIdx := make([]int, len(refCols))
+	for i, c := range refCols {
+		refIdx[i] = want.ColumnIndex(c)
+	}
+
+	out, err := reldb.NewTable(srcSchema)
+	if err != nil {
+		return nil, err
+	}
+	for _, vr := range view.RowsCanonical() {
+		key := viewKeyOf(want, vr)
+		er, ok := expect.Get(key)
+		if !ok {
+			return nil, fmt.Errorf("%w: join view inserted row with key %v (reference side is read-only)", ErrPutViolation, key)
+		}
+		for _, i := range refIdx {
+			if !vr[i].Equal(er[i]) {
+				return nil, fmt.Errorf("%w: join view edited read-only reference column %s", ErrPutViolation, want.Columns[i].Name)
+			}
+		}
+		sr := make(reldb.Row, len(srcSchema.Columns))
+		for i, c := range srcSchema.Columns {
+			sr[i] = vr[want.ColumnIndex(c.Name)]
+		}
+		if err := out.Insert(sr); err != nil {
+			return nil, err
+		}
+	}
+	if out.Len() != src.Len() {
+		return nil, fmt.Errorf("%w: join view deleted rows (reference side is read-only)", ErrPutViolation)
+	}
+	return out, nil
+}
+
+// Spec implements Lens. The reference table rides along in the spec.
+func (l *JoinLens) Spec() Spec {
+	raw, err := reldb.MarshalTable(l.Ref)
+	if err != nil {
+		panic(fmt.Sprintf("bx: join reference marshal: %v", err))
+	}
+	return Spec{Op: OpJoin, ViewName: l.ViewName, Ref: raw}
+}
+
+// SourceColumnsRead implements Lens.
+func (l *JoinLens) SourceColumnsRead(src reldb.Schema) ([]string, error) {
+	return src.ColumnNames(), nil
+}
+
+// SourceColumnsWritten implements Lens: only source columns are writable.
+func (l *JoinLens) SourceColumnsWritten(src reldb.Schema, viewCols []string) ([]string, error) {
+	if viewCols == nil {
+		return src.ColumnNames(), nil
+	}
+	var out []string
+	for _, c := range viewCols {
+		if src.HasColumn(c) {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+// Package bx implements well-behaved asymmetric lenses (bidirectional
+// transformations) over reldb tables, the synchronization mechanism of the
+// paper (Section II-B): get derives a fine-grained view from a full source
+// table, and put embeds an updated view back into the source, subject to
+// the round-tripping laws
+//
+//	GetPut: put(s, get(s)) = s
+//	PutGet: get(put(s, v)) = v
+//
+// Lenses are built from combinators — Project, Select, Rename, Compose —
+// and carry a serializable Spec so a share's lens can be registered as
+// on-chain metadata and reconstructed by any authorized peer.
+package bx
+
+import (
+	"errors"
+
+	"medshare/internal/reldb"
+)
+
+// Errors reported by lens operations.
+var (
+	// ErrPutViolation is returned when put cannot embed the view (for
+	// example, a view row violates the selection predicate, or an insert
+	// through a projection lens is forbidden by policy).
+	ErrPutViolation = errors.New("bx: put violation")
+	// ErrSpecInvalid is returned for malformed lens specifications.
+	ErrSpecInvalid = errors.New("bx: invalid lens spec")
+	// ErrLawViolation is returned by the law checkers when a lens fails
+	// GetPut or PutGet on the supplied data.
+	ErrLawViolation = errors.New("bx: law violation")
+)
+
+// Lens is an asymmetric lens between a source table and a view table.
+// Implementations must be pure: neither Get nor Put may mutate their
+// arguments, and both must be deterministic.
+type Lens interface {
+	// Get computes the view of src (the forward transformation).
+	Get(src *reldb.Table) (*reldb.Table, error)
+	// Put embeds view into src, producing an updated source (the backward
+	// transformation). Put never mutates src or view.
+	Put(src, view *reldb.Table) (*reldb.Table, error)
+	// ViewSchema returns the schema of the view produced from a source
+	// with the given schema.
+	ViewSchema(src reldb.Schema) (reldb.Schema, error)
+	// Spec returns the serializable description of the lens.
+	Spec() Spec
+	// SourceColumnsRead returns the source columns whose values influence
+	// the view contents (given the source schema).
+	SourceColumnsRead(src reldb.Schema) ([]string, error)
+	// SourceColumnsWritten returns the source columns that put may modify
+	// when the named view columns change. viewCols nil means "any".
+	SourceColumnsWritten(src reldb.Schema, viewCols []string) ([]string, error)
+}
+
+// Policy values controlling how a projection lens handles structural
+// (insert/delete) edits made on the view.
+const (
+	// PolicyForbid rejects the edit with ErrPutViolation.
+	PolicyForbid = "forbid"
+	// PolicyApply propagates the edit into the source (deleting matching
+	// source rows, or inserting new ones using the configured defaults).
+	PolicyApply = "apply"
+)
+
+func dedupe(ss []string) []string {
+	seen := make(map[string]bool, len(ss))
+	out := ss[:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func intersects(a, b []string) bool {
+	set := make(map[string]bool, len(a))
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		if set[s] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,219 @@
+package bx
+
+import (
+	"fmt"
+
+	"medshare/internal/reldb"
+)
+
+// ProjectLens is the workhorse lens of the paper: the view is a projection
+// of the source onto a subset of columns, keyed by ViewKey, and the
+// projection must be functional on ViewKey (two source rows agreeing on the
+// view key must agree on every projected column).
+//
+// put aligns rows by the view key:
+//   - a source row whose view-key tuple appears in the view gets its
+//     projected non-key columns overwritten from the view row;
+//   - a source row whose view-key tuple is absent from the view was deleted
+//     on the view side: OnDelete decides whether the source row is deleted
+//     (PolicyApply) or the edit rejected (PolicyForbid);
+//   - a view row whose key matches no source row was inserted on the view
+//     side: OnInsert decides whether a fresh source row is created
+//     (PolicyApply, hidden columns from Defaults) or the edit rejected.
+//
+// With key alignment the lens is well behaved: GetPut holds because an
+// unchanged view overwrites every projected column with its current value,
+// and PutGet holds because after put every source row projects onto exactly
+// the view rows (hidden columns are invisible to get).
+type ProjectLens struct {
+	// ViewName names the produced view table (for example "D13").
+	ViewName string
+	// Cols are the projected source columns, in view column order.
+	Cols []string
+	// ViewKey is the primary key of the view. Empty inherits the source
+	// key (which then must be contained in Cols).
+	ViewKey []string
+	// OnDelete and OnInsert are PolicyApply or PolicyForbid (default
+	// PolicyForbid, the conservative choice for medical data).
+	OnDelete string
+	OnInsert string
+	// Defaults supplies values for hidden source columns when OnInsert is
+	// PolicyApply. Hidden non-nullable columns without defaults make
+	// inserts fail.
+	Defaults map[string]reldb.Value
+}
+
+// Project constructs a projection lens with forbid policies.
+func Project(viewName string, cols []string, viewKey []string) *ProjectLens {
+	return &ProjectLens{ViewName: viewName, Cols: cols, ViewKey: viewKey,
+		OnDelete: PolicyForbid, OnInsert: PolicyForbid}
+}
+
+// WithDelete sets the view-delete policy and returns the lens.
+func (l *ProjectLens) WithDelete(policy string) *ProjectLens {
+	l.OnDelete = policy
+	return l
+}
+
+// WithInsert sets the view-insert policy (and default values for hidden
+// columns) and returns the lens.
+func (l *ProjectLens) WithInsert(policy string, defaults map[string]reldb.Value) *ProjectLens {
+	l.OnInsert = policy
+	l.Defaults = defaults
+	return l
+}
+
+// ViewSchema implements Lens.
+func (l *ProjectLens) ViewSchema(src reldb.Schema) (reldb.Schema, error) {
+	return src.Project(l.ViewName, l.Cols, l.ViewKey)
+}
+
+// Get implements Lens.
+func (l *ProjectLens) Get(src *reldb.Table) (*reldb.Table, error) {
+	return src.Project(l.ViewName, l.Cols, l.ViewKey)
+}
+
+// Put implements Lens.
+func (l *ProjectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
+	srcSchema := src.Schema()
+	wantView, err := l.ViewSchema(srcSchema)
+	if err != nil {
+		return nil, err
+	}
+	if !wantView.Equal(view.Schema()) {
+		return nil, fmt.Errorf("%w: view schema does not match projection of source", ErrPutViolation)
+	}
+
+	// Column index maps.
+	srcIdxOfCol := make(map[string]int, len(srcSchema.Columns))
+	for i, c := range srcSchema.Columns {
+		srcIdxOfCol[c.Name] = i
+	}
+	viewKeyIdxInSrc := make([]int, len(wantView.Key))
+	for i, k := range wantView.Key {
+		viewKeyIdxInSrc[i] = srcIdxOfCol[k]
+	}
+	colIdxInSrc := make([]int, len(l.Cols))
+	for i, c := range l.Cols {
+		colIdxInSrc[i] = srcIdxOfCol[c]
+	}
+
+	out, err := reldb.NewTable(srcSchema)
+	if err != nil {
+		return nil, err
+	}
+	matched := make(map[string]bool, view.Len())
+
+	for _, sr := range src.Rows() {
+		vkey := make(reldb.Row, len(viewKeyIdxInSrc))
+		for i, j := range viewKeyIdxInSrc {
+			vkey[i] = sr[j]
+		}
+		vr, ok := view.Get(vkey)
+		if !ok {
+			// The view row for this source row was deleted.
+			if l.OnDelete != PolicyApply {
+				return nil, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, vkey)
+			}
+			continue
+		}
+		matched[keyString(vkey)] = true
+		updated := sr.Clone()
+		for vi, si := range colIdxInSrc {
+			updated[si] = vr[vi]
+		}
+		if err := out.Insert(updated); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPutViolation, err)
+		}
+	}
+
+	// View rows with no matching source row are inserts.
+	for _, vr := range view.RowsCanonical() {
+		vkey := viewKeyOf(wantView, vr)
+		if matched[keyString(vkey)] {
+			continue
+		}
+		if l.OnInsert != PolicyApply {
+			return nil, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, vkey)
+		}
+		nr := make(reldb.Row, len(srcSchema.Columns))
+		for i, c := range srcSchema.Columns {
+			if dv, ok := l.Defaults[c.Name]; ok {
+				nr[i] = dv
+			} else {
+				nr[i] = reldb.Null()
+			}
+		}
+		for vi, si := range colIdxInSrc {
+			nr[si] = vr[vi]
+		}
+		if err := out.Insert(nr); err != nil {
+			return nil, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
+		}
+	}
+	return out, nil
+}
+
+// Spec implements Lens.
+func (l *ProjectLens) Spec() Spec {
+	return Spec{
+		Op:       OpProject,
+		ViewName: l.ViewName,
+		Cols:     append([]string(nil), l.Cols...),
+		Key:      append([]string(nil), l.ViewKey...),
+		OnDelete: l.OnDelete,
+		OnInsert: l.OnInsert,
+		Defaults: cloneDefaults(l.Defaults),
+	}
+}
+
+// SourceColumnsRead implements Lens: the view reads exactly the projected
+// columns.
+func (l *ProjectLens) SourceColumnsRead(reldb.Schema) ([]string, error) {
+	return append([]string(nil), l.Cols...), nil
+}
+
+// SourceColumnsWritten implements Lens: put writes the projected columns
+// named in viewCols (all projected columns when viewCols is nil).
+func (l *ProjectLens) SourceColumnsWritten(_ reldb.Schema, viewCols []string) ([]string, error) {
+	if viewCols == nil {
+		return append([]string(nil), l.Cols...), nil
+	}
+	var out []string
+	for _, vc := range viewCols {
+		for _, c := range l.Cols {
+			if c == vc {
+				out = append(out, c)
+			}
+		}
+	}
+	return out, nil
+}
+
+func viewKeyOf(s reldb.Schema, r reldb.Row) reldb.Row {
+	idx := s.KeyIndexes()
+	out := make(reldb.Row, len(idx))
+	for i, j := range idx {
+		out[i] = r[j]
+	}
+	return out
+}
+
+func keyString(key reldb.Row) string {
+	var buf []byte
+	for _, v := range key {
+		buf = v.AppendCanonical(buf)
+	}
+	return string(buf)
+}
+
+func cloneDefaults(m map[string]reldb.Value) map[string]reldb.Value {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]reldb.Value, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package bx
+
+import (
+	"fmt"
+
+	"medshare/internal/reldb"
+)
+
+// SelectLens restricts the view to source rows satisfying a predicate
+// (horizontal fine-graining: e.g. a doctor shares only rows for one
+// patient). The view has the full source schema.
+//
+// put semantics with key alignment:
+//   - a view row must satisfy the predicate (otherwise the row would
+//     silently vanish from its own view after put, violating PutGet);
+//   - source rows not satisfying the predicate pass through unchanged
+//     (they are invisible to the view);
+//   - a source row satisfying the predicate that is absent from the view
+//     was deleted on the view side (OnDelete policy);
+//   - a view row whose key is absent from the source was inserted on the
+//     view side (OnInsert policy).
+type SelectLens struct {
+	// ViewName names the produced view table.
+	ViewName string
+	// Pred selects the shared rows.
+	Pred reldb.Predicate
+	// OnDelete and OnInsert are PolicyApply or PolicyForbid.
+	OnDelete string
+	OnInsert string
+}
+
+// Select constructs a selection lens with forbid policies.
+func Select(viewName string, pred reldb.Predicate) *SelectLens {
+	return &SelectLens{ViewName: viewName, Pred: pred, OnDelete: PolicyForbid, OnInsert: PolicyForbid}
+}
+
+// WithDelete sets the view-delete policy and returns the lens.
+func (l *SelectLens) WithDelete(policy string) *SelectLens {
+	l.OnDelete = policy
+	return l
+}
+
+// WithInsert sets the view-insert policy and returns the lens.
+func (l *SelectLens) WithInsert(policy string) *SelectLens {
+	l.OnInsert = policy
+	return l
+}
+
+// ViewSchema implements Lens.
+func (l *SelectLens) ViewSchema(src reldb.Schema) (reldb.Schema, error) {
+	return src.Rename(l.ViewName), nil
+}
+
+// Get implements Lens.
+func (l *SelectLens) Get(src *reldb.Table) (*reldb.Table, error) {
+	return src.Select(l.ViewName, l.Pred)
+}
+
+// Put implements Lens.
+func (l *SelectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
+	srcSchema := src.Schema()
+	if !srcSchema.Equal(view.Schema()) {
+		return nil, fmt.Errorf("%w: selection view schema must equal source schema", ErrPutViolation)
+	}
+	out, err := reldb.NewTable(srcSchema)
+	if err != nil {
+		return nil, err
+	}
+	// Every view row must satisfy the predicate, or it would escape its
+	// own view and PutGet would fail.
+	for _, vr := range view.Rows() {
+		ok, err := l.Pred.Eval(srcSchema, vr)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: view %s row %v does not satisfy the selection predicate", ErrPutViolation, l.ViewName, view.KeyValues(vr))
+		}
+	}
+	for _, sr := range src.Rows() {
+		ok, err := l.Pred.Eval(srcSchema, sr)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Invisible to the view: passes through.
+			if err := out.Insert(sr); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		key := src.KeyValues(sr)
+		vr, found := view.Get(key)
+		if !found {
+			if l.OnDelete != PolicyApply {
+				return nil, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, key)
+			}
+			continue
+		}
+		if err := out.Insert(vr); err != nil {
+			return nil, err
+		}
+	}
+	for _, vr := range view.RowsCanonical() {
+		key := view.KeyValues(vr)
+		if src.Has(key) {
+			continue
+		}
+		if l.OnInsert != PolicyApply {
+			return nil, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, key)
+		}
+		if err := out.Insert(vr); err != nil {
+			return nil, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
+		}
+	}
+	return out, nil
+}
+
+// Spec implements Lens.
+func (l *SelectLens) Spec() Spec {
+	pred, err := reldb.MarshalPredicate(l.Pred)
+	if err != nil {
+		// Predicates constructed through the public combinators always
+		// marshal; a failure here indicates a programming error.
+		panic(fmt.Sprintf("bx: predicate marshal: %v", err))
+	}
+	return Spec{
+		Op:       OpSelect,
+		ViewName: l.ViewName,
+		Pred:     pred,
+		OnDelete: l.OnDelete,
+		OnInsert: l.OnInsert,
+	}
+}
+
+// SourceColumnsRead implements Lens: a selection exposes every column, and
+// membership additionally depends on the predicate columns.
+func (l *SelectLens) SourceColumnsRead(src reldb.Schema) ([]string, error) {
+	return src.ColumnNames(), nil
+}
+
+// SourceColumnsWritten implements Lens.
+func (l *SelectLens) SourceColumnsWritten(src reldb.Schema, viewCols []string) ([]string, error) {
+	if viewCols == nil {
+		return src.ColumnNames(), nil
+	}
+	var out []string
+	for _, c := range viewCols {
+		if src.HasColumn(c) {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}

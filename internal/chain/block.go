@@ -1,0 +1,132 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"medshare/internal/identity"
+	"medshare/internal/merkle"
+)
+
+// Header carries the block metadata committed to by the block hash.
+type Header struct {
+	// Height is the distance from genesis (genesis is 0).
+	Height uint64 `json:"height"`
+	// PrevHash links to the parent block.
+	PrevHash merkle.Hash `json:"prevHash"`
+	// TxRoot is the Merkle root over the canonical transaction encodings.
+	TxRoot merkle.Hash `json:"txRoot"`
+	// StateRoot commits to the world state after executing this block.
+	StateRoot merkle.Hash `json:"stateRoot"`
+	// TimestampMicro is the proposer's clock, microseconds since epoch.
+	TimestampMicro int64 `json:"ts"`
+	// Proposer is the address of the mining/signing node.
+	Proposer identity.Address `json:"proposer"`
+	// Nonce is the proof-of-work counter (zero under PoA).
+	Nonce uint64 `json:"nonce"`
+	// Difficulty is the required number of leading zero bits of the block
+	// hash under proof-of-work (zero under PoA).
+	Difficulty uint8 `json:"difficulty"`
+	// ProposerPub is the proposer's public key (PoA signature check).
+	ProposerPub []byte `json:"proposerPub,omitempty"`
+	// Sig is the proposer's signature over SigHash (PoA; empty under PoW).
+	Sig []byte `json:"sig,omitempty"`
+}
+
+// SigHash is the digest a PoA proposer signs: the header minus Sig.
+func (h *Header) SigHash() merkle.Hash {
+	return h.hashContent(false)
+}
+
+// Hash returns the block hash (header including signature).
+func (h *Header) Hash() merkle.Hash {
+	return h.hashContent(true)
+}
+
+func (h *Header) hashContent(withSig bool) merkle.Hash {
+	w := sha256.New()
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], h.Height)
+	w.Write(n[:])
+	w.Write(h.PrevHash[:])
+	w.Write(h.TxRoot[:])
+	w.Write(h.StateRoot[:])
+	binary.BigEndian.PutUint64(n[:], uint64(h.TimestampMicro))
+	w.Write(n[:])
+	w.Write(h.Proposer[:])
+	binary.BigEndian.PutUint64(n[:], h.Nonce)
+	w.Write(n[:])
+	w.Write([]byte{h.Difficulty})
+	if withSig {
+		w.Write(h.ProposerPub)
+		w.Write(h.Sig)
+	}
+	var out merkle.Hash
+	w.Sum(out[:0])
+	return out
+}
+
+// Block is a header plus its transactions.
+type Block struct {
+	Header Header `json:"header"`
+	Txs    []*Tx  `json:"txs"`
+}
+
+// Hash returns the block hash.
+func (b *Block) Hash() merkle.Hash { return b.Header.Hash() }
+
+// HashString returns the hex block hash.
+func (b *Block) HashString() string {
+	h := b.Hash()
+	return hex.EncodeToString(h[:])
+}
+
+// TxLeaves returns the canonical Merkle leaves for the transactions.
+func (b *Block) TxLeaves() [][]byte {
+	leaves := make([][]byte, len(b.Txs))
+	for i, tx := range b.Txs {
+		leaves[i] = tx.Encode()
+	}
+	return leaves
+}
+
+// ComputeTxRoot computes the Merkle root over the block's transactions.
+func (b *Block) ComputeTxRoot() merkle.Hash {
+	return merkle.Root(b.TxLeaves())
+}
+
+// VerifyStructure checks everything about a block that does not require
+// executing it: the transaction root, each transaction's signature, and
+// the paper's conflict rule that a block carries at most one transaction
+// per shared table.
+func (b *Block) VerifyStructure() error {
+	if b.ComputeTxRoot() != b.Header.TxRoot {
+		return ErrBadTxRoot
+	}
+	seenShare := make(map[string]bool, len(b.Txs))
+	for i, tx := range b.Txs {
+		if err := tx.Verify(); err != nil {
+			return fmt.Errorf("tx %d: %w", i, err)
+		}
+		if tx.ShareID != "" {
+			if seenShare[tx.ShareID] {
+				return fmt.Errorf("%w: share %s at height %d", ErrShareConflict, tx.ShareID, b.Header.Height)
+			}
+			seenShare[tx.ShareID] = true
+		}
+	}
+	return nil
+}
+
+// Genesis builds the deterministic genesis block for a network name. All
+// nodes of a network construct the identical genesis locally.
+func Genesis(network string) *Block {
+	seed := sha256.Sum256([]byte("medshare-genesis:" + network))
+	return &Block{Header: Header{
+		Height:         0,
+		PrevHash:       seed,
+		TimestampMicro: 0,
+	}}
+}

@@ -1,0 +1,44 @@
+// Package consensus provides pluggable block-production engines: an
+// Ethereum-style proof-of-work miner (the paper's Section II-A setting)
+// and a proof-of-authority round-robin signer (the "private blockchain"
+// the paper recommends in Section IV-3). Both implement Engine and plug
+// into internal/node.
+package consensus
+
+import (
+	"context"
+	"errors"
+
+	"medshare/internal/chain"
+	"medshare/internal/identity"
+)
+
+// Errors returned by engines.
+var (
+	ErrSealAborted    = errors.New("consensus: sealing aborted")
+	ErrBadProof       = errors.New("consensus: header fails proof-of-work target")
+	ErrNotAuthority   = errors.New("consensus: proposer is not an authority")
+	ErrBadSig         = errors.New("consensus: bad proposer signature")
+	ErrWrongTurn      = errors.New("consensus: proposer out of turn")
+	ErrNotOurTurn     = errors.New("consensus: not this node's turn to propose")
+	ErrNoAuthorities  = errors.New("consensus: authority set is empty")
+	ErrUnknownSealKey = errors.New("consensus: sealing identity is required")
+)
+
+// Engine abstracts how blocks are produced and how their consensus fields
+// are verified.
+type Engine interface {
+	// Name identifies the engine ("pow" or "poa").
+	Name() string
+	// Prepare fills the consensus fields of a candidate header (e.g.
+	// difficulty) before sealing.
+	Prepare(h *chain.Header) error
+	// Seal finalizes the block: mining the nonce under PoW, signing under
+	// PoA. Seal must respect ctx cancellation.
+	Seal(ctx context.Context, b *chain.Block, id *identity.Identity) error
+	// VerifyHeader checks the consensus-specific validity of a header.
+	VerifyHeader(h *chain.Header) error
+	// MayPropose reports whether the identity may produce the block at
+	// the given height (always true under PoW).
+	MayPropose(addr identity.Address, height uint64) bool
+}

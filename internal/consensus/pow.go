@@ -1,0 +1,84 @@
+package consensus
+
+import (
+	"context"
+
+	"medshare/internal/chain"
+	"medshare/internal/identity"
+	"medshare/internal/merkle"
+)
+
+// PoW is a fixed-difficulty proof-of-work engine: a sealed header's hash
+// must start with Difficulty zero bits. Difficulty is deliberately small
+// in tests (the system's security argument does not depend on hash power;
+// the paper itself recommends a private chain).
+type PoW struct {
+	// Difficulty is the required number of leading zero bits.
+	Difficulty uint8
+}
+
+// NewPoW creates a proof-of-work engine.
+func NewPoW(difficulty uint8) *PoW { return &PoW{Difficulty: difficulty} }
+
+// Name implements Engine.
+func (p *PoW) Name() string { return "pow" }
+
+// Prepare implements Engine.
+func (p *PoW) Prepare(h *chain.Header) error {
+	h.Difficulty = p.Difficulty
+	h.Sig = nil
+	h.ProposerPub = nil
+	return nil
+}
+
+// Seal implements Engine: it grinds the nonce until the header hash meets
+// the difficulty target, checking ctx every 4096 attempts.
+func (p *PoW) Seal(ctx context.Context, b *chain.Block, id *identity.Identity) error {
+	if id != nil {
+		b.Header.Proposer = id.Address()
+	}
+	for nonce := uint64(0); ; nonce++ {
+		if nonce%4096 == 0 {
+			select {
+			case <-ctx.Done():
+				return ErrSealAborted
+			default:
+			}
+		}
+		b.Header.Nonce = nonce
+		if meetsTarget(b.Header.Hash(), p.Difficulty) {
+			return nil
+		}
+	}
+}
+
+// VerifyHeader implements Engine.
+func (p *PoW) VerifyHeader(h *chain.Header) error {
+	if h.Difficulty != p.Difficulty {
+		return ErrBadProof
+	}
+	if !meetsTarget(h.Hash(), p.Difficulty) {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// MayPropose implements Engine: anyone may mine.
+func (p *PoW) MayPropose(identity.Address, uint64) bool { return true }
+
+// meetsTarget reports whether the hash has at least bits leading zero
+// bits.
+func meetsTarget(h merkle.Hash, bits uint8) bool {
+	full := int(bits / 8)
+	for i := 0; i < full; i++ {
+		if h[i] != 0 {
+			return false
+		}
+	}
+	if rem := bits % 8; rem != 0 {
+		if h[full]>>(8-rem) != 0 {
+			return false
+		}
+	}
+	return true
+}

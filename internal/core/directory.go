@@ -1,0 +1,35 @@
+package core
+
+import (
+	"sync"
+
+	"medshare/internal/identity"
+)
+
+// Directory maps peer addresses to data-channel endpoint names. It stands
+// in for out-of-band peer discovery (in a deployment this would be DNS or
+// configuration; discovery is orthogonal to the paper's design).
+type Directory struct {
+	mu sync.RWMutex
+	m  map[identity.Address]string
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{m: make(map[identity.Address]string)}
+}
+
+// Set records the endpoint name for an address.
+func (d *Directory) Set(addr identity.Address, endpoint string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m[addr] = endpoint
+}
+
+// Lookup returns the endpoint name for an address.
+func (d *Directory) Lookup(addr identity.Address) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ep, ok := d.m[addr]
+	return ep, ok
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"medshare/internal/bx"
+	"medshare/internal/contract"
+	"medshare/internal/contract/sharereg"
+	"medshare/internal/identity"
+)
+
+// pollInterval paces WaitFinal and resync polling.
+const pollInterval = 5 * time.Millisecond
+
+// handleEvent dispatches one committed contract event. Events are
+// processed sequentially by the peer's event goroutine so share state
+// never races.
+func (p *Peer) handleEvent(ev contract.Event) {
+	if ev.Contract != sharereg.ContractName {
+		return
+	}
+	payload, err := sharereg.DecodeEvent(ev.Payload)
+	if err != nil {
+		return
+	}
+	switch ev.Name {
+	case sharereg.EvUpdateRequested:
+		p.onUpdateRequested(payload)
+	case sharereg.EvUpdateFinal:
+		p.mu.Lock()
+		if s, ok := p.shares[payload.ShareID]; ok && s.backup != nil && s.backup.seq+1 == payload.Seq {
+			s.backup = nil // our proposal finalized; drop the rollback point
+		}
+		p.mu.Unlock()
+		p.record(HistoryEntry{
+			ShareID: payload.ShareID, Seq: payload.Seq, Kind: "final",
+			Cols: payload.Cols, From: payload.From,
+		})
+	case sharereg.EvUpdateRejected:
+		p.onUpdateRejected(payload)
+	case sharereg.EvPermissionSet:
+		p.record(HistoryEntry{ShareID: payload.ShareID, Kind: "permission", Cols: []string{payload.Column}, From: payload.From})
+	case sharereg.EvRemoved:
+		p.onRemoved(payload)
+	}
+}
+
+// onUpdateRequested implements Fig. 5 steps 3-5 (and 9-11): a sharing
+// peer learns of an admitted update, fetches the payload from the
+// updater, embeds it into its own source with put, acknowledges on-chain,
+// and then checks its other shares for cascading (step 6).
+func (p *Peer) onUpdateRequested(ev sharereg.EventPayload) {
+	if ev.From == p.Address() {
+		return // our own proposal; replica already refreshed
+	}
+	p.mu.Lock()
+	_, bound := p.shares[ev.ShareID]
+	p.mu.Unlock()
+	if !bound {
+		return // not a participant (or not yet attached; resync catches up)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.TxTimeout)
+	defer cancel()
+	if err := p.applyIncoming(ctx, ev.ShareID, ev.Seq, ev.From, ev.PayloadHash, ev.Cols); err != nil {
+		p.logf("apply update %s seq %d failed: %v", ev.ShareID, ev.Seq, err)
+	}
+}
+
+// applyIncoming fetches, verifies, applies, acknowledges, and cascades one
+// incoming update.
+func (p *Peer) applyIncoming(ctx context.Context, shareID string, seq uint64, from identity.Address, payloadHash string, cols []string) error {
+	s, err := p.share(shareID)
+	if err != nil {
+		return err
+	}
+	// The share-level operation lock orders this apply against our own
+	// in-flight proposals: if we optimistically advanced the replica for
+	// a proposal that lost the race for this sequence number, the
+	// rollback completes before we read AppliedSeq here.
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	p.mu.Lock()
+	applied := s.AppliedSeq
+	p.mu.Unlock()
+	if applied >= seq {
+		return nil // already applied (e.g. via resync)
+	}
+
+	// Step 4: fetch the new view payload directly from the updater. We
+	// advertise our current version so the updater can send a row-level
+	// delta; the reconstructed table is verified against the on-chain
+	// hash either way.
+	curView, err := p.snapshotTable(s.ViewName)
+	if err != nil {
+		return err
+	}
+	newView, _, err := p.fetchFrom(ctx, from, shareID, seq, applied, curView)
+	if err != nil {
+		return err
+	}
+	if got := hashHex(newView); got != payloadHash {
+		return fmt.Errorf("%w: share %s seq %d", ErrPayloadHash, shareID, seq)
+	}
+
+	// Step 5: put the updated view into the local source. A put failure
+	// means the view edit has no translation into our source under the
+	// local lens; reject the pending update on-chain so the share does
+	// not stall and the proposer rolls back.
+	src, err := p.snapshotTable(s.SourceTable)
+	if err != nil {
+		return err
+	}
+	local := newView.Renamed(s.ViewName)
+	newSrc, err := s.Lens.Put(src, local)
+	if err != nil {
+		rej, berr := p.buildTx(sharereg.FnRejectUpdate, shareID, sharereg.RejectArgs{
+			ShareID: shareID, Seq: seq, Reason: err.Error(),
+		})
+		if berr == nil {
+			if _, serr := p.submitAndWait(ctx, rej); serr != nil {
+				return fmt.Errorf("core: put failed (%v) and reject failed: %w", err, serr)
+			}
+		}
+		p.record(HistoryEntry{ShareID: shareID, Seq: seq, Kind: "rejected", From: p.Address(), Note: err.Error()})
+		return fmt.Errorf("core: put on %s rejected: %w", shareID, err)
+	}
+	p.cfg.DB.PutTable(newSrc.Renamed(s.SourceTable))
+	p.cfg.DB.PutTable(local)
+	p.mu.Lock()
+	s.prev = &shareBackup{seq: applied, view: curView}
+	s.AppliedSeq = seq
+	p.mu.Unlock()
+	p.record(HistoryEntry{ShareID: shareID, Seq: seq, Kind: "applied", Cols: cols, From: from})
+	p.logf("applied update on %s seq %d from %s", shareID, seq, from.Short())
+
+	// Acknowledge on-chain; once every peer acks, the contract finalizes
+	// and the next update becomes admissible.
+	ack, err := p.buildTx(sharereg.FnAckUpdate, shareID, sharereg.AckArgs{ShareID: shareID, Seq: seq})
+	if err != nil {
+		return err
+	}
+	if _, err := p.submitAndWait(ctx, ack); err != nil {
+		return fmt.Errorf("core: acking %s seq %d: %w", shareID, seq, err)
+	}
+
+	// Step 6: cascade into overlapping shares over the same source.
+	return p.cascade(ctx, s, cols)
+}
+
+// cascade regenerates and proposes updates on every other share derived
+// from the same source whose visible columns overlap the incoming change
+// (the dependency check of Fig. 5 step 6). Convergence is guaranteed for
+// well-behaved lenses because re-putting identical data yields an empty
+// diff; MaxCascadeDepth additionally bounds the number of proposals one
+// incoming update may trigger on this peer.
+func (p *Peer) cascade(ctx context.Context, origin *Share, changedCols []string) error {
+	src, err := p.snapshotTable(origin.SourceTable)
+	if err != nil {
+		return err
+	}
+	srcSchema := src.Schema()
+
+	p.mu.Lock()
+	var candidates []*Share
+	for _, s2 := range p.shares {
+		if s2.ID != origin.ID && s2.SourceTable == origin.SourceTable {
+			candidates = append(candidates, s2)
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ID < candidates[j].ID })
+
+	proposals := 0
+	for _, s2 := range candidates {
+		hit, err := bx.Overlaps(srcSchema, origin.Lens, changedCols, s2.Lens)
+		if err != nil {
+			return err
+		}
+		if !hit {
+			continue
+		}
+		if proposals >= p.cfg.MaxCascadeDepth {
+			return fmt.Errorf("%w: share %s", ErrCascadeTooDeep, origin.ID)
+		}
+		res, err := p.ProposeUpdate(ctx, s2.ID)
+		if err == ErrNoChanges {
+			continue // overlap was column-level only; data unaffected
+		}
+		if err != nil {
+			return fmt.Errorf("core: cascading %s -> %s: %w", origin.ID, s2.ID, err)
+		}
+		proposals++
+		p.logf("cascaded %s -> %s seq %d", origin.ID, s2.ID, res.Seq)
+	}
+	return nil
+}
+
+// onUpdateRejected rolls the proposer's replica back to the pre-proposal
+// snapshot when a counterparty could not apply the update.
+func (p *Peer) onUpdateRejected(ev sharereg.EventPayload) {
+	p.mu.Lock()
+	s, ok := p.shares[ev.ShareID]
+	var bk *shareBackup
+	if ok && s.backup != nil && s.backup.seq+1 == ev.Seq {
+		bk = s.backup
+		s.backup = nil
+		s.prev = nil // the retained delta base no longer matches
+		s.AppliedSeq = bk.seq
+	}
+	p.mu.Unlock()
+	if bk == nil {
+		return // not our proposal (or already resolved)
+	}
+	p.cfg.DB.PutTable(bk.view.Renamed(s.ViewName))
+	p.record(HistoryEntry{
+		ShareID: ev.ShareID, Seq: ev.Seq, Kind: "rolled-back",
+		From: ev.From, Note: ev.Kind,
+	})
+	p.logf("rolled back %s seq %d after rejection by %s", ev.ShareID, ev.Seq, ev.From.Short())
+}
+
+// onRemoved drops the local binding when the owner removes the share.
+func (p *Peer) onRemoved(ev sharereg.EventPayload) {
+	p.mu.Lock()
+	s, ok := p.shares[ev.ShareID]
+	if ok && ev.From != p.Address() {
+		delete(p.shares, ev.ShareID)
+	}
+	p.mu.Unlock()
+	if ok && ev.From != p.Address() {
+		_ = p.cfg.DB.Drop(s.ViewName)
+		p.record(HistoryEntry{ShareID: ev.ShareID, Kind: "removed", From: ev.From})
+	}
+}
+
+// Resync reconciles every bound share against on-chain state: pending
+// updates we have not applied are fetched and acknowledged, and finalized
+// updates we missed entirely (dropped events) are fetched from the last
+// updater. It makes the peer robust to lossy notification delivery.
+func (p *Peer) Resync(ctx context.Context) error {
+	p.mu.Lock()
+	ids := make([]string, 0, len(p.shares))
+	for id := range p.shares {
+		ids = append(ids, id)
+	}
+	p.mu.Unlock()
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		meta, err := p.Meta(id)
+		if err != nil {
+			return err
+		}
+		s, err := p.share(id)
+		if err != nil {
+			continue
+		}
+		p.mu.Lock()
+		applied := s.AppliedSeq
+		p.mu.Unlock()
+
+		if meta.Pending != nil && meta.Pending.From != p.Address() && applied < meta.Pending.Seq {
+			if err := p.applyIncoming(ctx, id, meta.Pending.Seq, meta.Pending.From, meta.Pending.PayloadHash, meta.Pending.Cols); err != nil {
+				return fmt.Errorf("core: resync %s pending: %w", id, err)
+			}
+			continue
+		}
+		if meta.Seq > applied && meta.LastFrom != p.Address() && !meta.LastFrom.IsZero() {
+			if err := p.resyncFinalized(ctx, s, meta); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// resyncFinalized catches the share up to an already-finalized update the
+// peer missed entirely.
+func (p *Peer) resyncFinalized(ctx context.Context, s *Share, meta *sharereg.Meta) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	p.mu.Lock()
+	applied := s.AppliedSeq
+	p.mu.Unlock()
+	if applied >= meta.Seq {
+		return nil // caught up while waiting for the lock
+	}
+	curView, err := p.snapshotTable(s.ViewName)
+	if err != nil {
+		return err
+	}
+	newView, seq, err := p.fetchFrom(ctx, meta.LastFrom, s.ID, meta.Seq, applied, curView)
+	if err != nil {
+		return fmt.Errorf("core: resync %s: %w", s.ID, err)
+	}
+	if got := hashHex(newView); seq == meta.Seq && got != meta.LastPayloadHash {
+		return fmt.Errorf("%w: resync %s seq %d", ErrPayloadHash, s.ID, seq)
+	}
+	src, err := p.snapshotTable(s.SourceTable)
+	if err != nil {
+		return err
+	}
+	local := newView.Renamed(s.ViewName)
+	newSrc, err := s.Lens.Put(src, local)
+	if err != nil {
+		return err
+	}
+	p.cfg.DB.PutTable(newSrc.Renamed(s.SourceTable))
+	p.cfg.DB.PutTable(local)
+	p.mu.Lock()
+	s.prev = &shareBackup{seq: applied, view: curView}
+	s.AppliedSeq = seq
+	p.mu.Unlock()
+	p.record(HistoryEntry{ShareID: s.ID, Seq: seq, Kind: "resynced", From: meta.LastFrom})
+	return nil
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"crypto/ed25519"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"medshare/internal/identity"
+	"medshare/internal/p2p"
+	"medshare/internal/reldb"
+)
+
+// The data channel: when the contract notifies peers of an admitted
+// update, they fetch the new view payload directly from the updating peer
+// ("Request updated data" / "Send updated data" in Fig. 2). The payload
+// never touches the blockchain; the chain holds only its hash.
+
+// FetchRequest asks a counterparty for the current payload of a share.
+// The request is signed so that only sharing peers can read the data even
+// if the transport is reachable by others.
+type FetchRequest struct {
+	ShareID string `json:"shareId"`
+	// MinSeq is the lowest acceptable version (the seq announced in the
+	// update event).
+	MinSeq uint64 `json:"minSeq"`
+	// HaveSeq is the version the requester already holds (0 = none). If
+	// the server retains that version it responds with a row-level
+	// changeset instead of the full view.
+	HaveSeq uint64 `json:"haveSeq,omitempty"`
+	// Requester and PubKey identify the caller; Sig signs the canonical
+	// request bytes.
+	Requester identity.Address `json:"requester"`
+	PubKey    []byte           `json:"pubKey"`
+	TsMicro   int64            `json:"ts"`
+	Sig       []byte           `json:"sig"`
+}
+
+// signingBytes is the canonical byte string covered by Sig.
+func (r *FetchRequest) signingBytes() []byte {
+	out := make([]byte, 0, len(r.ShareID)+8+len(r.Requester)+8)
+	out = append(out, "medshare-fetch:"...)
+	out = append(out, r.ShareID...)
+	out = binary.BigEndian.AppendUint64(out, r.MinSeq)
+	out = binary.BigEndian.AppendUint64(out, r.HaveSeq)
+	out = append(out, r.Requester[:]...)
+	out = binary.BigEndian.AppendUint64(out, uint64(r.TsMicro))
+	return out
+}
+
+// Fetch response modes.
+const (
+	// FetchModeFull carries the whole view table.
+	FetchModeFull = "full"
+	// FetchModeDelta carries a changeset from the requester's HaveSeq.
+	FetchModeDelta = "delta"
+)
+
+// FetchResponse returns the payload and the version it corresponds to.
+// The receiver always verifies the reconstructed table against the
+// on-chain payload hash, so a corrupt or malicious delta cannot install
+// bad data.
+type FetchResponse struct {
+	ShareID string `json:"shareId"`
+	Seq     uint64 `json:"seq"`
+	// Mode is FetchModeFull or FetchModeDelta.
+	Mode string `json:"mode"`
+	// Table is the reldb JSON encoding of the current view (full mode).
+	Table json.RawMessage `json:"table,omitempty"`
+	// Changeset transforms the requester's HaveSeq version into Seq
+	// (delta mode).
+	Changeset json.RawMessage `json:"changeset,omitempty"`
+}
+
+// serveDataFetch is the request handler on the peer's transport endpoint.
+func (p *Peer) serveDataFetch(msg p2p.Message) (p2p.Message, error) {
+	if msg.Kind != p2p.KindDataFetch {
+		return p2p.Message{}, fmt.Errorf("core: unexpected message kind %q", msg.Kind)
+	}
+	var req FetchRequest
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		return p2p.Message{}, fmt.Errorf("core: bad fetch request: %w", err)
+	}
+	if len(req.PubKey) != ed25519.PublicKeySize {
+		return p2p.Message{}, ErrNotAuthorized
+	}
+	if err := identity.Verify(req.Requester, ed25519.PublicKey(req.PubKey), req.signingBytes(), req.Sig); err != nil {
+		return p2p.Message{}, fmt.Errorf("%w: %v", ErrNotAuthorized, err)
+	}
+	meta, err := p.Meta(req.ShareID)
+	if err != nil {
+		return p2p.Message{}, err
+	}
+	if !metaHasPeer(meta, req.Requester) {
+		return p2p.Message{}, fmt.Errorf("%w: %s on %s", ErrNotAuthorized, req.Requester, req.ShareID)
+	}
+	s, err := p.share(req.ShareID)
+	if err != nil {
+		return p2p.Message{}, err
+	}
+	p.mu.Lock()
+	seq := s.AppliedSeq
+	var prevView *reldb.Table
+	if s.prev != nil && req.HaveSeq > 0 && s.prev.seq == req.HaveSeq {
+		prevView = s.prev.view
+	}
+	p.mu.Unlock()
+	if seq < req.MinSeq {
+		return p2p.Message{}, fmt.Errorf("%w: have seq %d, want %d", ErrStaleData, seq, req.MinSeq)
+	}
+	view, err := p.snapshotTable(s.ViewName)
+	if err != nil {
+		return p2p.Message{}, err
+	}
+
+	out := FetchResponse{ShareID: req.ShareID, Seq: seq, Mode: FetchModeFull}
+	if prevView != nil {
+		if cs, err := prevView.Diff(view.Renamed(prevView.Name())); err == nil {
+			if raw, err := reldb.MarshalChangeset(cs); err == nil {
+				out.Mode = FetchModeDelta
+				out.Changeset = raw
+			}
+		}
+	}
+	if out.Mode == FetchModeFull {
+		raw, err := reldb.MarshalTable(view)
+		if err != nil {
+			return p2p.Message{}, err
+		}
+		out.Table = raw
+	}
+	resp, err := json.Marshal(out)
+	if err != nil {
+		return p2p.Message{}, err
+	}
+	return p2p.Message{Kind: p2p.KindDataFetch, Payload: resp}, nil
+}
+
+// Fetch requests the current payload of a share directly from the named
+// counterparty (Fig. 2's "Request updated data"). Most callers never need
+// it — the event loop fetches automatically — but it supports ad-hoc reads
+// and the authorization tests.
+func (p *Peer) Fetch(ctx context.Context, from identity.Address, shareID string, minSeq uint64) (*reldb.Table, uint64, error) {
+	return p.fetchFrom(ctx, from, shareID, minSeq, 0, nil)
+}
+
+// fetchFrom requests the share payload at version minSeq or newer from
+// the peer with the given address. When base (the local view at haveSeq)
+// is supplied, the server may answer with a changeset, which is applied
+// to a copy of base; the caller still verifies the resulting table
+// against the on-chain payload hash.
+func (p *Peer) fetchFrom(ctx context.Context, from identity.Address, shareID string, minSeq, haveSeq uint64, base *reldb.Table) (*reldb.Table, uint64, error) {
+	if p.cfg.Transport == nil || p.cfg.Directory == nil {
+		return nil, 0, fmt.Errorf("core: peer %s has no data channel", p.Name())
+	}
+	endpoint, ok := p.cfg.Directory.Lookup(from)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: no endpoint known for %s", from)
+	}
+	req := FetchRequest{
+		ShareID:   shareID,
+		MinSeq:    minSeq,
+		Requester: p.Address(),
+		PubKey:    append([]byte(nil), p.cfg.Identity.PublicKey()...),
+		TsMicro:   p.cfg.Clock.Now().UnixMicro(),
+	}
+	if base != nil && haveSeq > 0 {
+		req.HaveSeq = haveSeq
+	}
+	req.Sig = p.cfg.Identity.Sign(req.signingBytes())
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	msg, err := p.cfg.Transport.Request(ctx, endpoint, p2p.Message{Kind: p2p.KindDataFetch, Payload: payload})
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: fetching %s from %s: %w", shareID, from, err)
+	}
+	var resp FetchResponse
+	if err := json.Unmarshal(msg.Payload, &resp); err != nil {
+		return nil, 0, fmt.Errorf("core: bad fetch response: %w", err)
+	}
+	switch resp.Mode {
+	case FetchModeDelta:
+		if base == nil {
+			return nil, 0, fmt.Errorf("core: unsolicited delta for %s", shareID)
+		}
+		cs, err := reldb.UnmarshalChangeset(resp.Changeset)
+		if err != nil {
+			return nil, 0, err
+		}
+		table := base.Clone()
+		if err := table.Apply(cs); err != nil {
+			return nil, 0, fmt.Errorf("core: applying delta for %s: %w", shareID, err)
+		}
+		return table, resp.Seq, nil
+	case FetchModeFull, "":
+		table, err := reldb.UnmarshalTable(resp.Table)
+		if err != nil {
+			return nil, 0, err
+		}
+		return table, resp.Seq, nil
+	default:
+		return nil, 0, fmt.Errorf("core: unknown fetch mode %q", resp.Mode)
+	}
+}

@@ -1,0 +1,381 @@
+// Package core implements the paper's primary contribution: the
+// data-sharing peer that splits its full medical records into fine-grained
+// views shared pairwise with other stakeholders, keeps every replica
+// consistent through bidirectional transformations, and gates every update
+// through the sharereg smart contract on the blockchain.
+//
+// One Peer corresponds to one stakeholder of Fig. 2 (Patient, Doctor,
+// Researcher, ...). It owns:
+//
+//   - a local reldb.Database with full source tables and materialized
+//     shared views (medical data never leaves the peers);
+//   - a set of Share bindings, each pairing a local source table with a
+//     bx lens that derives the shared view;
+//   - a connection to a blockchain node for permissions, ordering, and
+//     notifications;
+//   - a p2p data channel over which counterparties fetch view payloads
+//     directly (the chain carries only metadata and hashes).
+package core
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"medshare/internal/bx"
+	"medshare/internal/chain"
+	"medshare/internal/clock"
+	"medshare/internal/contract"
+	"medshare/internal/contract/sharereg"
+	"medshare/internal/identity"
+	"medshare/internal/node"
+	"medshare/internal/p2p"
+	"medshare/internal/reldb"
+)
+
+// Errors returned by the sharing layer.
+var (
+	ErrUnknownShare   = errors.New("core: unknown share")
+	ErrShareBound     = errors.New("core: share already bound")
+	ErrNoChanges      = errors.New("core: view unchanged, nothing to propose")
+	ErrPayloadHash    = errors.New("core: fetched payload does not match on-chain hash")
+	ErrNotAuthorized  = errors.New("core: data fetch from non-peer")
+	ErrStaleData      = errors.New("core: counterparty does not hold requested version")
+	ErrCascadeTooDeep = errors.New("core: cascade depth limit exceeded")
+	ErrTxFailed       = errors.New("core: transaction rejected by contract")
+)
+
+// Config configures a Peer.
+type Config struct {
+	// Identity is the peer's signing identity; its address is the peer's
+	// principal on-chain.
+	Identity *identity.Identity
+	// DB is the peer's local database (sources + materialized views).
+	DB *reldb.Database
+	// Node is the blockchain node the peer submits transactions to and
+	// receives events from. Several peers may share one node, or each
+	// peer may run its own (Fig. 2 draws one per stakeholder).
+	Node *node.Node
+	// Transport is the peer's endpoint on the data channel. Nil disables
+	// remote fetch (single-process tests wire peers to one MemNetwork).
+	Transport p2p.Transport
+	// Directory maps peer addresses to transport endpoint names.
+	Directory *Directory
+	// Clock abstracts time; nil means wall clock.
+	Clock clock.Clock
+	// MaxCascadeDepth bounds re-share propagation chains (Fig. 5 step 6
+	// re-entry). 0 means 16.
+	MaxCascadeDepth int
+	// TxTimeout bounds each wait for a transaction commit. 0 means 30s.
+	TxTimeout time.Duration
+	// ResyncInterval, when positive, runs Resync periodically in the
+	// background so shares recover automatically from missed
+	// notifications (event-buffer overflow, gossip loss). Zero disables
+	// the loop; Resync can still be called manually.
+	ResyncInterval time.Duration
+	// Logf, when set, receives progress lines (examples wire it to
+	// fmt.Printf; tests leave it nil).
+	Logf func(format string, args ...any)
+}
+
+// Peer is one stakeholder in the sharing network.
+type Peer struct {
+	cfg Config
+
+	mu     sync.Mutex
+	shares map[string]*Share
+
+	cancelEvents func()
+	wg           sync.WaitGroup
+	stopOnce     sync.Once
+	stopped      chan struct{}
+
+	// history records locally observed share activity for the audit
+	// examples; the authoritative history lives on-chain.
+	history []HistoryEntry
+}
+
+// Share is one peer's binding of a shared table: the local source it is
+// derived from, the lens, and the current materialized view replica.
+type Share struct {
+	// ID is the on-chain share identifier (e.g. "D13&D31").
+	ID string
+	// SourceTable names the local source table the lens reads.
+	SourceTable string
+	// Lens derives the local view of the shared table from SourceTable.
+	Lens bx.Lens
+	// ViewName is the local name for the materialized view (the paper
+	// gives the two replicas different names, D13 vs D31).
+	ViewName string
+	// AppliedSeq is the last fully applied update sequence number.
+	AppliedSeq uint64
+
+	// opMu serializes share-level operations (ProposeUpdate,
+	// applyIncoming, Resync) against each other. Without it, a peer's
+	// optimistic replica refresh during its own proposal can race the
+	// arrival of a competing update that won the same sequence number,
+	// making the peer skip an update it must acknowledge.
+	opMu sync.Mutex
+
+	// backup holds the pre-proposal view replica while our own update is
+	// pending, so a rejection by a counterparty rolls the share back.
+	// The local source deliberately keeps the user's edit: an
+	// untranslatable edit is surfaced (history entry "rolled-back") for
+	// the user to resolve, never silently destroyed.
+	backup *shareBackup
+
+	// prev retains the previous view version so the data channel can
+	// serve row-level changesets to peers that already hold it, instead
+	// of the whole view (delta transfer; measured in experiment E8).
+	prev *shareBackup
+}
+
+// shareBackup is a (sequence, view snapshot) pair.
+type shareBackup struct {
+	seq  uint64
+	view *reldb.Table
+}
+
+// HistoryEntry records one observed share event.
+type HistoryEntry struct {
+	Time    time.Time
+	ShareID string
+	Seq     uint64
+	Kind    string
+	Cols    []string
+	From    identity.Address
+	Note    string
+}
+
+// NewPeer creates a peer and registers its data-channel handler.
+func NewPeer(cfg Config) (*Peer, error) {
+	if cfg.Identity == nil || cfg.DB == nil || cfg.Node == nil {
+		return nil, fmt.Errorf("core: identity, db and node are required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.MaxCascadeDepth <= 0 {
+		cfg.MaxCascadeDepth = 16
+	}
+	if cfg.TxTimeout <= 0 {
+		cfg.TxTimeout = 30 * time.Second
+	}
+	p := &Peer{
+		cfg:     cfg,
+		shares:  make(map[string]*Share),
+		stopped: make(chan struct{}),
+	}
+	if cfg.Transport != nil {
+		cfg.Transport.HandleRequest(p.serveDataFetch)
+		if cfg.Directory != nil {
+			cfg.Directory.Set(cfg.Identity.Address(), cfg.Transport.Name())
+		}
+	}
+	return p, nil
+}
+
+// Address returns the peer's on-chain address.
+func (p *Peer) Address() identity.Address { return p.cfg.Identity.Address() }
+
+// Name returns the identity's human-readable name.
+func (p *Peer) Name() string { return p.cfg.Identity.Name }
+
+// DB returns the peer's local database.
+func (p *Peer) DB() *reldb.Database { return p.cfg.DB }
+
+// Start launches the event-processing loop (notifications from the smart
+// contract, Fig. 4 step 4) and, if configured, the periodic resync loop.
+func (p *Peer) Start() {
+	events, cancel := p.cfg.Node.Subscribe(1024)
+	p.cancelEvents = cancel
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-p.stopped:
+				return
+			case ev, ok := <-events:
+				if !ok {
+					return
+				}
+				p.handleEvent(ev)
+			}
+		}
+	}()
+	if p.cfg.ResyncInterval > 0 {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-p.stopped:
+					return
+				case <-p.cfg.Clock.After(p.cfg.ResyncInterval):
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), p.cfg.TxTimeout)
+				if err := p.Resync(ctx); err != nil {
+					p.logf("periodic resync: %v", err)
+				}
+				cancel()
+			}
+		}()
+	}
+}
+
+// Stop halts event processing.
+func (p *Peer) Stop() {
+	p.stopOnce.Do(func() { close(p.stopped) })
+	if p.cancelEvents != nil {
+		p.cancelEvents()
+	}
+	p.wg.Wait()
+}
+
+// Restart resumes a stopped peer's loops with a fresh event subscription
+// (simulating a process coming back after an outage; updates missed while
+// down are recovered by Resync or the periodic resync loop).
+func (p *Peer) Restart() {
+	p.stopOnce = sync.Once{}
+	p.stopped = make(chan struct{})
+	p.Start()
+}
+
+func (p *Peer) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf("[%s] "+format, append([]any{p.Name()}, args...)...)
+	}
+}
+
+// share returns the binding for id.
+func (p *Peer) share(id string) (*Share, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.shares[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownShare, id)
+	}
+	return s, nil
+}
+
+// Shares lists the IDs of all bound shares.
+func (p *Peer) Shares() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.shares))
+	for id := range p.shares {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ShareInfo is a copyable snapshot of a share binding's state.
+type ShareInfo struct {
+	ID          string
+	SourceTable string
+	ViewName    string
+	AppliedSeq  uint64
+}
+
+// ShareInfo returns a snapshot of the local share binding state.
+func (p *Peer) ShareInfo(id string) (ShareInfo, error) {
+	s, err := p.share(id)
+	if err != nil {
+		return ShareInfo{}, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ShareInfo{
+		ID:          s.ID,
+		SourceTable: s.SourceTable,
+		ViewName:    s.ViewName,
+		AppliedSeq:  s.AppliedSeq,
+	}, nil
+}
+
+// Meta fetches the current on-chain metadata for a share.
+func (p *Peer) Meta(id string) (*sharereg.Meta, error) {
+	raw, err := p.cfg.Node.Query(sharereg.ContractName, sharereg.FnGet, []byte(id))
+	if err != nil {
+		return nil, err
+	}
+	return sharereg.DecodeMeta(raw)
+}
+
+// History returns the locally observed share activity log.
+func (p *Peer) History() []HistoryEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]HistoryEntry(nil), p.history...)
+}
+
+func (p *Peer) record(e HistoryEntry) {
+	e.Time = p.cfg.Clock.Now()
+	p.mu.Lock()
+	p.history = append(p.history, e)
+	p.mu.Unlock()
+}
+
+// submitAndWait submits a transaction and waits for its committed receipt,
+// translating contract failures into errors.
+func (p *Peer) submitAndWait(ctx context.Context, tx *chain.Tx) (contract.Receipt, error) {
+	if err := p.cfg.Node.SubmitTx(tx); err != nil {
+		return contract.Receipt{}, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.TxTimeout)
+	defer cancel()
+	rcpt, err := p.cfg.Node.WaitTx(ctx, tx.IDString())
+	if err != nil {
+		return contract.Receipt{}, err
+	}
+	if !rcpt.OK {
+		return rcpt, fmt.Errorf("%w: %s", ErrTxFailed, rcpt.Err)
+	}
+	return rcpt, nil
+}
+
+// buildTx signs a sharereg invocation as this peer (not as the node
+// identity — several peers may share a node).
+func (p *Peer) buildTx(fn, shareID string, arg any) (*chain.Tx, error) {
+	raw, err := json.Marshal(arg)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding %s args: %w", fn, err)
+	}
+	tx := &chain.Tx{
+		Contract:       sharereg.ContractName,
+		Fn:             fn,
+		Args:           [][]byte{raw},
+		ShareID:        shareID,
+		Nonce:          p.cfg.Node.NextNonce(),
+		TimestampMicro: p.cfg.Clock.Now().UnixMicro(),
+	}
+	tx.Sign(p.cfg.Identity)
+	return tx, nil
+}
+
+// hashHex returns the hex canonical hash of a table.
+func hashHex(t *reldb.Table) string {
+	h := t.Hash()
+	return hex.EncodeToString(h[:])
+}
+
+// snapshotTable returns an independent copy of a local table, taken under
+// the database lock. The peer's event goroutine and the user's goroutines
+// both reach tables; all cross-goroutine reads go through snapshots while
+// in-place mutation stays confined to UpdateSource's locked callback.
+func (p *Peer) snapshotTable(name string) (*reldb.Table, error) {
+	var out *reldb.Table
+	err := p.cfg.DB.WithTable(name, func(t *reldb.Table) error {
+		out = t.Clone()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

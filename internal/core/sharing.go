@@ -1,0 +1,409 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"medshare/internal/bx"
+	"medshare/internal/contract/sharereg"
+	"medshare/internal/identity"
+	"medshare/internal/reldb"
+)
+
+// RegisterShareArgs describes a new share from the initiating peer's point
+// of view (Section III-C2: the initiator deploys the metadata "according
+// to their agreement").
+type RegisterShareArgs struct {
+	// ID is the network-wide share identifier (e.g. "D13&D31").
+	ID string
+	// SourceTable is the initiator's local source table.
+	SourceTable string
+	// Lens derives the initiator's replica of the shared view.
+	Lens bx.Lens
+	// ViewName is the initiator's local name for the view (e.g. "D31").
+	ViewName string
+	// Peers are all sharing peers, including the initiator.
+	Peers []identity.Address
+	// WritePerm maps shared attributes to allowed writers (Fig. 3). An
+	// attribute missing from the map is read-only for everyone.
+	WritePerm map[string][]identity.Address
+	// Authority may change permissions later; zero means the initiator.
+	Authority identity.Address
+}
+
+// RegisterShare derives the initial view, registers the share metadata on
+// the blockchain, and binds the share locally. It returns once the
+// registration transaction commits.
+func (p *Peer) RegisterShare(ctx context.Context, a RegisterShareArgs) error {
+	src, err := p.snapshotTable(a.SourceTable)
+	if err != nil {
+		return err
+	}
+	view, err := a.Lens.Get(src)
+	if err != nil {
+		return fmt.Errorf("core: deriving initial view for %s: %w", a.ID, err)
+	}
+	spec, err := a.Lens.Spec().Marshal()
+	if err != nil {
+		return fmt.Errorf("core: encoding lens spec for %s: %w", a.ID, err)
+	}
+	cols := view.Schema().ColumnNames()
+	ra := sharereg.RegisterArgs{
+		ID:        a.ID,
+		Peers:     a.Peers,
+		Authority: a.Authority,
+		Columns:   cols,
+		WritePerm: a.WritePerm,
+		LensSpec:  spec,
+	}
+	tx, err := p.buildTx(sharereg.FnRegister, a.ID, ra)
+	if err != nil {
+		return err
+	}
+	if _, err := p.submitAndWait(ctx, tx); err != nil {
+		return fmt.Errorf("core: registering %s: %w", a.ID, err)
+	}
+	viewName := a.ViewName
+	if viewName == "" {
+		viewName = a.ID
+	}
+	p.cfg.DB.PutTable(view.Renamed(viewName))
+	p.mu.Lock()
+	p.shares[a.ID] = &Share{
+		ID:          a.ID,
+		SourceTable: a.SourceTable,
+		Lens:        a.Lens,
+		ViewName:    viewName,
+	}
+	p.mu.Unlock()
+	p.record(HistoryEntry{ShareID: a.ID, Kind: "register", Note: "registered on-chain"})
+	p.logf("registered share %s (view %s, %d rows)", a.ID, viewName, view.Len())
+	return nil
+}
+
+// AttachShare binds an already-registered share on a counterparty peer:
+// the peer declares which local source table and lens realize its replica
+// of the shared view. The local view is materialized via get and must
+// agree with the on-chain state (seq 0 at registration, or the provider's
+// current data after updates — use SyncFromCounterparty to catch up).
+func (p *Peer) AttachShare(id, sourceTable string, lens bx.Lens, viewName string) error {
+	meta, err := p.Meta(id)
+	if err != nil {
+		return err
+	}
+	if !metaHasPeer(meta, p.Address()) {
+		return fmt.Errorf("%w: %s is not a peer of %s", ErrNotAuthorized, p.Address(), id)
+	}
+	src, err := p.snapshotTable(sourceTable)
+	if err != nil {
+		return err
+	}
+	view, err := lens.Get(src)
+	if err != nil {
+		return fmt.Errorf("core: deriving view for %s: %w", id, err)
+	}
+	if viewName == "" {
+		viewName = id
+	}
+	p.mu.Lock()
+	if _, dup := p.shares[id]; dup {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrShareBound, id)
+	}
+	p.shares[id] = &Share{
+		ID:          id,
+		SourceTable: sourceTable,
+		Lens:        lens,
+		ViewName:    viewName,
+		AppliedSeq:  meta.Seq,
+	}
+	p.mu.Unlock()
+	p.cfg.DB.PutTable(view.Renamed(viewName))
+	p.record(HistoryEntry{ShareID: id, Kind: "attach", Seq: meta.Seq})
+	p.logf("attached share %s (view %s, %d rows)", id, viewName, view.Len())
+	return nil
+}
+
+// View returns an independent snapshot of the current materialized
+// replica of the shared view.
+func (p *Peer) View(shareID string) (*reldb.Table, error) {
+	s, err := p.share(shareID)
+	if err != nil {
+		return nil, err
+	}
+	return p.snapshotTable(s.ViewName)
+}
+
+// Source returns an independent snapshot of a local source table. Use
+// UpdateSource to mutate.
+func (p *Peer) Source(table string) (*reldb.Table, error) {
+	return p.snapshotTable(table)
+}
+
+// UpdateSource applies a local mutation to a source table (the peer's own
+// full data; no permission needed — it is their database). It does not
+// propagate; call SyncShares or ProposeUpdate afterwards, mirroring the
+// paper's step 1 where the researcher first updates D2 locally.
+func (p *Peer) UpdateSource(table string, mutate func(*reldb.Table) error) error {
+	return p.cfg.DB.WithTable(table, mutate)
+}
+
+// ProposalResult reports a successfully admitted update proposal.
+type ProposalResult struct {
+	ShareID string
+	// Seq is the sequence number the update will finalize as.
+	Seq uint64
+	// Cols are the changed attributes.
+	Cols []string
+	// TxID is the request_update transaction.
+	TxID string
+}
+
+// ProposeUpdate regenerates the share's view from the local source (get),
+// diffs it against the current replica, and — if anything changed —
+// requests the update on-chain (Fig. 5 steps 1-2). On success the local
+// replica is refreshed and counterparties are notified via the contract
+// event; they fetch the payload from this peer over the data channel.
+//
+// ErrNoChanges is returned when the view is unaffected by the local edit;
+// callers treat it as success.
+func (p *Peer) ProposeUpdate(ctx context.Context, shareID string) (ProposalResult, error) {
+	s, err := p.share(shareID)
+	if err != nil {
+		return ProposalResult{}, err
+	}
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	src, err := p.snapshotTable(s.SourceTable)
+	if err != nil {
+		return ProposalResult{}, err
+	}
+	newView, err := s.Lens.Get(src)
+	if err != nil {
+		return ProposalResult{}, fmt.Errorf("core: get on %s: %w", shareID, err)
+	}
+	oldView, err := p.snapshotTable(s.ViewName)
+	if err != nil {
+		return ProposalResult{}, err
+	}
+	cs, err := oldView.Diff(newView)
+	if err != nil {
+		return ProposalResult{}, err
+	}
+	if cs.Empty() {
+		return ProposalResult{}, ErrNoChanges
+	}
+	colSet := cs.ChangedColumns(oldView.Schema())
+	cols := make([]string, 0, len(colSet))
+	for c := range colSet {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	kind := updateKind(cs)
+
+	p.mu.Lock()
+	baseSeq := s.AppliedSeq
+	p.mu.Unlock()
+
+	ua := sharereg.UpdateArgs{
+		ShareID:     shareID,
+		Cols:        cols,
+		PayloadHash: hashHex(newView),
+		Kind:        kind,
+		BaseSeq:     baseSeq,
+	}
+	tx, err := p.buildTx(sharereg.FnRequestUpdate, shareID, ua)
+	if err != nil {
+		return ProposalResult{}, err
+	}
+
+	// Refresh the replica and advance the applied sequence *before* the
+	// request commits: the contract event may reach counterparties in the
+	// same instant the block lands, and their fetch must already see the
+	// new payload. The pre-proposal state is kept as a rollback point for
+	// a contract denial or a counterparty rejection.
+	p.cfg.DB.PutTable(newView.Renamed(s.ViewName))
+	p.mu.Lock()
+	s.backup = &shareBackup{seq: baseSeq, view: oldView.Clone()}
+	s.prev = &shareBackup{seq: baseSeq, view: oldView.Clone()}
+	s.AppliedSeq = baseSeq + 1
+	p.mu.Unlock()
+
+	if _, err := p.submitAndWait(ctx, tx); err != nil {
+		// Denied (permission, pending gate, stale base): roll back.
+		p.mu.Lock()
+		s.AppliedSeq = baseSeq
+		s.backup = nil
+		s.prev = nil
+		p.mu.Unlock()
+		p.cfg.DB.PutTable(oldView.Renamed(s.ViewName))
+		return ProposalResult{}, fmt.Errorf("core: update on %s denied: %w", shareID, err)
+	}
+	p.record(HistoryEntry{ShareID: shareID, Seq: baseSeq + 1, Kind: kind, Cols: cols, From: p.Address()})
+	p.logf("proposed update on %s seq %d (cols %v)", shareID, baseSeq+1, cols)
+	return ProposalResult{ShareID: shareID, Seq: baseSeq + 1, Cols: cols, TxID: tx.IDString()}, nil
+}
+
+// SyncShares runs ProposeUpdate on every share derived from the given
+// source table, returning the successful proposals. Shares whose views are
+// unaffected are skipped.
+func (p *Peer) SyncShares(ctx context.Context, sourceTable string) ([]ProposalResult, error) {
+	p.mu.Lock()
+	var ids []string
+	for id, s := range p.shares {
+		if s.SourceTable == sourceTable {
+			ids = append(ids, id)
+		}
+	}
+	p.mu.Unlock()
+	sort.Strings(ids)
+	var out []ProposalResult
+	for _, id := range ids {
+		res, err := p.ProposeUpdate(ctx, id)
+		if err == ErrNoChanges {
+			continue
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// UpdateView edits the shared view directly (entry-level CRUD of Fig. 4 on
+// the shared table) and immediately embeds the edit into the local source
+// via put before proposing — so source and view never diverge locally.
+func (p *Peer) UpdateView(ctx context.Context, shareID string, mutate func(*reldb.Table) error) (ProposalResult, error) {
+	s, err := p.share(shareID)
+	if err != nil {
+		return ProposalResult{}, err
+	}
+	view, err := p.snapshotTable(s.ViewName)
+	if err != nil {
+		return ProposalResult{}, err
+	}
+	edited := view.Clone()
+	if err := mutate(edited); err != nil {
+		return ProposalResult{}, err
+	}
+	src, err := p.snapshotTable(s.SourceTable)
+	if err != nil {
+		return ProposalResult{}, err
+	}
+	newSrc, err := s.Lens.Put(src, edited)
+	if err != nil {
+		return ProposalResult{}, fmt.Errorf("core: put on %s: %w", shareID, err)
+	}
+	p.cfg.DB.PutTable(newSrc.Renamed(s.SourceTable))
+	return p.ProposeUpdate(ctx, shareID)
+}
+
+// WaitForShare blocks until the share's metadata is visible on this
+// peer's node. Registration commits on the initiator's node first; peers
+// attached to other nodes see it after the block gossips over.
+func (p *Peer) WaitForShare(ctx context.Context, shareID string) (*sharereg.Meta, error) {
+	for {
+		meta, err := p.Meta(shareID)
+		if err == nil {
+			return meta, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("core: waiting for share %s: %w", shareID, ctx.Err())
+		case <-p.cfg.Clock.After(pollInterval):
+		}
+	}
+}
+
+// WaitFinal blocks until the share's on-chain sequence reaches seq (all
+// peers acknowledged — the paper's gate for further operations).
+func (p *Peer) WaitFinal(ctx context.Context, shareID string, seq uint64) error {
+	for {
+		meta, err := p.Meta(shareID)
+		if err != nil {
+			return err
+		}
+		if meta.Seq >= seq {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: waiting for %s seq %d: %w", shareID, seq, ctx.Err())
+		case <-p.cfg.Clock.After(pollInterval):
+		}
+	}
+}
+
+// SetPermission changes the allowed writers for one attribute. The caller
+// must hold the share's authority (Fig. 3 "Authority to change
+// permission").
+func (p *Peer) SetPermission(ctx context.Context, shareID, column string, writers []identity.Address) error {
+	tx, err := p.buildTx(sharereg.FnSetPermission, shareID, sharereg.PermissionArgs{
+		ShareID: shareID, Column: column, Writers: writers,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = p.submitAndWait(ctx, tx)
+	return err
+}
+
+// TransferAuthority assigns the permission-changing authority to another
+// sharing peer.
+func (p *Peer) TransferAuthority(ctx context.Context, shareID string, to identity.Address) error {
+	tx, err := p.buildTx(sharereg.FnSetAuthority, shareID, sharereg.AuthorityArgs{
+		ShareID: shareID, Authority: to,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = p.submitAndWait(ctx, tx)
+	return err
+}
+
+// RemoveShare deletes the share's on-chain metadata (table-level Delete of
+// Fig. 4) and drops the local binding. Only the owner may remove.
+func (p *Peer) RemoveShare(ctx context.Context, shareID string) error {
+	tx, err := p.buildTx(sharereg.FnRemove, shareID, nil)
+	if err != nil {
+		return err
+	}
+	tx.Args = [][]byte{[]byte(shareID)}
+	tx.Sign(p.cfg.Identity)
+	if _, err := p.submitAndWait(ctx, tx); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	s, ok := p.shares[shareID]
+	delete(p.shares, shareID)
+	p.mu.Unlock()
+	if ok {
+		_ = p.cfg.DB.Drop(s.ViewName)
+	}
+	p.record(HistoryEntry{ShareID: shareID, Kind: "remove"})
+	return nil
+}
+
+func metaHasPeer(m *sharereg.Meta, addr identity.Address) bool {
+	for _, a := range m.Peers {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func updateKind(cs reldb.Changeset) string {
+	switch {
+	case len(cs.Updated) > 0 && len(cs.Inserted) == 0 && len(cs.Deleted) == 0:
+		return "update"
+	case len(cs.Inserted) > 0 && len(cs.Updated) == 0 && len(cs.Deleted) == 0:
+		return "create"
+	case len(cs.Deleted) > 0 && len(cs.Updated) == 0 && len(cs.Inserted) == 0:
+		return "delete"
+	default:
+		return "table"
+	}
+}

@@ -1,0 +1,139 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestRootEmpty(t *testing.T) {
+	if Root(nil) != (Hash{}) {
+		t.Fatal("empty tree should have zero root")
+	}
+}
+
+func TestRootSingleLeaf(t *testing.T) {
+	l := [][]byte{[]byte("only")}
+	if Root(l) != HashLeaf([]byte("only")) {
+		t.Fatal("single-leaf root should be the leaf hash")
+	}
+}
+
+func TestRootDeterministic(t *testing.T) {
+	a := Root(leaves(7))
+	b := Root(leaves(7))
+	if a != b {
+		t.Fatal("root not deterministic")
+	}
+}
+
+func TestRootSensitiveToContentAndOrder(t *testing.T) {
+	base := Root(leaves(4))
+	mod := leaves(4)
+	mod[2] = []byte("tampered")
+	if Root(mod) == base {
+		t.Fatal("root insensitive to leaf change")
+	}
+	swapped := leaves(4)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if Root(swapped) == base {
+		t.Fatal("root insensitive to leaf order")
+	}
+}
+
+func TestLeafNodeDomainSeparation(t *testing.T) {
+	// An interior node's children concatenation must not be confusable
+	// with a leaf: HashLeaf(x) != HashNode split of the same bytes.
+	a, b := HashLeaf([]byte("a")), HashLeaf([]byte("b"))
+	joined := append(append([]byte{}, a[:]...), b[:]...)
+	if HashLeaf(joined) == HashNode(a, b) {
+		t.Fatal("no domain separation between leaves and nodes")
+	}
+}
+
+func TestProveVerifyAllSizes(t *testing.T) {
+	for n := 1; n <= 17; n++ {
+		ls := leaves(n)
+		root := Root(ls)
+		for i := 0; i < n; i++ {
+			proof, err := Prove(ls, i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if !Verify(root, ls[i], proof) {
+				t.Fatalf("n=%d i=%d: proof rejected", n, i)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLeaf(t *testing.T) {
+	ls := leaves(8)
+	root := Root(ls)
+	proof, _ := Prove(ls, 3)
+	if Verify(root, []byte("forged"), proof) {
+		t.Fatal("forged leaf verified")
+	}
+}
+
+func TestVerifyRejectsWrongProof(t *testing.T) {
+	ls := leaves(8)
+	root := Root(ls)
+	proof, _ := Prove(ls, 3)
+	if len(proof.Steps) == 0 {
+		t.Fatal("expected steps")
+	}
+	proof.Steps[0].Sibling[0] ^= 1
+	if Verify(root, ls[3], proof) {
+		t.Fatal("corrupted proof verified")
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	ls := leaves(5)
+	proof, _ := Prove(ls, 0)
+	var wrong Hash
+	wrong[0] = 1
+	if Verify(wrong, ls[0], proof) {
+		t.Fatal("wrong root verified")
+	}
+}
+
+func TestProveBadIndex(t *testing.T) {
+	ls := leaves(3)
+	if _, err := Prove(ls, -1); !errors.Is(err, ErrBadIndex) {
+		t.Fatal(err)
+	}
+	if _, err := Prove(ls, 3); !errors.Is(err, ErrBadIndex) {
+		t.Fatal(err)
+	}
+}
+
+func TestProveVerifyQuick(t *testing.T) {
+	f := func(seed uint8, extra []byte) bool {
+		n := int(seed%31) + 1
+		ls := leaves(n)
+		if len(extra) > 0 {
+			ls[int(seed)%n] = extra
+		}
+		root := Root(ls)
+		idx := int(seed) % n
+		proof, err := Prove(ls, idx)
+		if err != nil {
+			return false
+		}
+		return Verify(root, ls[idx], proof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

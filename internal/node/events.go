@@ -1,0 +1,54 @@
+package node
+
+import (
+	"sync"
+
+	"medshare/internal/contract"
+)
+
+// eventBus fans committed contract events out to subscribers. Delivery is
+// at-least-once (reorganizations may replay events) and lossy for slow
+// subscribers: a subscriber whose buffer is full misses events rather than
+// stalling consensus. The sharing layer is built to resynchronize from
+// contract state, so missed notifications are recoverable.
+type eventBus struct {
+	mu   sync.Mutex
+	subs map[int]chan contract.Event
+	next int
+}
+
+func newEventBus() *eventBus {
+	return &eventBus{subs: make(map[int]chan contract.Event)}
+}
+
+func (b *eventBus) subscribe(buffer int) (<-chan contract.Event, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan contract.Event, buffer)
+	b.mu.Lock()
+	id := b.next
+	b.next++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+func (b *eventBus) publish(ev contract.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // drop for slow subscriber
+		}
+	}
+}

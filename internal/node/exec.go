@@ -1,0 +1,150 @@
+package node
+
+import (
+	"fmt"
+
+	"medshare/internal/chain"
+	"medshare/internal/contract"
+	"medshare/internal/statedb"
+)
+
+// executeOn runs every transaction of a block against the given state,
+// committing each successful transaction's write set at its (height, index)
+// version. Failed transactions (contract error or MVCC conflict) commit
+// nothing but still produce receipts. When sink is non-nil it receives
+// each receipt (indexed by tx position).
+func (n *Node) executeOn(state *statedb.Store, b *chain.Block, sink func(i int, r contract.Receipt)) {
+	for i, tx := range b.Txs {
+		rcpt := contract.Execute(n.cfg.Registry, state, tx, b.Header.Height, b.Header.TimestampMicro)
+		if rcpt.OK {
+			if err := state.Validate(rcpt.Reads); err != nil {
+				rcpt.OK = false
+				rcpt.Err = err.Error()
+				rcpt.Events = nil
+				rcpt.Writes = nil
+			} else {
+				state.Commit(rcpt.Writes, statedb.Version{Height: b.Header.Height, TxIndex: i})
+			}
+		}
+		if sink != nil {
+			sink(i, rcpt)
+		}
+	}
+}
+
+// cloneState copies the live world state into a fresh store. Block
+// production executes against the clone so a failed seal leaves the node
+// untouched.
+func (n *Node) cloneState() *statedb.Store {
+	out := statedb.NewStore()
+	replayInto(out, n.state)
+	return out
+}
+
+func replayInto(dst, src *statedb.Store) {
+	// Copy preserving versions: read every key with its version and commit
+	// individually. The statedb API is version-faithful, so the clone's
+	// root matches the source's.
+	type kv struct {
+		k   string
+		v   []byte
+		ver statedb.Version
+	}
+	var all []kv
+	src.Range("", func(k string, v []byte) bool {
+		_, ver, _ := src.Get(k)
+		all = append(all, kv{k, v, ver})
+		return true
+	})
+	for _, e := range all {
+		dst.Commit(statedb.WriteSet{e.k: e.v}, e.ver)
+	}
+}
+
+// commitBlock adds a locally produced or received block to the store and,
+// if it extends (or reorganizes) the main chain, executes it against the
+// live state, records receipts, fulfils waiters, and publishes events.
+func (n *Node) commitBlock(b *chain.Block) error {
+	if err := n.cfg.Engine.VerifyHeader(&b.Header); err != nil {
+		return err
+	}
+	oldHead := n.store.Head()
+	if b.Header.PrevHash == oldHead.Hash() {
+		// Pre-validate the declared state root on a throwaway replica so a
+		// corrupt or non-deterministic block is rejected before it can
+		// poison the store.
+		staging := n.cloneState()
+		n.executeOn(staging, b, nil)
+		if got := staging.Root(); got != b.Header.StateRoot {
+			return fmt.Errorf("node: state root mismatch at height %d: got %x want %x",
+				b.Header.Height, got[:6], b.Header.StateRoot[:6])
+		}
+	}
+	headChanged, err := n.store.Add(b)
+	if err != nil {
+		return err
+	}
+	if !headChanged {
+		return nil // side branch; state untouched
+	}
+	if b.Header.PrevHash == oldHead.Hash() {
+		n.applyBlock(b)
+		return nil
+	}
+	// Reorganization: rebuild the world state from genesis along the new
+	// main chain. Receipts and events are re-derived; subscribers may see
+	// events again (documented at-least-once delivery, like Fabric).
+	n.rebuildState()
+	return nil
+}
+
+// applyBlock executes b against the live state and performs all
+// bookkeeping.
+func (n *Node) applyBlock(b *chain.Block) {
+	var receipts []contract.Receipt
+	n.executeOn(n.state, b, func(_ int, r contract.Receipt) {
+		receipts = append(receipts, r)
+	})
+	if got := n.state.Root(); got != b.Header.StateRoot {
+		// A state-root divergence means non-deterministic contract code or
+		// a corrupted block; surfaces loudly because silent divergence
+		// would break the network's trust model.
+		panic(fmt.Sprintf("node %s: state root mismatch at height %d: got %x want %x",
+			n.Address().Short(), b.Header.Height, got[:6], b.Header.StateRoot[:6]))
+	}
+
+	n.mu.Lock()
+	var committedIDs []string
+	for i, tx := range b.Txs {
+		id := tx.IDString()
+		n.committedTxs[id] = true
+		n.receipts[id] = receipts[i]
+		committedIDs = append(committedIDs, id)
+		for _, ch := range n.txWaiters[id] {
+			ch <- receipts[i]
+		}
+		delete(n.txWaiters, id)
+	}
+	n.mempool.remove(committedIDs)
+	n.mu.Unlock()
+
+	for _, r := range receipts {
+		for _, ev := range r.Events {
+			n.events.publish(ev)
+		}
+	}
+}
+
+// rebuildState replays the entire main chain from genesis.
+func (n *Node) rebuildState() {
+	n.state.Reset()
+	n.mu.Lock()
+	n.committedTxs = make(map[string]bool)
+	n.mu.Unlock()
+	for _, b := range n.store.MainChain() {
+		if b.Header.Height == 0 {
+			continue
+		}
+		n.applyBlock(b)
+	}
+}

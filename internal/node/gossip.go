@@ -1,0 +1,64 @@
+package node
+
+import (
+	"encoding/json"
+
+	"medshare/internal/chain"
+	"medshare/internal/p2p"
+)
+
+// gossipTx broadcasts a transaction to the network.
+func (n *Node) gossipTx(tx *chain.Tx) {
+	if n.cfg.Transport == nil {
+		return
+	}
+	payload, err := json.Marshal(tx)
+	if err != nil {
+		return
+	}
+	_ = n.cfg.Transport.Broadcast(p2p.Message{Kind: p2p.KindTx, Payload: payload})
+}
+
+// gossipBlock broadcasts a sealed block to the network.
+func (n *Node) gossipBlock(b *chain.Block) {
+	if n.cfg.Transport == nil {
+		return
+	}
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return
+	}
+	_ = n.cfg.Transport.Broadcast(p2p.Message{Kind: p2p.KindBlock, Payload: payload})
+}
+
+// handleGossip processes incoming network messages.
+func (n *Node) handleGossip(msg p2p.Message) {
+	switch msg.Kind {
+	case p2p.KindTx:
+		var tx chain.Tx
+		if err := json.Unmarshal(msg.Payload, &tx); err != nil {
+			return
+		}
+		if err := tx.Verify(); err != nil {
+			return
+		}
+		n.mu.Lock()
+		known := n.committedTxs[tx.IDString()]
+		if !known {
+			n.mempool.add(&tx)
+		}
+		n.mu.Unlock()
+	case p2p.KindBlock:
+		var b chain.Block
+		if err := json.Unmarshal(msg.Payload, &b); err != nil {
+			return
+		}
+		// Errors (duplicate, unknown parent, bad proof) are expected under
+		// gossip and simply ignored; the block will be refetched by sync
+		// if it mattered.
+		_ = n.commitBlock(&b)
+	}
+}
+
+// ReceiveBlock lets tests and the sync layer inject a block directly.
+func (n *Node) ReceiveBlock(b *chain.Block) error { return n.commitBlock(b) }

@@ -1,0 +1,308 @@
+// Package node ties the ledger substrates together into a running
+// blockchain node (the "Blockchain" component of Fig. 2): it keeps a
+// mempool of signed contract transactions, produces blocks under a
+// pluggable consensus engine, re-executes every committed block's
+// transactions deterministically against the versioned state store, checks
+// state-root agreement, and delivers contract events to subscribers (the
+// notifications of Fig. 4 step 4).
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"medshare/internal/chain"
+	"medshare/internal/clock"
+	"medshare/internal/consensus"
+	"medshare/internal/contract"
+	"medshare/internal/identity"
+	"medshare/internal/p2p"
+	"medshare/internal/statedb"
+)
+
+// Config configures a Node.
+type Config struct {
+	// NetworkName seeds the deterministic genesis block; all nodes of one
+	// network must agree on it.
+	NetworkName string
+	// Identity signs produced blocks (and is the default caller for
+	// locally built transactions).
+	Identity *identity.Identity
+	// Engine is the consensus engine (PoW or PoA).
+	Engine consensus.Engine
+	// Registry holds the installed contracts; identical on every node.
+	Registry *contract.Registry
+	// BlockInterval is the target time between produced blocks.
+	BlockInterval time.Duration
+	// MaxTxPerBlock bounds block size (0 means 256).
+	MaxTxPerBlock int
+	// ProduceEmptyBlocks keeps producing blocks with no transactions
+	// (like Ethereum); when false the producer skips empty rounds.
+	ProduceEmptyBlocks bool
+	// Clock abstracts time; nil means the wall clock.
+	Clock clock.Clock
+	// Transport connects the node to its network for gossip; nil runs the
+	// node standalone.
+	Transport p2p.Transport
+}
+
+// Node is a single blockchain participant.
+type Node struct {
+	cfg   Config
+	store *chain.Store
+	state *statedb.Store
+
+	mu       sync.Mutex
+	mempool  *mempool
+	receipts map[string]contract.Receipt
+	// txWaiters get closed/sent when a given tx commits.
+	txWaiters map[string][]chan contract.Receipt
+	// committedTxs prevents replay: a tx ID may commit only once.
+	committedTxs map[string]bool
+	nonce        uint64
+
+	events *eventBus
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New creates a node at genesis.
+func New(cfg Config) (*Node, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("node: consensus engine is required")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("node: contract registry is required")
+	}
+	if cfg.Identity == nil {
+		return nil, fmt.Errorf("node: identity is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.MaxTxPerBlock <= 0 {
+		cfg.MaxTxPerBlock = 256
+	}
+	if cfg.BlockInterval <= 0 {
+		cfg.BlockInterval = 50 * time.Millisecond
+	}
+	n := &Node{
+		cfg:          cfg,
+		store:        chain.NewStore(chain.Genesis(cfg.NetworkName)),
+		state:        statedb.NewStore(),
+		mempool:      newMempool(),
+		receipts:     make(map[string]contract.Receipt),
+		txWaiters:    make(map[string][]chan contract.Receipt),
+		committedTxs: make(map[string]bool),
+		events:       newEventBus(),
+		stopped:      make(chan struct{}),
+	}
+	if cfg.Transport != nil {
+		cfg.Transport.Handle(n.handleGossip)
+	}
+	return n, nil
+}
+
+// Address returns the node identity's address.
+func (n *Node) Address() identity.Address { return n.cfg.Identity.Address() }
+
+// Identity returns the node's signing identity.
+func (n *Node) Identity() *identity.Identity { return n.cfg.Identity }
+
+// Store exposes the block store (read-only use expected).
+func (n *Node) Store() *chain.Store { return n.store }
+
+// State exposes the world state (read-only use expected).
+func (n *Node) State() *statedb.Store { return n.state }
+
+// Registry returns the installed contract registry.
+func (n *Node) Registry() *contract.Registry { return n.cfg.Registry }
+
+// NextNonce returns a fresh nonce for transactions built by this node.
+func (n *Node) NextNonce() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nonce++
+	return n.nonce
+}
+
+// Start launches the block-production loop. It returns immediately; call
+// Stop (or cancel ctx) to halt.
+func (n *Node) Start(ctx context.Context) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.produceLoop(ctx)
+	}()
+}
+
+// Stop halts block production and waits for the loop to exit.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stopped) })
+	n.wg.Wait()
+}
+
+func (n *Node) produceLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-n.stopped:
+			return
+		case <-n.cfg.Clock.After(n.cfg.BlockInterval):
+		}
+		if err := n.TryProduce(ctx); err != nil &&
+			err != errNotOurTurn && err != errNothingToDo {
+			// Production errors are not fatal; the next round retries.
+			continue
+		}
+	}
+}
+
+var (
+	errNotOurTurn   = fmt.Errorf("node: not our turn to propose")
+	errNothingToDo  = fmt.Errorf("node: no transactions to include")
+	errStaleProduce = fmt.Errorf("node: head moved during production")
+)
+
+// TryProduce attempts to produce, execute, and broadcast one block on top
+// of the current head. It is also the hook tests and benchmarks use to
+// drive the chain without a timer.
+func (n *Node) TryProduce(ctx context.Context) error {
+	head := n.store.Head()
+	height := head.Header.Height + 1
+	if !n.cfg.Engine.MayPropose(n.Address(), height) {
+		return errNotOurTurn
+	}
+	txs := n.pickTxs()
+	if len(txs) == 0 && !n.cfg.ProduceEmptyBlocks {
+		return errNothingToDo
+	}
+
+	b := &chain.Block{
+		Header: chain.Header{
+			Height:         height,
+			PrevHash:       head.Hash(),
+			TimestampMicro: n.cfg.Clock.Now().UnixMicro(),
+			Proposer:       n.Address(),
+		},
+		Txs: txs,
+	}
+	b.Header.TxRoot = b.ComputeTxRoot()
+	if err := n.cfg.Engine.Prepare(&b.Header); err != nil {
+		return err
+	}
+
+	// Execute against a throwaway replica to learn the post-state root
+	// without touching the live state.
+	staging := n.cloneState()
+	n.executeOn(staging, b, nil)
+	b.Header.StateRoot = staging.Root()
+
+	if err := n.cfg.Engine.Seal(ctx, b, n.cfg.Identity); err != nil {
+		return err
+	}
+	if n.store.Head().Hash() != head.Hash() {
+		// Another block landed while sealing; drop ours, txs stay pooled.
+		return errStaleProduce
+	}
+	if err := n.commitBlock(b); err != nil {
+		return err
+	}
+	n.gossipBlock(b)
+	return nil
+}
+
+// SubmitTx validates a transaction, admits it to the mempool, and gossips
+// it to the network.
+func (n *Node) SubmitTx(tx *chain.Tx) error {
+	if err := tx.Verify(); err != nil {
+		return err
+	}
+	id := tx.IDString()
+	n.mu.Lock()
+	if n.committedTxs[id] {
+		n.mu.Unlock()
+		return fmt.Errorf("node: tx %s already committed", id[:8])
+	}
+	added := n.mempool.add(tx)
+	n.mu.Unlock()
+	if added {
+		n.gossipTx(tx)
+	}
+	return nil
+}
+
+// BuildTx constructs and signs a transaction from this node's identity.
+func (n *Node) BuildTx(contractName, fn string, shareID string, args ...[]byte) *chain.Tx {
+	tx := &chain.Tx{
+		Contract:       contractName,
+		Fn:             fn,
+		Args:           args,
+		ShareID:        shareID,
+		Nonce:          n.NextNonce(),
+		TimestampMicro: n.cfg.Clock.Now().UnixMicro(),
+	}
+	tx.Sign(n.cfg.Identity)
+	return tx
+}
+
+// WaitTx blocks until the transaction commits (in a main-chain block) and
+// returns its receipt.
+func (n *Node) WaitTx(ctx context.Context, txID string) (contract.Receipt, error) {
+	n.mu.Lock()
+	if r, ok := n.receipts[txID]; ok {
+		n.mu.Unlock()
+		return r, nil
+	}
+	ch := make(chan contract.Receipt, 1)
+	n.txWaiters[txID] = append(n.txWaiters[txID], ch)
+	n.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		return contract.Receipt{}, ctx.Err()
+	case r := <-ch:
+		return r, nil
+	}
+}
+
+// Receipt returns the receipt of a committed transaction.
+func (n *Node) Receipt(txID string) (contract.Receipt, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.receipts[txID]
+	return r, ok
+}
+
+// Query runs a read-only contract invocation against the current state.
+func (n *Node) Query(contractName, fn string, args ...[]byte) ([]byte, error) {
+	return contract.Query(n.cfg.Registry, n.state, contractName, fn, n.Address(), args...)
+}
+
+// Subscribe registers an event listener; cancel releases it. Slow
+// subscribers never block the node: the channel is buffered and overflow
+// events are dropped for that subscriber.
+func (n *Node) Subscribe(buffer int) (<-chan contract.Event, func()) {
+	return n.events.subscribe(buffer)
+}
+
+// PendingTxs reports the current mempool size.
+func (n *Node) PendingTxs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mempool.len()
+}
+
+// pickTxs selects up to MaxTxPerBlock transactions, enforcing the paper's
+// rule of at most one transaction per share per block.
+func (n *Node) pickTxs() []*chain.Tx {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mempool.pick(n.cfg.MaxTxPerBlock, func(tx *chain.Tx) bool {
+		return !n.committedTxs[tx.IDString()]
+	})
+}

@@ -1,0 +1,291 @@
+package p2p
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport implements Transport over TCP with length-delimited JSON
+// frames. cmd/medshared uses it to run real multi-process deployments;
+// the interface is identical to the in-memory simulator, so the node and
+// peer layers do not know which one they run on.
+//
+// Connections are dialed per message: at the metadata-only message rates
+// of this system (the chain carries hashes, not medical data) connection
+// reuse is not worth the state machine. Peers are registered statically
+// with AddPeer (discovery is out of scope, as in the paper).
+type TCPTransport struct {
+	name string
+	ln   net.Listener
+
+	mu     sync.RWMutex
+	peers  map[string]string // endpoint name -> host:port
+	h      Handler
+	rh     RequestHandler
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// frame is one wire message.
+type frame struct {
+	// Type is "msg" (one-way), "req", "resp", or "err".
+	Type string `json:"type"`
+	// Msg is the payload for msg/req/resp frames.
+	Msg Message `json:"msg"`
+	// Error carries the handler error for err frames.
+	Error string `json:"error,omitempty"`
+}
+
+// NewTCPTransport binds a listener on addr (e.g. "127.0.0.1:0") and
+// starts serving incoming frames.
+func NewTCPTransport(name, addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listening on %s: %w", addr, err)
+	}
+	t := &TCPTransport{name: name, ln: ln, peers: make(map[string]string)}
+	t.wg.Add(1)
+	go t.serve()
+	return t, nil
+}
+
+// Name implements Transport.
+func (t *TCPTransport) Name() string { return t.name }
+
+// Addr returns the bound listen address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// AddPeer registers a remote endpoint's address.
+func (t *TCPTransport) AddPeer(name, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[name] = addr
+}
+
+// Handle implements Transport.
+func (t *TCPTransport) Handle(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.h = h
+}
+
+// HandleRequest implements Transport.
+func (t *TCPTransport) HandleRequest(h RequestHandler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rh = h
+}
+
+// Peers implements Transport.
+func (t *TCPTransport) Peers() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.peers))
+	for name := range t.peers {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPTransport) lookup(name string) (string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return "", ErrClosed
+	}
+	addr, ok := t.peers[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownEndpoint, name)
+	}
+	return addr, nil
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(to string, msg Message) error {
+	addr, err := t.lookup(to)
+	if err != nil {
+		return err
+	}
+	msg.From = t.name
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("p2p: dialing %s: %w", to, err)
+	}
+	defer conn.Close()
+	return writeFrame(conn, frame{Type: "msg", Msg: msg})
+}
+
+// Broadcast implements Transport.
+func (t *TCPTransport) Broadcast(msg Message) error {
+	var firstErr error
+	for _, name := range t.Peers() {
+		if err := t.Send(name, msg); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Request implements Transport.
+func (t *TCPTransport) Request(ctx context.Context, to string, msg Message) (Message, error) {
+	addr, err := t.lookup(to)
+	if err != nil {
+		return Message{}, err
+	}
+	msg.From = t.name
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return Message{}, fmt.Errorf("p2p: dialing %s: %w", to, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	if err := writeFrame(conn, frame{Type: "req", Msg: msg}); err != nil {
+		return Message{}, err
+	}
+	resp, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return Message{}, err
+	}
+	if resp.Type == "err" {
+		return Message{}, fmt.Errorf("p2p: remote error: %s", resp.Error)
+	}
+	return resp.Msg, nil
+}
+
+// serve accepts connections until the listener closes.
+func (t *TCPTransport) serve() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.handleConn(conn)
+		}()
+	}
+}
+
+func (t *TCPTransport) handleConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	f, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return
+	}
+	switch f.Type {
+	case "msg":
+		t.mu.RLock()
+		h := t.h
+		t.mu.RUnlock()
+		if h != nil {
+			h(f.Msg)
+		}
+	case "req":
+		t.mu.RLock()
+		rh := t.rh
+		t.mu.RUnlock()
+		if rh == nil {
+			_ = writeFrame(conn, frame{Type: "err", Error: ErrNoHandler.Error()})
+			return
+		}
+		resp, err := rh(f.Msg)
+		if err != nil {
+			_ = writeFrame(conn, frame{Type: "err", Error: err.Error()})
+			return
+		}
+		_ = writeFrame(conn, frame{Type: "resp", Msg: resp})
+	}
+}
+
+// writeFrame encodes a frame as a length-prefixed JSON blob.
+func writeFrame(conn net.Conn, f frame) error {
+	raw, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	putUint64(hdr[:], uint64(len(raw)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = conn.Write(raw)
+	return err
+}
+
+// maxFrameSize bounds a frame to 64 MiB, far above any share payload this
+// system ships, but low enough to stop a hostile peer from forcing huge
+// allocations.
+const maxFrameSize = 64 << 20
+
+func readFrame(r *bufio.Reader) (frame, error) {
+	var hdr [8]byte
+	if _, err := readFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := getUint64(hdr[:])
+	if n > maxFrameSize {
+		return frame{}, fmt.Errorf("p2p: frame of %d bytes exceeds limit", n)
+	}
+	raw := make([]byte, n)
+	if _, err := readFull(r, raw); err != nil {
+		return frame{}, err
+	}
+	var f frame
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return frame{}, fmt.Errorf("p2p: bad frame: %w", err)
+	}
+	return f, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,161 @@
+package p2p
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func tcpPair(t *testing.T) (*TCPTransport, *TCPTransport) {
+	t.Helper()
+	a, err := NewTCPTransport("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPTransport("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer("b", b.Addr())
+	b.AddPeer("a", a.Addr())
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestTCPSend(t *testing.T) {
+	a, b := tcpPair(t)
+	got := make(chan Message, 1)
+	b.Handle(func(m Message) { got <- m })
+	if err := a.Send("b", Message{Kind: "tx", Payload: []byte("p")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.From != "a" || m.Kind != "tx" || string(m.Payload) != "p" {
+			t.Fatalf("message = %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("not delivered")
+	}
+}
+
+func TestTCPRequestResponse(t *testing.T) {
+	a, b := tcpPair(t)
+	b.HandleRequest(func(m Message) (Message, error) {
+		return Message{Kind: m.Kind, Payload: append([]byte("re:"), m.Payload...)}, nil
+	})
+	resp, err := a.Request(context.Background(), "b", Message{Kind: "data.fetch", Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "re:x" {
+		t.Fatalf("resp = %s", resp.Payload)
+	}
+}
+
+func TestTCPRequestRemoteError(t *testing.T) {
+	a, b := tcpPair(t)
+	b.HandleRequest(func(Message) (Message, error) {
+		return Message{}, errors.New("refused by policy")
+	})
+	_, err := a.Request(context.Background(), "b", Message{})
+	if err == nil || !strings.Contains(err.Error(), "refused by policy") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPRequestNoHandler(t *testing.T) {
+	a, _ := tcpPair(t)
+	_, err := a.Request(context.Background(), "b", Message{})
+	if err == nil || !strings.Contains(err.Error(), "no request handler") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, _ := tcpPair(t)
+	if err := a.Send("ghost", Message{}); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPBroadcast(t *testing.T) {
+	a, b := tcpPair(t)
+	c, err := NewTCPTransport("c", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a.AddPeer("c", c.Addr())
+
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	mark := func(name string) Handler {
+		return func(Message) {
+			mu.Lock()
+			seen[name] = true
+			mu.Unlock()
+		}
+	}
+	b.Handle(mark("b"))
+	c.Handle(mark("c"))
+	if err := a.Broadcast(Message{Kind: "block"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n == 2 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("seen = %v", seen)
+}
+
+func TestTCPRequestContextTimeout(t *testing.T) {
+	a, b := tcpPair(t)
+	b.HandleRequest(func(m Message) (Message, error) {
+		time.Sleep(300 * time.Millisecond)
+		return m, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Request(ctx, "b", Message{}); err == nil {
+		t.Fatal("timed-out request succeeded")
+	}
+}
+
+func TestTCPCloseStopsService(t *testing.T) {
+	a, b := tcpPair(t)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", Message{}); err == nil {
+		t.Fatal("send to closed endpoint succeeded")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	a, b := tcpPair(t)
+	b.HandleRequest(func(m Message) (Message, error) { return m, nil })
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	resp, err := a.Request(context.Background(), "b", Message{Kind: "data.fetch", Payload: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Payload) != len(big) {
+		t.Fatalf("payload truncated: %d", len(resp.Payload))
+	}
+}

@@ -1,0 +1,114 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Database is a named collection of tables with coarse-grained locking.
+// Each peer in the sharing architecture owns one Database holding its full
+// records (sources) and its materialized shared views.
+type Database struct {
+	mu     sync.RWMutex
+	name   string
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{name: name, tables: make(map[string]*Table)}
+}
+
+// Name returns the database name.
+func (d *Database) Name() string { return d.name }
+
+// CreateTable creates an empty table from the schema. It fails if a table
+// with the same name already exists.
+func (d *Database) CreateTable(schema Schema) (*Table, error) {
+	t, err := NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("reldb: table %s already exists in %s", schema.Name, d.name)
+	}
+	d.tables[schema.Name] = t
+	return t, nil
+}
+
+// PutTable installs (or replaces) a table under its schema name.
+func (d *Database) PutTable(t *Table) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tables[t.Name()] = t
+}
+
+// Table returns the named table, or an error if it does not exist. The
+// returned table is the live instance; use WithTable for guarded access in
+// concurrent contexts.
+func (d *Database) Table(name string) (*Table, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s in database %s", ErrNoSuchTable, name, d.name)
+	}
+	return t, nil
+}
+
+// Has reports whether the named table exists.
+func (d *Database) Has(name string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.tables[name]
+	return ok
+}
+
+// Drop removes the named table.
+func (d *Database) Drop(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.tables[name]; !ok {
+		return fmt.Errorf("%w: %s in database %s", ErrNoSuchTable, name, d.name)
+	}
+	delete(d.tables, name)
+	return nil
+}
+
+// TableNames returns the sorted names of all tables.
+func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WithTable runs fn while holding the database write lock, giving fn
+// exclusive access to the named table.
+func (d *Database) WithTable(name string, fn func(*Table) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %s in database %s", ErrNoSuchTable, name, d.name)
+	}
+	return fn(t)
+}
+
+// Snapshot returns a deep copy of the database.
+func (d *Database) Snapshot() *Database {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := NewDatabase(d.name)
+	for n, t := range d.tables {
+		out.tables[n] = t.Clone()
+	}
+	return out
+}

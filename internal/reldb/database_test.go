@@ -1,0 +1,133 @@
+package reldb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDatabaseCreateGetDrop(t *testing.T) {
+	db := NewDatabase("peer1")
+	if db.Name() != "peer1" {
+		t.Fatalf("name = %s", db.Name())
+	}
+	if _, err := db.CreateTable(patientSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(patientSchema()); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	tbl, err := db.Table("patients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name() != "patients" {
+		t.Fatalf("table name = %s", tbl.Name())
+	}
+	if !db.Has("patients") || db.Has("ghost") {
+		t.Fatal("Has wrong")
+	}
+	if err := db.Drop("patients"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Drop("patients"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("want ErrNoSuchTable, got %v", err)
+	}
+	if _, err := db.Table("patients"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("want ErrNoSuchTable, got %v", err)
+	}
+}
+
+func TestDatabasePutTableReplaces(t *testing.T) {
+	db := NewDatabase("d")
+	a := MustNewTable(patientSchema())
+	a.MustInsert(alice())
+	db.PutTable(a)
+	b := MustNewTable(patientSchema())
+	db.PutTable(b)
+	got, _ := db.Table("patients")
+	if got.Len() != 0 {
+		t.Fatal("PutTable did not replace")
+	}
+}
+
+func TestDatabaseTableNamesSorted(t *testing.T) {
+	db := NewDatabase("d")
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		s := patientSchema()
+		s.Name = n
+		if _, err := db.CreateTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := db.TableNames()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v", got)
+		}
+	}
+}
+
+func TestDatabaseWithTable(t *testing.T) {
+	db := NewDatabase("d")
+	if _, err := db.CreateTable(patientSchema()); err != nil {
+		t.Fatal(err)
+	}
+	err := db.WithTable("patients", func(tbl *Table) error {
+		return tbl.Insert(alice())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.Table("patients")
+	if got.Len() != 1 {
+		t.Fatal("mutation lost")
+	}
+	if err := db.WithTable("ghost", func(*Table) error { return nil }); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("want ErrNoSuchTable, got %v", err)
+	}
+}
+
+func TestDatabaseSnapshotIndependent(t *testing.T) {
+	db := NewDatabase("d")
+	tbl, _ := db.CreateTable(patientSchema())
+	tbl.MustInsert(alice())
+	snap := db.Snapshot()
+	if err := db.WithTable("patients", func(tt *Table) error {
+		return tt.Update(Row{I(1)}, map[string]Value{"age": I(99)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := snap.Table("patients")
+	got, _ := st.Get(Row{I(1)})
+	if v, _ := got[3].Int(); v != 30 {
+		t.Fatal("snapshot aliases live data")
+	}
+}
+
+func TestDatabaseConcurrentAccess(t *testing.T) {
+	db := NewDatabase("d")
+	if _, err := db.CreateTable(patientSchema()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = db.WithTable("patients", func(tbl *Table) error {
+					return tbl.Upsert(Row{I(int64(base*1000 + j)), S("p"), Null(), I(1)})
+				})
+				_, _ = db.Table("patients")
+				_ = db.TableNames()
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, _ := db.Table("patients")
+	if got.Len() != 8*50 {
+		t.Fatalf("rows = %d, want %d", got.Len(), 8*50)
+	}
+}

@@ -1,0 +1,145 @@
+package reldb
+
+import (
+	"fmt"
+)
+
+// RowChange records an update to a single row: the old and new images.
+type RowChange struct {
+	Before Row `json:"before"`
+	After  Row `json:"after"`
+}
+
+// Changeset is the difference between two versions of a table with the
+// same schema. Shares transfer changesets between peers instead of whole
+// tables when the receiving side already holds the previous version.
+type Changeset struct {
+	Inserted []Row       `json:"inserted,omitempty"`
+	Deleted  []Row       `json:"deleted,omitempty"`
+	Updated  []RowChange `json:"updated,omitempty"`
+}
+
+// Empty reports whether the changeset contains no changes.
+func (c Changeset) Empty() bool {
+	return len(c.Inserted) == 0 && len(c.Deleted) == 0 && len(c.Updated) == 0
+}
+
+// Size returns the number of row-level changes.
+func (c Changeset) Size() int {
+	return len(c.Inserted) + len(c.Deleted) + len(c.Updated)
+}
+
+// ChangedColumns returns the set of column names touched by the changeset.
+// The sharing layer uses it for attribute-level permission checks (Fig. 3)
+// and overlap analysis (Fig. 5 step 6):
+//
+//   - updates contribute exactly the differing columns;
+//   - a delete+insert pair with identical non-key values is a key rename
+//     and contributes only the key columns (renaming a medication must not
+//     demand write permission on its untouched mechanism);
+//   - unpaired inserts and deletes create or destroy whole entries and
+//     contribute every column.
+func (c Changeset) ChangedColumns(s Schema) map[string]bool {
+	out := make(map[string]bool)
+	for _, u := range c.Updated {
+		for i, col := range s.Columns {
+			if i < len(u.Before) && i < len(u.After) && !u.Before[i].Equal(u.After[i]) {
+				out[col.Name] = true
+			}
+		}
+	}
+	if len(c.Inserted) == 0 && len(c.Deleted) == 0 {
+		return out
+	}
+
+	keyIdx := make(map[int]bool, len(s.Key))
+	for _, i := range s.KeyIndexes() {
+		keyIdx[i] = true
+	}
+	nonKeySig := func(r Row) string {
+		var buf []byte
+		for i, v := range r {
+			if !keyIdx[i] {
+				buf = v.AppendCanonical(buf)
+			}
+		}
+		return string(buf)
+	}
+	// Multiset of deleted rows by their non-key content.
+	deleted := make(map[string]int, len(c.Deleted))
+	for _, r := range c.Deleted {
+		deleted[nonKeySig(r)]++
+	}
+	allCols := false
+	renames := 0
+	for _, r := range c.Inserted {
+		sig := nonKeySig(r)
+		if deleted[sig] > 0 {
+			deleted[sig]--
+			renames++
+			continue
+		}
+		allCols = true
+	}
+	for _, n := range deleted {
+		if n > 0 {
+			allCols = true
+		}
+	}
+	if renames > 0 {
+		for _, k := range s.Key {
+			out[k] = true
+		}
+	}
+	if allCols {
+		for _, col := range s.Columns {
+			out[col.Name] = true
+		}
+	}
+	return out
+}
+
+// Diff computes the changeset that transforms t into target. Rows are
+// matched by primary key. The schemas must be equal (modulo table name).
+func (t *Table) Diff(target *Table) (Changeset, error) {
+	if !t.schema.Equal(target.schema) {
+		return Changeset{}, fmt.Errorf("%w: diff between incompatible schemas %s and %s", ErrSchemaInvalid, t.schema.Name, target.schema.Name)
+	}
+	var cs Changeset
+	for _, r := range target.RowsCanonical() {
+		old, ok := t.Get(target.KeyValues(r))
+		switch {
+		case !ok:
+			cs.Inserted = append(cs.Inserted, r)
+		case !old.Equal(r):
+			cs.Updated = append(cs.Updated, RowChange{Before: old, After: r})
+		}
+	}
+	for _, r := range t.RowsCanonical() {
+		if !target.Has(t.KeyValues(r)) {
+			cs.Deleted = append(cs.Deleted, r)
+		}
+	}
+	return cs, nil
+}
+
+// Apply mutates the table by applying the changeset. Applying the result
+// of a.Diff(b) to a clone of a yields a table equal to b.
+func (t *Table) Apply(cs Changeset) error {
+	for _, r := range cs.Deleted {
+		if err := t.Delete(t.KeyValues(r)); err != nil {
+			return fmt.Errorf("apply delete: %w", err)
+		}
+	}
+	for _, u := range cs.Updated {
+		if err := t.Upsert(u.After); err != nil {
+			return fmt.Errorf("apply update: %w", err)
+		}
+	}
+	for _, r := range cs.Inserted {
+		if err := t.Insert(r); err != nil {
+			return fmt.Errorf("apply insert: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package reldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffEmpty(t *testing.T) {
+	a := newPatients(t, alice(), bob())
+	b := newPatients(t, alice(), bob())
+	cs, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Empty() || cs.Size() != 0 {
+		t.Fatalf("diff of equal tables = %+v", cs)
+	}
+}
+
+func TestDiffClassifies(t *testing.T) {
+	a := newPatients(t, alice(), bob())
+	b := newPatients(t, bob(), Row{I(3), S("carol"), Null(), I(25)})
+	if err := b.Update(Row{I(2)}, map[string]Value{"age": I(42)}); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Inserted) != 1 || len(cs.Deleted) != 1 || len(cs.Updated) != 1 {
+		t.Fatalf("diff = %+v", cs)
+	}
+	if cs.Size() != 3 {
+		t.Fatalf("size = %d", cs.Size())
+	}
+	if v, _ := cs.Updated[0].After[3].Int(); v != 42 {
+		t.Fatalf("updated after = %v", cs.Updated[0].After)
+	}
+}
+
+func TestDiffIncompatibleSchemas(t *testing.T) {
+	a := newPatients(t)
+	b := MustNewTable(visitsSchema())
+	if _, err := a.Diff(b); err == nil {
+		t.Fatal("diff across schemas should fail")
+	}
+}
+
+func TestApplyRoundTrip(t *testing.T) {
+	a := newPatients(t, alice(), bob())
+	b := newPatients(t, Row{I(3), S("carol"), Null(), I(25)}, alice())
+	if err := b.Update(Row{I(1)}, map[string]Value{"city": S("Kyoto")}); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Clone()
+	if err := c.Apply(cs); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(b) {
+		t.Fatal("apply(diff(a,b)) != b")
+	}
+}
+
+// TestApplyDiffQuick: for random table pairs, applying the diff always
+// reproduces the target.
+func TestApplyDiffQuick(t *testing.T) {
+	gen := func(rng *rand.Rand) *Table {
+		tbl := MustNewTable(patientSchema())
+		n := rng.Intn(20)
+		for i := 0; i < n; i++ {
+			id := int64(rng.Intn(30))
+			_ = tbl.Upsert(Row{
+				I(id),
+				S(fmt.Sprintf("p%d", rng.Intn(5))),
+				S(fmt.Sprintf("c%d", rng.Intn(3))),
+				I(int64(rng.Intn(100))),
+			})
+		}
+		return tbl
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := gen(rng), gen(rng)
+		cs, err := a.Diff(b)
+		if err != nil {
+			return false
+		}
+		c := a.Clone()
+		if err := c.Apply(cs); err != nil {
+			return false
+		}
+		return c.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChangedColumnsUpdates(t *testing.T) {
+	a := newPatients(t, alice())
+	b := a.Clone()
+	if err := b.Update(Row{I(1)}, map[string]Value{"age": I(31)}); err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := a.Diff(b)
+	cols := cs.ChangedColumns(a.Schema())
+	if len(cols) != 1 || !cols["age"] {
+		t.Fatalf("cols = %v", cols)
+	}
+}
+
+func TestChangedColumnsInsert(t *testing.T) {
+	a := newPatients(t, alice())
+	b := newPatients(t, alice(), bob())
+	cs, _ := a.Diff(b)
+	cols := cs.ChangedColumns(a.Schema())
+	if len(cols) != 4 {
+		t.Fatalf("insert should touch all columns, got %v", cols)
+	}
+}
+
+func TestChangedColumnsRenameDetection(t *testing.T) {
+	// Deleting key 1 and inserting key 9 with identical non-key values is
+	// a key rename: only the key column changes.
+	a := newPatients(t, alice())
+	b := newPatients(t, Row{I(9), S("alice"), S("Osaka"), I(30)})
+	cs, _ := a.Diff(b)
+	cols := cs.ChangedColumns(a.Schema())
+	if len(cols) != 1 || !cols["id"] {
+		t.Fatalf("rename should touch only the key, got %v", cols)
+	}
+}
+
+func TestChangedColumnsRenamePlusEdit(t *testing.T) {
+	// Rename with a changed non-key value is not a pure rename: all
+	// columns are (conservatively) touched.
+	a := newPatients(t, alice())
+	b := newPatients(t, Row{I(9), S("alice"), S("Kyoto"), I(30)})
+	cs, _ := a.Diff(b)
+	cols := cs.ChangedColumns(a.Schema())
+	if len(cols) != 4 {
+		t.Fatalf("rename+edit should touch all columns, got %v", cols)
+	}
+}
+
+func TestChangedColumnsMixed(t *testing.T) {
+	a := newPatients(t, alice(), bob())
+	b := a.Clone()
+	if err := b.Update(Row{I(2)}, map[string]Value{"name": S("robert")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete(Row{I(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(Row{I(9), S("alice"), S("Osaka"), I(30)}); err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := a.Diff(b)
+	cols := cs.ChangedColumns(a.Schema())
+	// rename of alice (1->9) plus name update of bob.
+	if !cols["id"] || !cols["name"] {
+		t.Fatalf("cols = %v", cols)
+	}
+	if cols["city"] || cols["age"] {
+		t.Fatalf("untouched columns reported: %v", cols)
+	}
+}

@@ -1,0 +1,205 @@
+package reldb
+
+import (
+	"fmt"
+)
+
+// Project returns a new table containing only cols, in the given order,
+// named name and keyed by key (see Schema.Project for key inference).
+// Duplicate projected rows collapse to one (set semantics); two source rows
+// that agree on the new key but disagree elsewhere are an error, because
+// such a projection is not a function of the key and cannot serve as a
+// well-behaved view.
+func (t *Table) Project(name string, cols []string, key []string) (*Table, error) {
+	ps, err := t.schema.Project(name, cols, key)
+	if err != nil {
+		return nil, err
+	}
+	out, err := NewTable(ps)
+	if err != nil {
+		return nil, err
+	}
+	srcIdx := make([]int, len(cols))
+	for i, c := range cols {
+		srcIdx[i] = t.schema.ColumnIndex(c)
+	}
+	for _, r := range t.rows {
+		pr := make(Row, len(cols))
+		for i, si := range srcIdx {
+			pr[i] = r[si]
+		}
+		if existing, ok := out.Get(out.KeyValues(pr)); ok {
+			if !existing.Equal(pr) {
+				return nil, fmt.Errorf("%w: projection %s is not functional on key %v", ErrSchemaInvalid, name, out.KeyValues(pr))
+			}
+			continue
+		}
+		if err := out.Insert(pr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Select returns a new table named name containing the rows matching pred.
+func (t *Table) Select(name string, pred Predicate) (*Table, error) {
+	out, err := NewTable(t.schema.Rename(name))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range t.rows {
+		ok, err := pred.Eval(t.schema, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if err := out.Insert(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenameColumns returns a copy of the table with columns renamed per the
+// mapping old→new. Unmapped columns keep their names.
+func (t *Table) RenameColumns(name string, mapping map[string]string) (*Table, error) {
+	ns := t.schema.Rename(name)
+	for old, nw := range mapping {
+		i := ns.ColumnIndex(old)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: %s (renaming in %s)", ErrNoSuchColumn, old, t.schema.Name)
+		}
+		ns.Columns[i].Name = nw
+	}
+	for i, k := range ns.Key {
+		if nw, ok := mapping[k]; ok {
+			ns.Key[i] = nw
+		}
+	}
+	out, err := NewTable(ns)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range t.rows {
+		if err := out.Insert(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// NaturalJoin joins t with o on their shared column names. The result
+// contains t's columns followed by o's non-shared columns; its key is the
+// union of both keys (deduplicated, t's order first). Matching is hash-based
+// on the shared columns.
+func (t *Table) NaturalJoin(name string, o *Table) (*Table, error) {
+	var shared []string
+	for _, c := range t.schema.Columns {
+		if o.schema.HasColumn(c.Name) {
+			oc := o.schema.Columns[o.schema.ColumnIndex(c.Name)]
+			if oc.Type != c.Type {
+				return nil, fmt.Errorf("%w: join column %s is %s in %s but %s in %s",
+					ErrTypeMismatch, c.Name, c.Type, t.schema.Name, oc.Type, o.schema.Name)
+			}
+			shared = append(shared, c.Name)
+		}
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("%w: natural join of %s and %s shares no columns", ErrSchemaInvalid, t.schema.Name, o.schema.Name)
+	}
+
+	ns := Schema{Name: name}
+	ns.Columns = append(ns.Columns, t.schema.Columns...)
+	var extra []string
+	for _, c := range o.schema.Columns {
+		if !t.schema.HasColumn(c.Name) {
+			ns.Columns = append(ns.Columns, c)
+			extra = append(extra, c.Name)
+		}
+	}
+	for _, k := range t.schema.Key {
+		ns.Key = append(ns.Key, k)
+	}
+	for _, k := range o.schema.Key {
+		if !contains(ns.Key, k) {
+			ns.Key = append(ns.Key, k)
+		}
+	}
+	out, err := NewTable(ns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hash o's rows by the shared-column tuple.
+	oShared := make([]int, len(shared))
+	for i, c := range shared {
+		oShared[i] = o.schema.ColumnIndex(c)
+	}
+	buckets := make(map[string][]Row)
+	for _, r := range o.rows {
+		kt := make(Row, len(oShared))
+		for i, j := range oShared {
+			kt[i] = r[j]
+		}
+		ks := encodeKey(kt)
+		buckets[ks] = append(buckets[ks], r)
+	}
+
+	tShared := make([]int, len(shared))
+	for i, c := range shared {
+		tShared[i] = t.schema.ColumnIndex(c)
+	}
+	oExtra := make([]int, len(extra))
+	for i, c := range extra {
+		oExtra[i] = o.schema.ColumnIndex(c)
+	}
+	for _, r := range t.rows {
+		kt := make(Row, len(tShared))
+		for i, j := range tShared {
+			kt[i] = r[j]
+		}
+		for _, or := range buckets[encodeKey(kt)] {
+			joined := make(Row, 0, len(ns.Columns))
+			joined = append(joined, r...)
+			for _, j := range oExtra {
+				joined = append(joined, or[j])
+			}
+			if err := out.Upsert(joined); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// OrderBy returns the rows sorted by the given columns (ascending). It does
+// not modify the table.
+func (t *Table) OrderBy(cols ...string) ([]Row, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := t.schema.ColumnIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("%w: %s (order by)", ErrNoSuchColumn, c)
+		}
+		idx[i] = j
+	}
+	out := t.Rows()
+	// Insertion sort keeps this dependency-free and stable; result sets in
+	// this system are small per table.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && lessRows(out[j], out[j-1], idx); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+func lessRows(a, b Row, idx []int) bool {
+	for _, i := range idx {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}

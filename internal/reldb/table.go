@@ -1,0 +1,341 @@
+package reldb
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+)
+
+// Table is an in-memory relation: a schema plus rows indexed by primary
+// key. Rows are kept in insertion order; canonical (key-sorted) order is
+// used for hashing and equality so two tables with the same contents are
+// identical regardless of mutation history.
+//
+// Table is not safe for concurrent use; Database serializes access.
+type Table struct {
+	schema Schema
+	rows   []Row
+	// index maps canonical key encodings to positions in rows.
+	index map[string]int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	return &Table{
+		schema: schema.Clone(),
+		index:  make(map[string]int),
+	}, nil
+}
+
+// MustNewTable is NewTable that panics on invalid schemas; intended for
+// statically known schemas in tests and examples.
+func MustNewTable(schema Schema) *Table {
+	t, err := NewTable(schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns a copy of the table's schema.
+func (t *Table) Schema() Schema { return t.schema.Clone() }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// keyOf extracts the canonical key encoding from a full row.
+func (t *Table) keyOf(r Row) string {
+	var buf []byte
+	for _, i := range t.schema.KeyIndexes() {
+		buf = r[i].AppendCanonical(buf)
+	}
+	return string(buf)
+}
+
+// KeyValues extracts the primary-key values from a full row, in key order.
+func (t *Table) KeyValues(r Row) Row {
+	idx := t.schema.KeyIndexes()
+	out := make(Row, len(idx))
+	for i, j := range idx {
+		out[i] = r[j]
+	}
+	return out
+}
+
+// encodeKey canonically encodes a key tuple (values in key order).
+func encodeKey(key Row) string {
+	var buf []byte
+	for _, v := range key {
+		buf = v.AppendCanonical(buf)
+	}
+	return string(buf)
+}
+
+// Insert adds a row. It fails if the row violates the schema or duplicates
+// an existing key. The row is cloned; the caller keeps ownership of r.
+func (t *Table) Insert(r Row) error {
+	if err := t.schema.checkRow(r); err != nil {
+		return err
+	}
+	k := t.keyOf(r)
+	if _, dup := t.index[k]; dup {
+		return fmt.Errorf("%w: table %s key %v", ErrDuplicateKey, t.schema.Name, t.KeyValues(r))
+	}
+	t.index[k] = len(t.rows)
+	t.rows = append(t.rows, r.Clone())
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for tests and fixtures.
+func (t *Table) MustInsert(r Row) {
+	if err := t.Insert(r); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns a copy of the row with the given key tuple.
+func (t *Table) Get(key Row) (Row, bool) {
+	i, ok := t.index[encodeKey(key)]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[i].Clone(), true
+}
+
+// Has reports whether a row with the given key tuple exists.
+func (t *Table) Has(key Row) bool {
+	_, ok := t.index[encodeKey(key)]
+	return ok
+}
+
+// Update modifies the non-key columns named in set for the row with the
+// given key. Attempting to set a key column is an error (delete and
+// re-insert instead, which models the relational view of key changes).
+func (t *Table) Update(key Row, set map[string]Value) error {
+	i, ok := t.index[encodeKey(key)]
+	if !ok {
+		return fmt.Errorf("%w: table %s key %v", ErrKeyNotFound, t.schema.Name, key)
+	}
+	updated := t.rows[i].Clone()
+	for col, v := range set {
+		ci := t.schema.ColumnIndex(col)
+		if ci < 0 {
+			return fmt.Errorf("%w: %s (updating %s)", ErrNoSuchColumn, col, t.schema.Name)
+		}
+		if t.schema.IsKeyColumn(col) {
+			return fmt.Errorf("%w: table %s column %s", ErrKeyImmutable, t.schema.Name, col)
+		}
+		updated[ci] = v
+	}
+	if err := t.schema.checkRow(updated); err != nil {
+		return err
+	}
+	t.rows[i] = updated
+	return nil
+}
+
+// UpdateWhere applies set to every row matching pred and reports how many
+// rows changed.
+func (t *Table) UpdateWhere(pred Predicate, set map[string]Value) (int, error) {
+	n := 0
+	for _, r := range t.Rows() {
+		ok, err := pred.Eval(t.schema, r)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			continue
+		}
+		if err := t.Update(t.KeyValues(r), set); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Delete removes the row with the given key tuple.
+func (t *Table) Delete(key Row) error {
+	ks := encodeKey(key)
+	i, ok := t.index[ks]
+	if !ok {
+		return fmt.Errorf("%w: table %s key %v", ErrKeyNotFound, t.schema.Name, key)
+	}
+	last := len(t.rows) - 1
+	if i != last {
+		t.rows[i] = t.rows[last]
+		t.index[t.keyOf(t.rows[i])] = i
+	}
+	t.rows = t.rows[:last]
+	delete(t.index, ks)
+	return nil
+}
+
+// DeleteWhere removes every row matching pred and reports how many were
+// removed.
+func (t *Table) DeleteWhere(pred Predicate) (int, error) {
+	n := 0
+	for _, r := range t.Rows() {
+		ok, err := pred.Eval(t.schema, r)
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			if err := t.Delete(t.KeyValues(r)); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Upsert inserts the row, or replaces the existing row with the same key.
+func (t *Table) Upsert(r Row) error {
+	if err := t.schema.checkRow(r); err != nil {
+		return err
+	}
+	k := t.keyOf(r)
+	if i, ok := t.index[k]; ok {
+		t.rows[i] = r.Clone()
+		return nil
+	}
+	t.index[k] = len(t.rows)
+	t.rows = append(t.rows, r.Clone())
+	return nil
+}
+
+// Rows returns copies of all rows in insertion order.
+func (t *Table) Rows() []Row {
+	out := make([]Row, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// RowsCanonical returns copies of all rows sorted by primary key.
+func (t *Table) RowsCanonical() []Row {
+	out := t.Rows()
+	idx := t.schema.KeyIndexes()
+	sort.Slice(out, func(a, b int) bool {
+		for _, i := range idx {
+			if c := out[a][i].Compare(out[b][i]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Scan calls fn for each row (a shared reference: fn must not mutate it)
+// until fn returns false or an error.
+func (t *Table) Scan(fn func(Row) (bool, error)) error {
+	for _, r := range t.rows {
+		cont, err := fn(r)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Value returns the value of the named column for the row with key.
+func (t *Table) Value(key Row, col string) (Value, error) {
+	r, ok := t.Get(key)
+	if !ok {
+		return Value{}, fmt.Errorf("%w: table %s key %v", ErrKeyNotFound, t.schema.Name, key)
+	}
+	ci := t.schema.ColumnIndex(col)
+	if ci < 0 {
+		return Value{}, fmt.Errorf("%w: %s", ErrNoSuchColumn, col)
+	}
+	return r[ci], nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := &Table{
+		schema: t.schema.Clone(),
+		rows:   make([]Row, len(t.rows)),
+		index:  make(map[string]int, len(t.index)),
+	}
+	for i, r := range t.rows {
+		out.rows[i] = r.Clone()
+	}
+	for k, v := range t.index {
+		out.index[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two tables have equal schemas (modulo name) and
+// identical row sets.
+func (t *Table) Equal(o *Table) bool {
+	if o == nil || !t.schema.Equal(o.schema) || len(t.rows) != len(o.rows) {
+		return false
+	}
+	a, b := t.RowsCanonical(), o.RowsCanonical()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendCanonical appends a deterministic binary encoding of the schema
+// and the key-sorted rows. The table *name* is deliberately excluded: the
+// two replicas of a shared table carry different local names (the paper's
+// D13 and D31) but must hash identically when their contents agree.
+func (t *Table) AppendCanonical(dst []byte) []byte {
+	for _, c := range t.schema.Columns {
+		dst = append(dst, []byte(c.Name)...)
+		dst = append(dst, 0, byte(c.Type))
+		if c.Nullable {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	dst = append(dst, 0)
+	for _, k := range t.schema.Key {
+		dst = append(dst, []byte(k)...)
+		dst = append(dst, 0)
+	}
+	dst = append(dst, 0)
+	for _, r := range t.RowsCanonical() {
+		dst = r.AppendCanonical(dst)
+	}
+	return dst
+}
+
+// Hash returns a SHA-256 digest of the canonical encoding. Two tables with
+// the same schema and contents hash identically, which is what the
+// sharing-layer uses to confirm that peers converged after an update.
+func (t *Table) Hash() [32]byte {
+	return sha256.Sum256(t.AppendCanonical(nil))
+}
+
+// Renamed returns a deep copy of the table under a different name. Peers
+// use it to store an incoming shared payload under their local view name.
+func (t *Table) Renamed(name string) *Table {
+	out := t.Clone()
+	out.schema.Name = name
+	return out
+}
+
+// String renders a compact single-line description for logs.
+func (t *Table) String() string {
+	return fmt.Sprintf("table %s (%d cols, %d rows)", t.schema.Name, len(t.schema.Columns), len(t.rows))
+}

@@ -1,0 +1,199 @@
+package reldb
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := S("hi"); v.Kind() != KindString {
+		t.Fatalf("kind = %v", v.Kind())
+	} else if s, ok := v.Str(); !ok || s != "hi" {
+		t.Fatalf("Str = %q, %v", s, ok)
+	}
+	if v := I(-42); v.Kind() != KindInt {
+		t.Fatalf("kind = %v", v.Kind())
+	} else if i, ok := v.Int(); !ok || i != -42 {
+		t.Fatalf("Int = %d, %v", i, ok)
+	}
+	if v := F(2.5); v.Kind() != KindFloat {
+		t.Fatalf("kind = %v", v.Kind())
+	} else if f, ok := v.Float(); !ok || f != 2.5 {
+		t.Fatalf("Float = %g, %v", f, ok)
+	}
+	if v := B(true); v.Kind() != KindBool {
+		t.Fatalf("kind = %v", v.Kind())
+	} else if b, ok := v.Bool(); !ok || !b {
+		t.Fatalf("Bool = %v, %v", b, ok)
+	}
+	now := time.Now()
+	if v := T(now); v.Kind() != KindTime {
+		t.Fatalf("kind = %v", v.Kind())
+	} else if tt, ok := v.Time(); !ok || !tt.Equal(now.UTC().Truncate(time.Microsecond)) {
+		t.Fatalf("Time = %v, %v", tt, ok)
+	}
+	if !Null().IsNull() {
+		t.Fatal("Null not null")
+	}
+}
+
+func TestValueAccessorWrongKind(t *testing.T) {
+	if _, ok := S("x").Int(); ok {
+		t.Fatal("Int on string should fail")
+	}
+	if _, ok := I(1).Str(); ok {
+		t.Fatal("Str on int should fail")
+	}
+	if _, ok := Null().Bool(); ok {
+		t.Fatal("Bool on null should fail")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{S("a"), S("a"), true},
+		{S("a"), S("b"), false},
+		{I(1), I(1), true},
+		{I(1), F(1), false}, // kinds differ
+		{F(math.NaN()), F(math.NaN()), true},
+		{B(true), B(true), true},
+		{Null(), Null(), true},
+		{Null(), S(""), false},
+		{T(time.Unix(5, 0)), T(time.Unix(5, 0)), true},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareOrders(t *testing.T) {
+	if I(1).Compare(I(2)) >= 0 {
+		t.Fatal("1 < 2 expected")
+	}
+	if S("b").Compare(S("a")) <= 0 {
+		t.Fatal("b > a expected")
+	}
+	if B(false).Compare(B(true)) >= 0 {
+		t.Fatal("false < true expected")
+	}
+	if T(time.Unix(1, 0)).Compare(T(time.Unix(2, 0))) >= 0 {
+		t.Fatal("earlier < later expected")
+	}
+	// Cross-kind: ordered by kind tag.
+	if Null().Compare(S("")) >= 0 {
+		t.Fatal("null sorts lowest")
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return I(a).Compare(I(b)) == -I(b).Compare(I(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	vals := []Value{
+		S("hello"), S(""), I(0), I(-9e15), F(3.14159), F(-0.0), B(true),
+		B(false), Null(), T(time.Date(2019, 4, 24, 12, 0, 0, 0, time.UTC)),
+	}
+	for _, v := range vals {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if !v.Equal(back) {
+			t.Fatalf("round trip %v -> %s -> %v", v, raw, back)
+		}
+	}
+}
+
+func TestValueJSONRejectsGarbage(t *testing.T) {
+	for _, raw := range []string{
+		`{"k":"int","v":"notanint"}`,
+		`{"k":"float","v":"x"}`,
+		`{"k":"bool","v":"maybe"}`,
+		`{"k":"time","v":"yesterday"}`,
+		`{"k":"alien","v":"1"}`,
+	} {
+		var v Value
+		if err := json.Unmarshal([]byte(raw), &v); err == nil {
+			t.Errorf("unmarshal %s should fail", raw)
+		}
+	}
+}
+
+func TestCanonicalEncodingInjective(t *testing.T) {
+	// Distinct values must never share a canonical encoding; this is what
+	// keeps key indexing and hashing sound.
+	vals := []Value{
+		S("a"), S("ab"), S(""), I(0), I(1), F(0), F(1), B(false), B(true),
+		Null(), T(time.Unix(0, 0)), I(97) /* 'a' */, S("\x00"), S("0"),
+	}
+	seen := make(map[string]Value)
+	for _, v := range vals {
+		enc := string(v.AppendCanonical(nil))
+		if prev, dup := seen[enc]; dup {
+			t.Fatalf("encoding collision between %v and %v", prev, v)
+		}
+		seen[enc] = v
+	}
+}
+
+func TestCanonicalEncodingQuickStrings(t *testing.T) {
+	f := func(a, b string) bool {
+		ea := string(S(a).AppendCanonical(nil))
+		eb := string(S(b).AppendCanonical(nil))
+		return (a == b) == (ea == eb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowCloneIndependent(t *testing.T) {
+	r := Row{I(1), S("x")}
+	c := r.Clone()
+	c[1] = S("y")
+	if s, _ := r[1].Str(); s != "x" {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestRowEqual(t *testing.T) {
+	if !(Row{I(1), S("a")}).Equal(Row{I(1), S("a")}) {
+		t.Fatal("equal rows not equal")
+	}
+	if (Row{I(1)}).Equal(Row{I(1), I(2)}) {
+		t.Fatal("different arity equal")
+	}
+	if (Row{I(1)}).Equal(Row{I(2)}) {
+		t.Fatal("different values equal")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindNull, KindString, KindInt, KindFloat, KindBool, KindTime} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("sandwich"); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}

@@ -1,0 +1,209 @@
+package medshare
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"medshare/internal/clock"
+	"medshare/internal/consensus"
+	"medshare/internal/contract"
+	"medshare/internal/contract/sharereg"
+	"medshare/internal/core"
+	"medshare/internal/identity"
+	"medshare/internal/node"
+	"medshare/internal/p2p"
+	"medshare/internal/reldb"
+)
+
+// Consensus engine names for NetworkConfig.
+const (
+	ConsensusPoA = "poa"
+	ConsensusPoW = "pow"
+)
+
+// NetworkConfig describes an in-process medshare network: blockchain
+// nodes, the consensus engine, and the simulated data channel.
+type NetworkConfig struct {
+	// Name seeds the genesis block. Defaults to "medshare".
+	Name string
+	// Nodes is the number of blockchain nodes (default 1).
+	Nodes int
+	// Consensus selects ConsensusPoA (default) or ConsensusPoW.
+	Consensus string
+	// PoWDifficulty is the leading-zero-bit target under PoW (default 8).
+	PoWDifficulty uint8
+	// Miners is how many nodes mine under PoW (default 1; the rest
+	// validate).
+	Miners int
+	// BlockInterval is the block production period (default 5ms —
+	// private-chain speed; E6 sweeps this up to Ethereum's 12 s).
+	BlockInterval time.Duration
+	// MaxTxPerBlock bounds block size (default 256).
+	MaxTxPerBlock int
+	// Latency and Jitter configure the simulated network's one-way delay.
+	Latency, Jitter time.Duration
+	// DropRate is the one-way gossip loss probability.
+	DropRate float64
+	// Seed makes the simulated network's randomness reproducible.
+	Seed int64
+	// TimeScale divides all waits (block intervals, polls) — a TimeScale
+	// of 1000 runs a modeled 12 s block interval in 12 ms. 0 or 1 means
+	// real time.
+	TimeScale float64
+	// ProduceEmptyBlocks keeps producing blocks with no transactions.
+	ProduceEmptyBlocks bool
+	// PeerResyncInterval enables each peer's periodic background resync
+	// (recovery from missed notifications). Zero disables it.
+	PeerResyncInterval time.Duration
+}
+
+// Network is a running in-process medshare deployment.
+type Network struct {
+	cfg    NetworkConfig
+	mem    *p2p.MemNetwork
+	clk    clock.Clock
+	nodes  []*node.Node
+	dir    *core.Directory
+	peers  []*core.Peer
+	cancel context.CancelFunc
+}
+
+// NewNetwork builds and starts an in-process network.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.Name == "" {
+		cfg.Name = "medshare"
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Consensus == "" {
+		cfg.Consensus = ConsensusPoA
+	}
+	if cfg.BlockInterval <= 0 {
+		cfg.BlockInterval = 5 * time.Millisecond
+	}
+	if cfg.PoWDifficulty == 0 {
+		cfg.PoWDifficulty = 8
+	}
+	if cfg.Miners <= 0 {
+		cfg.Miners = 1
+	}
+
+	var clk clock.Clock = clock.Real{}
+	if cfg.TimeScale > 1 {
+		clk = clock.Scaled{Inner: clock.Real{}, Factor: cfg.TimeScale}
+	}
+
+	memOpts := []p2p.MemOption{p2p.WithSeed(cfg.Seed)}
+	if cfg.Latency > 0 || cfg.Jitter > 0 {
+		memOpts = append(memOpts, p2p.WithLatency(cfg.Latency, cfg.Jitter))
+	}
+	if cfg.DropRate > 0 {
+		memOpts = append(memOpts, p2p.WithDropRate(cfg.DropRate))
+	}
+	mem := p2p.NewMemNetwork(memOpts...)
+
+	ids := make([]*identity.Identity, cfg.Nodes)
+	addrs := make([]identity.Address, cfg.Nodes)
+	for i := range ids {
+		id, err := identity.New(fmt.Sprintf("node-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+		addrs[i] = id.Address()
+	}
+
+	nw := &Network{cfg: cfg, mem: mem, clk: clk, dir: core.NewDirectory()}
+	for i := 0; i < cfg.Nodes; i++ {
+		var engine consensus.Engine
+		switch cfg.Consensus {
+		case ConsensusPoA:
+			engine = consensus.NewPoA(true, addrs...)
+		case ConsensusPoW:
+			engine = consensus.NewPoW(cfg.PoWDifficulty)
+		default:
+			return nil, fmt.Errorf("medshare: unknown consensus %q", cfg.Consensus)
+		}
+		var transport p2p.Transport
+		if cfg.Nodes > 1 {
+			transport = mem.Endpoint(fmt.Sprintf("node-%d", i))
+		}
+		n, err := node.New(node.Config{
+			NetworkName:        cfg.Name,
+			Identity:           ids[i],
+			Engine:             engine,
+			Registry:           contract.NewRegistry(sharereg.New()),
+			BlockInterval:      cfg.BlockInterval,
+			MaxTxPerBlock:      cfg.MaxTxPerBlock,
+			ProduceEmptyBlocks: cfg.ProduceEmptyBlocks,
+			Clock:              clk,
+			Transport:          transport,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nw.nodes = append(nw.nodes, n)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	nw.cancel = cancel
+	for i, n := range nw.nodes {
+		if cfg.Consensus == ConsensusPoW && i >= cfg.Miners {
+			continue // validator only
+		}
+		n.Start(ctx)
+	}
+	return nw, nil
+}
+
+// Node returns the i-th blockchain node.
+func (nw *Network) Node(i int) *node.Node { return nw.nodes[i] }
+
+// Nodes returns the number of blockchain nodes.
+func (nw *Network) Nodes() int { return len(nw.nodes) }
+
+// Clock returns the network's (possibly scaled) clock.
+func (nw *Network) Clock() clock.Clock { return nw.clk }
+
+// DataDirectory returns the shared endpoint directory.
+func (nw *Network) DataDirectory() *core.Directory { return nw.dir }
+
+// NewPeer creates a stakeholder attached to the given node, with a fresh
+// local database and a data-channel endpoint, and starts its event loop.
+func (nw *Network) NewPeer(name string, nodeIndex int) (*core.Peer, error) {
+	if nodeIndex < 0 || nodeIndex >= len(nw.nodes) {
+		return nil, fmt.Errorf("medshare: node index %d out of range", nodeIndex)
+	}
+	id, err := identity.New(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPeer(core.Config{
+		Identity:       id,
+		DB:             reldb.NewDatabase(name),
+		Node:           nw.nodes[nodeIndex],
+		Transport:      nw.mem.Endpoint("peer-" + name),
+		Directory:      nw.dir,
+		Clock:          nw.clk,
+		ResyncInterval: nw.cfg.PeerResyncInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Start()
+	nw.peers = append(nw.peers, p)
+	return p, nil
+}
+
+// Stop halts peers and nodes.
+func (nw *Network) Stop() {
+	for _, p := range nw.peers {
+		p.Stop()
+	}
+	nw.cancel()
+	for _, n := range nw.nodes {
+		n.Stop()
+	}
+}

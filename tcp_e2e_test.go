@@ -1,0 +1,154 @@
+package medshare
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"medshare/internal/bx"
+	"medshare/internal/consensus"
+	"medshare/internal/contract"
+	"medshare/internal/contract/sharereg"
+	"medshare/internal/core"
+	"medshare/internal/identity"
+	"medshare/internal/node"
+	"medshare/internal/p2p"
+	"medshare/internal/reldb"
+)
+
+// TestTCPEndToEnd runs the full protocol across two real TCP processes'
+// worth of stack in one test binary: two nodes gossiping blocks over TCP
+// and two peers fetching share payloads over the same transports — the
+// exact wiring of cmd/medshared.
+func TestTCPEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	docID := identity.FromSeed("Doctor", "tcp-demo-1")
+	patID := identity.FromSeed("Patient", "tcp-demo-2")
+	authorities := []identity.Address{docID.Address(), patID.Address()}
+
+	docT, err := p2p.NewTCPTransport("Doctor", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer docT.Close()
+	patT, err := p2p.NewTCPTransport("Patient", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer patT.Close()
+	docT.AddPeer("Patient", patT.Addr())
+	patT.AddPeer("Doctor", docT.Addr())
+
+	dir := core.NewDirectory()
+	dir.Set(docID.Address(), "Doctor")
+	dir.Set(patID.Address(), "Patient")
+
+	mkNode := func(id *identity.Identity, tr p2p.Transport) *node.Node {
+		n, err := node.New(node.Config{
+			NetworkName:   "tcp-e2e",
+			Identity:      id,
+			Engine:        consensus.NewPoA(true, authorities...),
+			Registry:      contract.NewRegistry(sharereg.New()),
+			BlockInterval: 5 * time.Millisecond,
+			Transport:     tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Start(ctx)
+		t.Cleanup(n.Stop)
+		return n
+	}
+	docNode := mkNode(docID, docT)
+	patNode := mkNode(patID, patT)
+
+	schema := reldb.Schema{
+		Name: "records",
+		Columns: []reldb.Column{
+			{Name: "pid", Type: reldb.KindInt},
+			{Name: "dosage", Type: reldb.KindString},
+			{Name: "private", Type: reldb.KindString},
+		},
+		Key: []string{"pid"},
+	}
+	mkPeer := func(id *identity.Identity, n *node.Node, tr p2p.Transport, private string) *core.Peer {
+		db := reldb.NewDatabase(id.Name)
+		s := schema
+		if private == "" {
+			s.Columns = schema.Columns[:2]
+		}
+		tbl := reldb.MustNewTable(s)
+		if private != "" {
+			tbl.MustInsert(reldb.Row{reldb.I(1), reldb.S("low"), reldb.S(private)})
+		} else {
+			tbl.MustInsert(reldb.Row{reldb.I(1), reldb.S("low")})
+		}
+		db.PutTable(tbl)
+		p, err := core.NewPeer(core.Config{
+			Identity: id, DB: db, Node: n, Transport: tr, Directory: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		t.Cleanup(p.Stop)
+		return p
+	}
+	doctor := mkPeer(docID, docNode, docT, "doctor-notes")
+	patient := mkPeer(patID, patNode, patT, "")
+
+	cols := []string{"pid", "dosage"}
+	err = doctor.RegisterShare(ctx, core.RegisterShareArgs{
+		ID: "S", SourceTable: "records",
+		Lens: bx.Project("docV", cols, nil), ViewName: "docV",
+		Peers: authorities,
+		WritePerm: map[string][]identity.Address{
+			"dosage": {docID.Address()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := patient.WaitForShare(ctx, "S"); err != nil {
+		t.Fatal(err)
+	}
+	if err := patient.AttachShare("S", "records", bx.Project("patV", cols, nil), "patV"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Doctor updates; the payload crosses real TCP.
+	err = doctor.UpdateSource("records", func(tbl *reldb.Table) error {
+		return tbl.Update(reldb.Row{reldb.I(1)}, map[string]reldb.Value{"dosage": reldb.S("high")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := doctor.SyncShares(ctx, "records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doctor.WaitFinal(ctx, "S", props[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 30*time.Second, func() bool {
+		got, err := patient.Source("records")
+		if err != nil {
+			return false
+		}
+		v, err := got.Value(reldb.Row{reldb.I(1)}, "dosage")
+		if err != nil {
+			return false
+		}
+		s, _ := v.Str()
+		return s == "high"
+	})
+
+	// Both nodes agree on state.
+	waitFor(t, 30*time.Second, func() bool {
+		return docNode.State().Root() == patNode.State().Root() &&
+			docNode.Store().Height() == patNode.Store().Height()
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"medshare/internal/bx"
 	"medshare/internal/reldb"
 	"medshare/internal/workload"
 )
@@ -175,6 +176,7 @@ func BenchmarkE9_BX_Get(b *testing.B) {
 		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
 			full := workload.Generate("full", rows, 1)
 			lens := LensD31()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := lens.Get(full); err != nil {
@@ -200,6 +202,7 @@ func BenchmarkE9_BX_Put(b *testing.B) {
 				map[string]reldb.Value{workload.ColDosage: reldb.S("bench")}); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := lens.Put(full, view); err != nil {
@@ -207,6 +210,83 @@ func BenchmarkE9_BX_Put(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE9_BX_PutDelta measures the delta path: a one-row view edit
+// propagated as a changeset instead of a full put, the hot path of the
+// Fig. 5 cascade after this repo's copy-on-write overhaul.
+func BenchmarkE9_BX_PutDelta(b *testing.B) {
+	for _, rows := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			full := workload.Generate("full", rows, 1)
+			lens := LensD31()
+			view, err := lens.Get(full)
+			if err != nil {
+				b.Fatal(err)
+			}
+			edited := view.Clone()
+			keys := edited.RowsCanonical()
+			if err := edited.Update(edited.KeyValues(keys[0]),
+				map[string]reldb.Value{workload.ColDosage: reldb.S("bench")}); err != nil {
+				b.Fatal(err)
+			}
+			cs, err := view.Diff(edited)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bx.PutDelta(lens, full, edited, cs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReldb_Rows guards the copy-on-write contract: reading all rows
+// of a 1000-row table allocates only the header slice, never row data.
+func BenchmarkReldb_Rows(b *testing.B) {
+	full := workload.Generate("full", 1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := full.Rows(); len(rows) != 1000 {
+			b.Fatal("short read")
+		}
+	}
+}
+
+// BenchmarkReldb_Clone measures the O(1)-row-data snapshot that every
+// peer takes on each share operation.
+func BenchmarkReldb_Clone(b *testing.B) {
+	full := workload.Generate("full", 1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := full.Clone(); c.Len() != 1000 {
+			b.Fatal("bad clone")
+		}
+	}
+}
+
+// BenchmarkReldb_HashIncremental measures Hash() after a one-row update
+// on an already-hashed 1000-row table — the convergence check both
+// replicas run after every update, now O(changed rows) instead of O(n).
+func BenchmarkReldb_HashIncremental(b *testing.B) {
+	full := workload.Generate("full", 1000, 1)
+	full.Hash() // build the digest cache once
+	keys := full.RowsCanonical()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := full.Update(full.KeyValues(keys[i%len(keys)]),
+			map[string]reldb.Value{workload.ColDosage: reldb.S(fmt.Sprintf("d%d", i))}); err != nil {
+			b.Fatal(err)
+		}
+		_ = full.Hash()
 	}
 }
 

@@ -10,9 +10,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -21,9 +23,15 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "reduced parameter sweeps")
-	only  = flag.String("only", "", "run only the named experiment (E1..E10)")
+	quick    = flag.Bool("quick", false, "reduced parameter sweeps")
+	only     = flag.String("only", "", "run only the named experiment (E1..E10)")
+	baseline = flag.String("baseline", "BENCH_baseline.json", "write machine-readable results to this file (empty disables)")
 )
+
+// baselineData collects every experiment's structured results so the run
+// can be committed as BENCH_baseline.json — later PRs diff against it to
+// track the performance trajectory (durations are nanoseconds).
+var baselineData = map[string]any{}
 
 func main() {
 	flag.Parse()
@@ -47,6 +55,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// A partial run (-only) would clobber the committed full baseline
+	// with a one-experiment file; require an explicit -baseline there.
+	baselineSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "baseline" {
+			baselineSet = true
+		}
+	})
+	if *baseline != "" && (*only == "" || baselineSet) {
+		if err := writeBaseline(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *baseline)
+	}
+}
+
+func writeBaseline(path string) error {
+	out := map[string]any{
+		"generated":   time.Now().UTC().Format(time.RFC3339),
+		"goVersion":   runtime.Version(),
+		"quick":       *quick,
+		"durations":   "nanoseconds",
+		"experiments": baselineData,
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 func table(title string, header string, rows func(w *tabwriter.Writer)) {
@@ -70,6 +108,7 @@ func runE1(context.Context) error {
 		}
 		results = append(results, r)
 	}
+	baselineData["E1"] = results
 	table("E1 — Fig. 1 view derivation (7 views per run)",
 		"records\tderive all\tper view\tper record", func(w *tabwriter.Writer) {
 			for _, r := range results {
@@ -95,6 +134,7 @@ func runE2(ctx context.Context) error {
 		}
 		results = append(results, r)
 	}
+	baselineData["E2"] = results
 	table("E2 — Fig. 2 architecture bring-up (3 peers, 2 shares)",
 		"nodes\trecords\tbootstrap", func(w *tabwriter.Writer) {
 			for _, r := range results {
@@ -113,6 +153,7 @@ func runE3(context.Context) error {
 	if err != nil {
 		return err
 	}
+	baselineData["E3"] = r
 	table(fmt.Sprintf("E3 — Fig. 3 metadata contract operations (n=%d each)", n),
 		"operation\tlatency/op", func(w *tabwriter.Writer) {
 			fmt.Fprintf(w, "register share\t%v\n", r.RegisterPerOp.Round(time.Microsecond))
@@ -134,6 +175,7 @@ func runE4(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	baselineData["E4"] = r
 	table(fmt.Sprintf("E4 — Fig. 4 CRUD protocol, end to end (n=%d each, 2ms blocks)", n),
 		"operation\tlatency/op\tnote", func(w *tabwriter.Writer) {
 			fmt.Fprintf(w, "create entry\t%v\tcontract + ack + 2×put\n", r.Create.Round(time.Microsecond))
@@ -157,6 +199,7 @@ func runE5(ctx context.Context) error {
 		}
 		results = append(results, r)
 	}
+	baselineData["E5"] = results
 	table("E5 — Fig. 5 workflow latency (2ms blocks)",
 		"records\tsingle hop (steps 1-5)\tfull cascade (steps 1-11)", func(w *tabwriter.Writer) {
 			for _, r := range results {
@@ -192,6 +235,7 @@ func runE6(ctx context.Context) error {
 		return err
 	}
 	results = append(results, powRes)
+	baselineData["E6"] = results
 	table("E6 — §IV-1 throughput vs block interval and batching (modeled time; ×1000 compressed clock)",
 		"consensus\tinterval\tbatch\trows/s\tupdate cycles/s\tblocks used", func(w *tabwriter.Writer) {
 			for _, r := range results {
@@ -216,6 +260,7 @@ func runE7(ctx context.Context) error {
 		}
 		results = append(results, r)
 	}
+	baselineData["E7"] = results
 	table("E7 — conflict rule: one m+1-peer share vs m independent shares (2ms blocks)",
 		"updaters\tcontended makespan\tindependent makespan\tserialization ×", func(w *tabwriter.Writer) {
 			for _, r := range results {
@@ -241,6 +286,7 @@ func runE8(context.Context) error {
 		}
 		results = append(results, rows...)
 	}
+	baselineData["E8"] = results
 	table("E8 — fine-grained views vs full-record sharing (§V baseline)",
 		"records\tpeer\texposed bytes (full)\texposed bytes (view)\treduction ×\tunrelated attrs\ttransfer full\ttransfer view\ttransfer changeset", func(w *tabwriter.Writer) {
 			for _, r := range results {
@@ -267,6 +313,7 @@ func runE9(context.Context) error {
 		}
 		results = append(results, r)
 	}
+	baselineData["E9"] = results
 	table("E9 — BX lens cost (get/put, D13-style projection)",
 		"rows\tcomposition depth\tget\tput", func(w *tabwriter.Writer) {
 			for _, r := range results {
@@ -290,6 +337,7 @@ func runE10(ctx context.Context) error {
 		}
 		results = append(results, r)
 	}
+	baselineData["E10"] = results
 	table("E10 — audit: ledger history reconstruction and integrity verification",
 		"finalized updates\tblocks\thistory records\thistory time\tintegrity time", func(w *tabwriter.Writer) {
 			for _, r := range results {

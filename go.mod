@@ -1,0 +1,3 @@
+module medshare
+
+go 1.24

@@ -1,0 +1,275 @@
+package bx
+
+import (
+	"fmt"
+
+	"medshare/internal/reldb"
+)
+
+// Delta propagation: when a view edit is known as a row-level changeset
+// (the common case in the Fig. 5 workflow — the contract event names the
+// changed rows and the data channel ships a changeset), put does not need
+// to rematerialize the whole source. PutDelta starts from a copy-on-write
+// clone of the source and touches only the changed rows, so a one-row
+// view edit costs O(changed rows), not O(table).
+//
+// The changeset must be the difference between the lens's current view of
+// src (i.e. Get(src)) and the supplied view, as produced by
+// reldb.Table.Diff. Changesets are immutable transfer objects: the
+// returned table may share rows with them.
+
+// DeltaLens is implemented by lenses that can embed a view changeset
+// without rematerializing the source.
+type DeltaLens interface {
+	Lens
+	// PutDelta embeds the edited view into src given the changeset from
+	// the current view to view. It returns the updated source and the
+	// changeset applied to the source (for cascading the delta through
+	// composed lenses and into overlapping shares). Like Put, it never
+	// mutates src or view and enforces the same policies; the result
+	// always equals Put(src, view) on a consistent changeset.
+	PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error)
+}
+
+// PutDelta embeds view into src along the delta path when the lens
+// supports it, falling back to a full Put plus diff otherwise. An empty
+// changeset short-circuits to a clone of src. Callers that do not need
+// the source changeset should use PutDeltaTable, which skips the
+// fallback's O(n) diff.
+func PutDelta(l Lens, src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error) {
+	if cs.Empty() {
+		return src.Clone(), reldb.Changeset{}, nil
+	}
+	if dl, ok := l.(DeltaLens); ok {
+		return dl.PutDelta(src, view, cs)
+	}
+	return putDeltaFallback(l, src, view)
+}
+
+// PutDeltaTable is PutDelta for callers that only need the updated
+// source table: lenses (or lens configurations) without a native delta
+// path run a plain full put, never the fallback's full-table diff.
+func PutDeltaTable(l Lens, src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, error) {
+	if cs.Empty() {
+		return src.Clone(), nil
+	}
+	if pl, ok := l.(*ProjectLens); ok && !pl.deltaDirect(src) {
+		return pl.Put(src, view)
+	}
+	if dl, ok := l.(DeltaLens); ok {
+		newSrc, _, err := dl.PutDelta(src, view, cs)
+		return newSrc, err
+	}
+	return l.Put(src, view)
+}
+
+// deltaDirect reports whether the projection can address source rows by
+// view key (the O(changed rows) path) for this source.
+func (l *ProjectLens) deltaDirect(src *reldb.Table) bool {
+	wantView, err := l.ViewSchema(src.Schema())
+	return err == nil && sameKey(src.Schema().Key, wantView.Key)
+}
+
+// putDeltaFallback is the O(table) path for lenses without native delta
+// support (e.g. JoinLens): full put, then diff to recover the source
+// changeset.
+func putDeltaFallback(l Lens, src, view *reldb.Table) (*reldb.Table, reldb.Changeset, error) {
+	newSrc, err := l.Put(src, view)
+	if err != nil {
+		return nil, reldb.Changeset{}, err
+	}
+	srcCs, err := src.Diff(newSrc)
+	if err != nil {
+		return nil, reldb.Changeset{}, err
+	}
+	return newSrc, srcCs, nil
+}
+
+// sameKey reports whether the view key names equal the source key names
+// in order — the condition under which a view key tuple addresses the
+// source row directly.
+func sameKey(srcKey, viewKey []string) bool {
+	if len(srcKey) != len(viewKey) {
+		return false
+	}
+	for i := range srcKey {
+		if srcKey[i] != viewKey[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PutDelta implements DeltaLens. The O(changed rows) path requires the
+// view key to coincide with the source key (the paper's D13/D31 shares);
+// projections re-keyed on other columns (D23/D32) fall back to the full
+// put, which is still cheap under copy-on-write tables.
+func (l *ProjectLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error) {
+	srcSchema := src.Schema()
+	wantView, err := l.ViewSchema(srcSchema)
+	if err != nil {
+		return nil, reldb.Changeset{}, err
+	}
+	if !wantView.Equal(view.Schema()) {
+		return nil, reldb.Changeset{}, fmt.Errorf("%w: view schema does not match projection of source", ErrPutViolation)
+	}
+	if !sameKey(srcSchema.Key, wantView.Key) {
+		return putDeltaFallback(l, src, view)
+	}
+
+	srcIdxOfCol := make(map[string]int, len(srcSchema.Columns))
+	for i, c := range srcSchema.Columns {
+		srcIdxOfCol[c.Name] = i
+	}
+	colIdxInSrc := make([]int, len(l.Cols))
+	for i, c := range l.Cols {
+		colIdxInSrc[i] = srcIdxOfCol[c]
+	}
+	viewKeyIdx := wantView.KeyIndexes()
+
+	out := src.Clone()
+	var srcCs reldb.Changeset
+	var keyBuf []byte
+	lookup := func(vr reldb.Row) (reldb.Row, bool) {
+		keyBuf = keyBuf[:0]
+		for _, j := range viewKeyIdx {
+			keyBuf = vr[j].AppendCanonical(keyBuf)
+		}
+		return out.GetKeyBytes(keyBuf)
+	}
+
+	for _, u := range cs.Updated {
+		sr, ok := lookup(u.After)
+		if !ok {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: delta update on view %s targets missing source row (stale changeset?)", ErrPutViolation, l.ViewName)
+		}
+		updated := sr.Clone()
+		for vi, si := range colIdxInSrc {
+			updated[si] = u.After[vi]
+		}
+		if err := out.UpsertOwned(updated); err != nil {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
+		}
+		srcCs.Updated = append(srcCs.Updated, reldb.RowChange{Before: sr, After: updated})
+	}
+	for _, vr := range cs.Deleted {
+		if l.OnDelete != PolicyApply {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, viewKeyOf(wantView, vr))
+		}
+		sr, ok := lookup(vr)
+		if !ok {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: delta delete on view %s targets missing source row (stale changeset?)", ErrPutViolation, l.ViewName)
+		}
+		if err := out.Delete(viewKeyOf(wantView, vr)); err != nil {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
+		}
+		srcCs.Deleted = append(srcCs.Deleted, sr)
+	}
+	for _, vr := range cs.Inserted {
+		if l.OnInsert != PolicyApply {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, viewKeyOf(wantView, vr))
+		}
+		nr := l.newSourceRow(srcSchema, colIdxInSrc, vr)
+		if err := out.InsertOwned(nr); err != nil {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
+		}
+		srcCs.Inserted = append(srcCs.Inserted, nr)
+	}
+	return out, srcCs, nil
+}
+
+// PutDelta implements DeltaLens: a selection view shares the source
+// schema and key, so every changeset row addresses its source row
+// directly.
+func (l *SelectLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error) {
+	srcSchema := src.Schema()
+	if !srcSchema.Equal(view.Schema()) {
+		return nil, reldb.Changeset{}, fmt.Errorf("%w: selection view schema must equal source schema", ErrPutViolation)
+	}
+	mustSatisfy := func(r reldb.Row) error {
+		ok, err := l.Pred.Eval(srcSchema, r)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%w: view %s row %v does not satisfy the selection predicate", ErrPutViolation, l.ViewName, viewKeyOf(srcSchema, r))
+		}
+		return nil
+	}
+
+	out := src.Clone()
+	var srcCs reldb.Changeset
+	for _, u := range cs.Updated {
+		if err := mustSatisfy(u.After); err != nil {
+			return nil, reldb.Changeset{}, err
+		}
+		before, ok := out.Get(viewKeyOf(srcSchema, u.After))
+		if !ok {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: delta update on view %s targets missing source row (stale changeset?)", ErrPutViolation, l.ViewName)
+		}
+		if err := out.UpsertOwned(u.After); err != nil {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
+		}
+		srcCs.Updated = append(srcCs.Updated, reldb.RowChange{Before: before, After: u.After})
+	}
+	for _, vr := range cs.Deleted {
+		if l.OnDelete != PolicyApply {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, viewKeyOf(srcSchema, vr))
+		}
+		key := viewKeyOf(srcSchema, vr)
+		before, ok := out.Get(key)
+		if !ok {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: delta delete on view %s targets missing source row (stale changeset?)", ErrPutViolation, l.ViewName)
+		}
+		if err := out.Delete(key); err != nil {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
+		}
+		srcCs.Deleted = append(srcCs.Deleted, before)
+	}
+	for _, vr := range cs.Inserted {
+		if l.OnInsert != PolicyApply {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, viewKeyOf(srcSchema, vr))
+		}
+		if err := mustSatisfy(vr); err != nil {
+			return nil, reldb.Changeset{}, err
+		}
+		if err := out.InsertOwned(vr); err != nil {
+			return nil, reldb.Changeset{}, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
+		}
+		srcCs.Inserted = append(srcCs.Inserted, vr)
+	}
+	return out, srcCs, nil
+}
+
+// PutDelta implements DeltaLens: renaming changes column names only, so
+// the view changeset applies to the source verbatim.
+func (l *RenameLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error) {
+	want, err := l.ViewSchema(src.Schema())
+	if err != nil {
+		return nil, reldb.Changeset{}, err
+	}
+	if !want.Equal(view.Schema()) {
+		return nil, reldb.Changeset{}, fmt.Errorf("%w: view schema does not match renamed source", ErrPutViolation)
+	}
+	out := src.Clone()
+	if err := out.Apply(cs); err != nil {
+		return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
+	}
+	return out, cs, nil
+}
+
+// PutDelta implements DeltaLens: the outer delta is embedded into the
+// intermediate view, and the changeset it induces there propagates to the
+// inner lens — so a one-row edit stays one row through the whole chain
+// (one O(source) get to materialize the intermediate view, no diffs).
+func (l *ComposeLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error) {
+	mid, err := l.Inner.Get(src)
+	if err != nil {
+		return nil, reldb.Changeset{}, err
+	}
+	newMid, midCs, err := PutDelta(l.Outer, mid, view, cs)
+	if err != nil {
+		return nil, reldb.Changeset{}, err
+	}
+	return PutDelta(l.Inner, src, newMid, midCs)
+}

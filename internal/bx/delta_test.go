@@ -1,0 +1,330 @@
+package bx
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"medshare/internal/reldb"
+)
+
+// deltaFor computes the changeset an edited view represents, the way the
+// sharing layer does before calling PutDelta.
+func deltaFor(t *testing.T, view, edited *reldb.Table) reldb.Changeset {
+	t.Helper()
+	cs, err := view.Diff(edited)
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	return cs
+}
+
+// TestPutDeltaMatchesPutQuick: for every lens in the menagerie and every
+// random admissible edit, the delta path must agree exactly with the full
+// put — same result table, or the same refusal.
+func TestPutDeltaMatchesPutQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genRecords(rng, 3+rng.Intn(20))
+		for i, l := range lensesUnderTest() {
+			view, err := l.Get(src)
+			if err != nil {
+				t.Logf("seed %d lens %d: get: %v", seed, i, err)
+				return false
+			}
+			edited := view.Clone()
+			spec := l.Spec()
+			structural := spec.OnDelete == PolicyApply ||
+				(spec.Op == OpCompose && spec.Inner[1].OnDelete == PolicyApply)
+			randomViewEdit(rng, edited, structural)
+			cs := deltaFor(t, view, edited)
+
+			want, wantErr := l.Put(src, edited)
+			got, srcCs, gotErr := PutDelta(l, src, edited, cs)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Logf("seed %d lens %d: put err %v vs delta err %v", seed, i, wantErr, gotErr)
+				return false
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !want.Equal(got) {
+				t.Logf("seed %d lens %d: delta result diverges from put", seed, i)
+				return false
+			}
+			// The reported source changeset must replay src into the result.
+			replayed := src.Clone()
+			if err := replayed.Apply(srcCs); err != nil {
+				t.Logf("seed %d lens %d: replay: %v", seed, i, err)
+				return false
+			}
+			if !replayed.Equal(got) {
+				t.Logf("seed %d lens %d: source changeset does not replay", seed, i)
+				return false
+			}
+			// PutGet must hold along the delta path too.
+			round, err := l.Get(got)
+			if err != nil {
+				t.Logf("seed %d lens %d: get after delta put: %v", seed, i, err)
+				return false
+			}
+			if !round.Equal(edited) {
+				t.Logf("seed %d lens %d: PutGet fails along delta path", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutDeltaEmptyChangesetIsGetPut: an empty delta is the identity edit,
+// so the result must equal the source (the GetPut law along the delta
+// path).
+func TestPutDeltaEmptyChangesetIsGetPut(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := genRecords(rng, 12)
+	for i, l := range lensesUnderTest() {
+		view := mustGet(t, l, src)
+		got, srcCs, err := PutDelta(l, src, view, reldb.Changeset{})
+		if err != nil {
+			t.Fatalf("lens %d: %v", i, err)
+		}
+		if !srcCs.Empty() {
+			t.Errorf("lens %d: identity edit produced a source changeset", i)
+		}
+		if !got.Equal(src) {
+			t.Errorf("lens %d: GetPut violated along delta path", i)
+		}
+	}
+}
+
+// TestPutDeltaStructuralEdits drives the insert and delete arms of the
+// projection delta directly (the D13 share: apply policies, defaults for
+// the hidden column).
+func TestPutDeltaStructuralEdits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := genRecords(rng, 8)
+	l := Project("v", []string{"pid", "dose"}, nil).WithDelete(PolicyApply).
+		WithInsert(PolicyApply, map[string]reldb.Value{
+			"med": reldb.S("dmed"), "mech": reldb.S("dmech"),
+		})
+	view := mustGet(t, l, src)
+	edited := view.Clone()
+	rows := edited.RowsCanonical()
+	if err := edited.Delete(edited.KeyValues(rows[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := edited.Insert(reldb.Row{reldb.I(100), reldb.S("newdose")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := edited.Update(edited.KeyValues(rows[1]), map[string]reldb.Value{"dose": reldb.S("changed")}); err != nil {
+		t.Fatal(err)
+	}
+	cs := deltaFor(t, view, edited)
+	if cs.Size() != 3 {
+		t.Fatalf("changeset size = %d, want 3", cs.Size())
+	}
+	want, err := l.Put(src, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, srcCs, err := PutDelta(l, src, edited, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatal("delta result diverges from put")
+	}
+	if srcCs.Size() != 3 {
+		t.Fatalf("source changeset size = %d, want 3", srcCs.Size())
+	}
+	// The inserted source row must carry the defaults for hidden columns.
+	nr, ok := got.Get(reldb.Row{reldb.I(100)})
+	if !ok {
+		t.Fatal("inserted row missing from source")
+	}
+	if s, _ := nr[1].Str(); s != "dmed" {
+		t.Fatalf("hidden column did not default: %v", nr)
+	}
+}
+
+// TestPutDeltaForbidsByPolicy: the delta path must refuse exactly what the
+// full put refuses.
+func TestPutDeltaForbidsByPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := genRecords(rng, 6)
+	l := Project("v", []string{"pid", "dose"}, nil) // forbid policies
+	view := mustGet(t, l, src)
+
+	edited := view.Clone()
+	rows := edited.RowsCanonical()
+	if err := edited.Delete(edited.KeyValues(rows[0])); err != nil {
+		t.Fatal(err)
+	}
+	cs := deltaFor(t, view, edited)
+	if _, _, err := PutDelta(l, src, edited, cs); !errors.Is(err, ErrPutViolation) {
+		t.Fatalf("delete through forbid lens: got %v, want ErrPutViolation", err)
+	}
+
+	edited = view.Clone()
+	if err := edited.Insert(reldb.Row{reldb.I(200), reldb.S("d")}); err != nil {
+		t.Fatal(err)
+	}
+	cs = deltaFor(t, view, edited)
+	if _, _, err := PutDelta(l, src, edited, cs); !errors.Is(err, ErrPutViolation) {
+		t.Fatalf("insert through forbid lens: got %v, want ErrPutViolation", err)
+	}
+}
+
+// TestPutDeltaSelectPredicateViolation: an update that moves a row outside
+// its own selection must be refused on the delta path.
+func TestPutDeltaSelectPredicateViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	src := genRecords(rng, 8)
+	l := Select("v", reldb.Eq("med", reldb.S("med1"))).WithDelete(PolicyApply).WithInsert(PolicyApply)
+	view := mustGet(t, l, src)
+	if view.Len() == 0 {
+		t.Skip("no med1 rows under this seed")
+	}
+	edited := view.Clone()
+	rows := edited.RowsCanonical()
+	if err := edited.Update(edited.KeyValues(rows[0]), map[string]reldb.Value{"med": reldb.S("med-escape")}); err != nil {
+		t.Fatal(err)
+	}
+	cs := deltaFor(t, view, edited)
+	if _, _, err := PutDelta(l, src, edited, cs); !errors.Is(err, ErrPutViolation) {
+		t.Fatalf("predicate escape: got %v, want ErrPutViolation", err)
+	}
+}
+
+// TestSelectInsertCollidingWithInvisibleRow: inserting a view row whose
+// key belongs to a source row *outside* the selection has no embedding —
+// get would hide it again. Both Put and PutDelta must reject it (the old
+// Put silently dropped the insert, violating PutGet).
+func TestSelectInsertCollidingWithInvisibleRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := genRecords(rng, 8)
+	l := Select("v", reldb.Eq("med", reldb.S("med1"))).WithDelete(PolicyApply).WithInsert(PolicyApply)
+	view := mustGet(t, l, src)
+
+	// Find a source row invisible to the view and reuse its key.
+	var hidden reldb.Row
+	for _, r := range src.RowsCanonical() {
+		if m, _ := r[1].Str(); m != "med1" {
+			hidden = r
+			break
+		}
+	}
+	if hidden == nil {
+		t.Skip("no invisible rows under this seed")
+	}
+	edited := view.Clone()
+	colliding := hidden.Clone()
+	colliding[1] = reldb.S("med1") // satisfies the predicate, same key
+	if err := edited.Insert(colliding); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := l.Put(src, edited); !errors.Is(err, ErrPutViolation) {
+		t.Fatalf("Put: got %v, want ErrPutViolation", err)
+	}
+	cs := deltaFor(t, view, edited)
+	if _, _, err := PutDelta(l, src, edited, cs); !errors.Is(err, ErrPutViolation) {
+		t.Fatalf("PutDelta: got %v, want ErrPutViolation", err)
+	}
+}
+
+// TestPutDeltaRekeyedProjectionFallsBack: the medication-keyed projection
+// (the paper's D23/D32) cannot address source rows by view key; the delta
+// path must fall back to the full put and still agree with it.
+func TestPutDeltaRekeyedProjectionFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	src := genRecords(rng, 10)
+	l := Project("v", []string{"med", "mech"}, []string{"med"})
+	view := mustGet(t, l, src)
+	edited := view.Clone()
+	rows := edited.RowsCanonical()
+	if err := edited.Update(edited.KeyValues(rows[0]), map[string]reldb.Value{"mech": reldb.S("mech-new")}); err != nil {
+		t.Fatal(err)
+	}
+	cs := deltaFor(t, view, edited)
+	want, err := l.Put(src, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := PutDelta(l, src, edited, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatal("fallback delta result diverges from put")
+	}
+}
+
+// TestPutDeltaTableMatchesPut: the table-only entry point (used by the
+// sharing layer, which discards the source changeset) must agree with
+// the full put for native-delta, fallback-projection, and non-delta
+// lenses alike.
+func TestPutDeltaTableMatchesPut(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	src := genRecords(rng, 10)
+	lenses := []Lens{
+		Project("d", []string{"pid", "dose"}, nil).WithDelete(PolicyApply).
+			WithInsert(PolicyApply, map[string]reldb.Value{
+				"med": reldb.S("dmed"), "mech": reldb.S("dmech"),
+			}), // native delta (view key = source key)
+		Project("r", []string{"med", "mech"}, []string{"med"}), // rekeyed: full-put path
+		Rename("n", map[string]string{"dose": "dosage"}),       // native delta
+	}
+	for i, l := range lenses {
+		view := mustGet(t, l, src)
+		edited := view.Clone()
+		randomViewEdit(rng, edited, false)
+		cs := deltaFor(t, view, edited)
+		want, err := l.Put(src, edited)
+		if err != nil {
+			t.Fatalf("lens %d: put: %v", i, err)
+		}
+		got, err := PutDeltaTable(l, src, edited, cs)
+		if err != nil {
+			t.Fatalf("lens %d: delta: %v", i, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("lens %d: PutDeltaTable diverges from Put", i)
+		}
+	}
+}
+
+// TestLawsHoldOnCOWClones: the law checkers must pass on tables that
+// share copy-on-write storage with a mutated sibling — i.e. snapshots are
+// genuinely independent relations.
+func TestLawsHoldOnCOWClones(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	src := genRecords(rng, 15)
+	snapshot := src.Clone()
+	// Mutate the original after cloning; the snapshot must be unaffected.
+	rows := src.RowsCanonical()
+	for i := 0; i < 3 && i < len(rows); i++ {
+		if err := src.Update(src.KeyValues(rows[i]), map[string]reldb.Value{
+			"dose": reldb.S(fmt.Sprintf("mutated%d", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snapshot.Equal(src) {
+		t.Fatal("snapshot saw the original's mutation")
+	}
+	for i, l := range lensesUnderTest() {
+		if err := CheckWellBehaved(l, snapshot); err != nil {
+			t.Errorf("lens %d on snapshot: %v", i, err)
+		}
+		if err := CheckWellBehaved(l, src); err != nil {
+			t.Errorf("lens %d on mutated original: %v", i, err)
+		}
+	}
+}

@@ -65,7 +65,10 @@ const (
 
 func dedupe(ss []string) []string {
 	seen := make(map[string]bool, len(ss))
-	out := ss[:0]
+	// Never reuse the caller's backing array (out := ss[:0] would): the
+	// input is often a shared slice (e.g. schema column names passed
+	// through overlap analysis) and writing into it corrupts the caller.
+	out := make([]string, 0, len(ss))
 	for _, s := range ss {
 		if !seen[s] {
 			seen[s] = true

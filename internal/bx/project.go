@@ -102,56 +102,84 @@ func (l *ProjectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	out.Grow(src.Len())
 	matched := make(map[string]bool, view.Len())
 
-	for _, sr := range src.Rows() {
-		vkey := make(reldb.Row, len(viewKeyIdxInSrc))
-		for i, j := range viewKeyIdxInSrc {
-			vkey[i] = sr[j]
+	// Align source rows with view rows by the view key, streaming over the
+	// source storage: rows whose projected columns are unchanged are
+	// inserted as shared references (zero row copies), rows with view
+	// edits are copied once.
+	var keyBuf []byte
+	err = src.Scan(func(sr reldb.Row) (bool, error) {
+		keyBuf = keyBuf[:0]
+		for _, j := range viewKeyIdxInSrc {
+			keyBuf = sr[j].AppendCanonical(keyBuf)
 		}
-		vr, ok := view.Get(vkey)
+		vr, ok := view.GetKeyBytes(keyBuf)
 		if !ok {
 			// The view row for this source row was deleted.
 			if l.OnDelete != PolicyApply {
-				return nil, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, vkey)
+				vkey := make(reldb.Row, len(viewKeyIdxInSrc))
+				for i, j := range viewKeyIdxInSrc {
+					vkey[i] = sr[j]
+				}
+				return false, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, vkey)
 			}
-			continue
+			return true, nil
 		}
-		matched[keyString(vkey)] = true
-		updated := sr.Clone()
+		matched[string(keyBuf)] = true
+		updated, cloned := sr, false
 		for vi, si := range colIdxInSrc {
-			updated[si] = vr[vi]
+			if !updated[si].Equal(vr[vi]) {
+				if !cloned {
+					updated, cloned = sr.Clone(), true
+				}
+				updated[si] = vr[vi]
+			}
 		}
-		if err := out.Insert(updated); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrPutViolation, err)
+		if err := out.InsertOwned(updated); err != nil {
+			return false, fmt.Errorf("%w: %v", ErrPutViolation, err)
 		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// View rows with no matching source row are inserts.
-	for _, vr := range view.RowsCanonical() {
-		vkey := viewKeyOf(wantView, vr)
-		if matched[keyString(vkey)] {
-			continue
-		}
-		if l.OnInsert != PolicyApply {
-			return nil, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, vkey)
-		}
-		nr := make(reldb.Row, len(srcSchema.Columns))
-		for i, c := range srcSchema.Columns {
-			if dv, ok := l.Defaults[c.Name]; ok {
-				nr[i] = dv
-			} else {
-				nr[i] = reldb.Null()
+	if len(matched) != view.Len() {
+		for _, vr := range view.RowsCanonical() {
+			vkey := viewKeyOf(wantView, vr)
+			if matched[keyString(vkey)] {
+				continue
 			}
-		}
-		for vi, si := range colIdxInSrc {
-			nr[si] = vr[vi]
-		}
-		if err := out.Insert(nr); err != nil {
-			return nil, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
+			if l.OnInsert != PolicyApply {
+				return nil, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, vkey)
+			}
+			if err := out.InsertOwned(l.newSourceRow(srcSchema, colIdxInSrc, vr)); err != nil {
+				return nil, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
+			}
 		}
 	}
 	return out, nil
+}
+
+// newSourceRow builds a fresh source row for a view-side insert: hidden
+// columns take the lens defaults (NULL otherwise), projected columns take
+// the view row's values.
+func (l *ProjectLens) newSourceRow(srcSchema reldb.Schema, colIdxInSrc []int, vr reldb.Row) reldb.Row {
+	nr := make(reldb.Row, len(srcSchema.Columns))
+	for i, c := range srcSchema.Columns {
+		if dv, ok := l.Defaults[c.Name]; ok {
+			nr[i] = dv
+		} else {
+			nr[i] = reldb.Null()
+		}
+	}
+	for vi, si := range colIdxInSrc {
+		nr[si] = vr[vi]
+	}
+	return nr
 }
 
 // Spec implements Lens.

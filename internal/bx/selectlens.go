@@ -66,51 +66,73 @@ func (l *SelectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	out.Grow(src.Len())
 	// Every view row must satisfy the predicate, or it would escape its
 	// own view and PutGet would fail.
-	for _, vr := range view.Rows() {
+	err = view.Scan(func(vr reldb.Row) (bool, error) {
 		ok, err := l.Pred.Eval(srcSchema, vr)
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		if !ok {
-			return nil, fmt.Errorf("%w: view %s row %v does not satisfy the selection predicate", ErrPutViolation, l.ViewName, view.KeyValues(vr))
+			return false, fmt.Errorf("%w: view %s row %v does not satisfy the selection predicate", ErrPutViolation, l.ViewName, view.KeyValues(vr))
 		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, sr := range src.Rows() {
+	// Stream over the source, aligning selected rows with view rows by
+	// key. Rows are inserted as shared references — the selection lens
+	// never rewrites row contents, only membership.
+	matched := 0
+	var keyBuf []byte
+	err = src.Scan(func(sr reldb.Row) (bool, error) {
 		ok, err := l.Pred.Eval(srcSchema, sr)
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		if !ok {
 			// Invisible to the view: passes through.
-			if err := out.Insert(sr); err != nil {
-				return nil, err
-			}
-			continue
+			return true, out.InsertOwned(sr)
 		}
-		key := src.KeyValues(sr)
-		vr, found := view.Get(key)
+		keyBuf = src.AppendKeyOf(keyBuf[:0], sr)
+		vr, found := view.GetKeyBytes(keyBuf)
 		if !found {
 			if l.OnDelete != PolicyApply {
-				return nil, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, key)
+				return false, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, src.KeyValues(sr))
 			}
-			continue
+			return true, nil
 		}
-		if err := out.Insert(vr); err != nil {
-			return nil, err
-		}
+		matched++
+		return true, out.InsertOwned(vr)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, vr := range view.RowsCanonical() {
-		key := view.KeyValues(vr)
-		if src.Has(key) {
-			continue
-		}
-		if l.OnInsert != PolicyApply {
-			return nil, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, key)
-		}
-		if err := out.Insert(vr); err != nil {
-			return nil, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
+	// View rows with no matching source row are inserts.
+	if matched != view.Len() {
+		for _, vr := range view.RowsCanonical() {
+			key := view.KeyValues(vr)
+			if sr, ok := src.Get(key); ok {
+				visible, err := l.Pred.Eval(srcSchema, sr)
+				if err != nil {
+					return nil, err
+				}
+				if visible {
+					continue // matched in the scan above
+				}
+				// The key belongs to a source row outside the view: the
+				// insert has no embedding (get would hide it again, and
+				// silently dropping it would violate PutGet).
+				return nil, fmt.Errorf("%w: view %s inserted key %v which belongs to a source row outside the selection", ErrPutViolation, l.ViewName, key)
+			}
+			if l.OnInsert != PolicyApply {
+				return nil, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, key)
+			}
+			if err := out.InsertOwned(vr); err != nil {
+				return nil, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
+			}
 		}
 	}
 	return out, nil

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sync/atomic"
 
 	"medshare/internal/identity"
 	"medshare/internal/merkle"
@@ -46,36 +47,54 @@ func (h *Header) Hash() merkle.Hash {
 }
 
 func (h *Header) hashContent(withSig bool) merkle.Hash {
-	w := sha256.New()
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], h.Height)
-	w.Write(n[:])
-	w.Write(h.PrevHash[:])
-	w.Write(h.TxRoot[:])
-	w.Write(h.StateRoot[:])
-	binary.BigEndian.PutUint64(n[:], uint64(h.TimestampMicro))
-	w.Write(n[:])
-	w.Write(h.Proposer[:])
-	binary.BigEndian.PutUint64(n[:], h.Nonce)
-	w.Write(n[:])
-	w.Write([]byte{h.Difficulty})
+	// Serialize into a stack buffer and hash once: this runs per nonce in
+	// the proof-of-work seal loop, where the sha256.New + field-by-field
+	// Write pattern costs measurable allocations.
+	var arr [256]byte
+	buf := arr[:0]
+	buf = binary.BigEndian.AppendUint64(buf, h.Height)
+	buf = append(buf, h.PrevHash[:]...)
+	buf = append(buf, h.TxRoot[:]...)
+	buf = append(buf, h.StateRoot[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.TimestampMicro))
+	buf = append(buf, h.Proposer[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, h.Nonce)
+	buf = append(buf, h.Difficulty)
 	if withSig {
-		w.Write(h.ProposerPub)
-		w.Write(h.Sig)
+		buf = append(buf, h.ProposerPub...)
+		buf = append(buf, h.Sig...)
 	}
-	var out merkle.Hash
-	w.Sum(out[:0])
-	return out
+	return sha256.Sum256(buf)
 }
 
 // Block is a header plus its transactions.
 type Block struct {
 	Header Header `json:"header"`
 	Txs    []*Tx  `json:"txs"`
+
+	// hashMemo caches the block hash after the header is final. Every
+	// layer above re-hashes blocks constantly (store linkage, fork
+	// choice, head comparisons, audit); memoizing turns those into
+	// pointer loads. Consensus engines reset it when sealing mutates the
+	// header.
+	hashMemo atomic.Pointer[merkle.Hash]
 }
 
-// Hash returns the block hash.
-func (b *Block) Hash() merkle.Hash { return b.Header.Hash() }
+// Hash returns the block hash, computed once and cached. Callers must not
+// mutate the header after the first call; consensus engines that seal (and
+// therefore mutate) a header call ResetHashCache.
+func (b *Block) Hash() merkle.Hash {
+	if p := b.hashMemo.Load(); p != nil {
+		return *p
+	}
+	h := b.Header.Hash()
+	b.hashMemo.Store(&h)
+	return h
+}
+
+// ResetHashCache invalidates the memoized block hash after a header
+// mutation (sealing).
+func (b *Block) ResetHashCache() { b.hashMemo.Store(nil) }
 
 // HashString returns the hex block hash.
 func (b *Block) HashString() string {

@@ -303,3 +303,25 @@ func TestVerifyChain(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestVerifyChainDetectsHeaderTampering: mutating a stored block's header
+// in memory must surface in VerifyChain even though the block hash is
+// memoized — the audit path recomputes from the header.
+func TestVerifyChainDetectsHeaderTampering(t *testing.T) {
+	id := identity.MustNew("a")
+	g := Genesis("t")
+	s := NewStore(g)
+	prev := g
+	for i := 0; i < 3; i++ {
+		b := buildBlock(t, prev, []*Tx{signedTx(t, id, "", uint64(i))}, id)
+		if _, err := s.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		prev = b
+	}
+	mc := s.MainChain()
+	mc[1].Header.TimestampMicro += 1_000_000 // forge a timestamp post-insertion
+	if err := s.VerifyChain(); err == nil {
+		t.Fatal("header tampering not detected")
+	}
+}

@@ -145,14 +145,17 @@ func (s *Store) IsOnMainChain(h merkle.Hash) bool {
 }
 
 // VerifyChain re-validates the whole main chain: linkage, structure, and
-// monotone heights. The audit layer uses it for tamper detection.
+// monotone heights. The audit layer uses it for tamper detection, so
+// linkage deliberately bypasses the memoized block hash and recomputes
+// from the header — a header mutated after insertion must surface here,
+// not be masked by a stale cache.
 func (s *Store) VerifyChain() error {
 	mc := s.MainChain()
 	for i, b := range mc {
 		if i == 0 {
 			continue
 		}
-		if b.Header.PrevHash != mc[i-1].Hash() {
+		if b.Header.PrevHash != mc[i-1].Header.Hash() {
 			return fmt.Errorf("%w: block %d does not link to block %d", ErrBadLinkage, i, i-1)
 		}
 		if err := b.VerifyStructure(); err != nil {

@@ -57,6 +57,7 @@ func (p *PoA) Seal(ctx context.Context, b *chain.Block, id *identity.Identity) e
 	b.Header.ProposerPub = append([]byte(nil), id.PublicKey()...)
 	sh := b.Header.SigHash()
 	b.Header.Sig = id.Sign(sh[:])
+	b.ResetHashCache() // sealing mutated the header
 	return nil
 }
 

@@ -37,6 +37,7 @@ func (p *PoW) Seal(ctx context.Context, b *chain.Block, id *identity.Identity) e
 	if id != nil {
 		b.Header.Proposer = id.Address()
 	}
+	defer b.ResetHashCache() // sealing mutates the header
 	for nonce := uint64(0); ; nonce++ {
 		if nonce%4096 == 0 {
 			select {

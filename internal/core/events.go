@@ -10,6 +10,7 @@ import (
 	"medshare/internal/contract"
 	"medshare/internal/contract/sharereg"
 	"medshare/internal/identity"
+	"medshare/internal/reldb"
 )
 
 // pollInterval paces WaitFinal and resync polling.
@@ -84,6 +85,7 @@ func (p *Peer) applyIncoming(ctx context.Context, shareID string, seq uint64, fr
 	defer s.opMu.Unlock()
 	p.mu.Lock()
 	applied := s.AppliedSeq
+	diverged := s.diverged
 	p.mu.Unlock()
 	if applied >= seq {
 		return nil // already applied (e.g. via resync)
@@ -97,7 +99,7 @@ func (p *Peer) applyIncoming(ctx context.Context, shareID string, seq uint64, fr
 	if err != nil {
 		return err
 	}
-	newView, _, err := p.fetchFrom(ctx, from, shareID, seq, applied, curView)
+	newView, cs, hasDelta, _, err := p.fetchFrom(ctx, from, shareID, seq, applied, curView)
 	if err != nil {
 		return err
 	}
@@ -105,16 +107,18 @@ func (p *Peer) applyIncoming(ctx context.Context, shareID string, seq uint64, fr
 		return fmt.Errorf("%w: share %s seq %d", ErrPayloadHash, shareID, seq)
 	}
 
-	// Step 5: put the updated view into the local source. A put failure
-	// means the view edit has no translation into our source under the
-	// local lens; reject the pending update on-chain so the share does
-	// not stall and the proposer rolls back.
+	// Step 5: put the updated view into the local source. When the fetch
+	// arrived as a row-level changeset, put goes through the delta path —
+	// a one-row edit touches one source row instead of rematerializing
+	// the table. A put failure means the view edit has no translation
+	// into our source under the local lens; reject the pending update
+	// on-chain so the share does not stall and the proposer rolls back.
 	src, err := p.snapshotTable(s.SourceTable)
 	if err != nil {
 		return err
 	}
 	local := newView.Renamed(s.ViewName)
-	newSrc, err := s.Lens.Put(src, local)
+	newSrc, err := putViaDelta(s.Lens, src, local, cs, hasDelta && !diverged)
 	if err != nil {
 		rej, berr := p.buildTx(sharereg.FnRejectUpdate, shareID, sharereg.RejectArgs{
 			ShareID: shareID, Seq: seq, Reason: err.Error(),
@@ -132,6 +136,7 @@ func (p *Peer) applyIncoming(ctx context.Context, shareID string, seq uint64, fr
 	p.mu.Lock()
 	s.prev = &shareBackup{seq: applied, view: curView}
 	s.AppliedSeq = seq
+	s.diverged = false // put realigned source and view
 	p.mu.Unlock()
 	p.record(HistoryEntry{ShareID: shareID, Seq: seq, Kind: "applied", Cols: cols, From: from})
 	p.logf("applied update on %s seq %d from %s", shareID, seq, from.Short())
@@ -148,6 +153,22 @@ func (p *Peer) applyIncoming(ctx context.Context, shareID string, seq uint64, fr
 
 	// Step 6: cascade into overlapping shares over the same source.
 	return p.cascade(ctx, s, cols)
+}
+
+// putViaDelta embeds an incoming view into the source along the delta
+// path when the fetch produced a (validated, minimal) changeset, and via
+// the full put otherwise. If the delta path fails where the full put
+// would succeed — possible only when the changeset disagrees with our
+// replica — the authoritative full put decides before anything is
+// rejected.
+func putViaDelta(l bx.Lens, src, local *reldb.Table, cs reldb.Changeset, hasDelta bool) (*reldb.Table, error) {
+	if hasDelta {
+		newSrc, err := bx.PutDeltaTable(l, src, local, cs)
+		if err == nil {
+			return newSrc, nil
+		}
+	}
+	return l.Put(src, local)
 }
 
 // cascade regenerates and proposes updates on every other share derived
@@ -209,6 +230,9 @@ func (p *Peer) onUpdateRejected(ev sharereg.EventPayload) {
 		s.backup = nil
 		s.prev = nil // the retained delta base no longer matches
 		s.AppliedSeq = bk.seq
+		// The view rolls back but the source keeps the user's edit, so
+		// the pair is diverged until a full put realigns it.
+		s.diverged = true
 	}
 	p.mu.Unlock()
 	if bk == nil {
@@ -284,6 +308,7 @@ func (p *Peer) resyncFinalized(ctx context.Context, s *Share, meta *sharereg.Met
 	defer s.opMu.Unlock()
 	p.mu.Lock()
 	applied := s.AppliedSeq
+	diverged := s.diverged
 	p.mu.Unlock()
 	if applied >= meta.Seq {
 		return nil // caught up while waiting for the lock
@@ -292,7 +317,7 @@ func (p *Peer) resyncFinalized(ctx context.Context, s *Share, meta *sharereg.Met
 	if err != nil {
 		return err
 	}
-	newView, seq, err := p.fetchFrom(ctx, meta.LastFrom, s.ID, meta.Seq, applied, curView)
+	newView, cs, hasDelta, seq, err := p.fetchFrom(ctx, meta.LastFrom, s.ID, meta.Seq, applied, curView)
 	if err != nil {
 		return fmt.Errorf("core: resync %s: %w", s.ID, err)
 	}
@@ -304,7 +329,7 @@ func (p *Peer) resyncFinalized(ctx context.Context, s *Share, meta *sharereg.Met
 		return err
 	}
 	local := newView.Renamed(s.ViewName)
-	newSrc, err := s.Lens.Put(src, local)
+	newSrc, err := putViaDelta(s.Lens, src, local, cs, hasDelta && !diverged)
 	if err != nil {
 		return err
 	}
@@ -313,6 +338,7 @@ func (p *Peer) resyncFinalized(ctx context.Context, s *Share, meta *sharereg.Met
 	p.mu.Lock()
 	s.prev = &shareBackup{seq: applied, view: curView}
 	s.AppliedSeq = seq
+	s.diverged = false // put realigned source and view
 	p.mu.Unlock()
 	p.record(HistoryEntry{ShareID: s.ID, Seq: seq, Kind: "resynced", From: meta.LastFrom})
 	return nil

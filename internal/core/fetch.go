@@ -142,21 +142,25 @@ func (p *Peer) serveDataFetch(msg p2p.Message) (p2p.Message, error) {
 // it — the event loop fetches automatically — but it supports ad-hoc reads
 // and the authorization tests.
 func (p *Peer) Fetch(ctx context.Context, from identity.Address, shareID string, minSeq uint64) (*reldb.Table, uint64, error) {
-	return p.fetchFrom(ctx, from, shareID, minSeq, 0, nil)
+	table, _, _, seq, err := p.fetchFrom(ctx, from, shareID, minSeq, 0, nil)
+	return table, seq, err
 }
 
 // fetchFrom requests the share payload at version minSeq or newer from
 // the peer with the given address. When base (the local view at haveSeq)
 // is supplied, the server may answer with a changeset, which is applied
 // to a copy of base; the caller still verifies the resulting table
-// against the on-chain payload hash.
-func (p *Peer) fetchFrom(ctx context.Context, from identity.Address, shareID string, minSeq, haveSeq uint64, base *reldb.Table) (*reldb.Table, uint64, error) {
+// against the on-chain payload hash. When the response was a delta,
+// hasDelta is true and cs is the row-level changeset from base to the
+// returned table, so callers can keep propagating the delta (bx.PutDelta)
+// instead of rematerializing.
+func (p *Peer) fetchFrom(ctx context.Context, from identity.Address, shareID string, minSeq, haveSeq uint64, base *reldb.Table) (table *reldb.Table, cs reldb.Changeset, hasDelta bool, seq uint64, err error) {
 	if p.cfg.Transport == nil || p.cfg.Directory == nil {
-		return nil, 0, fmt.Errorf("core: peer %s has no data channel", p.Name())
+		return nil, reldb.Changeset{}, false, 0, fmt.Errorf("core: peer %s has no data channel", p.Name())
 	}
 	endpoint, ok := p.cfg.Directory.Lookup(from)
 	if !ok {
-		return nil, 0, fmt.Errorf("core: no endpoint known for %s", from)
+		return nil, reldb.Changeset{}, false, 0, fmt.Errorf("core: no endpoint known for %s", from)
 	}
 	req := FetchRequest{
 		ShareID:   shareID,
@@ -171,37 +175,46 @@ func (p *Peer) fetchFrom(ctx context.Context, from identity.Address, shareID str
 	req.Sig = p.cfg.Identity.Sign(req.signingBytes())
 	payload, err := json.Marshal(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, reldb.Changeset{}, false, 0, err
 	}
 	msg, err := p.cfg.Transport.Request(ctx, endpoint, p2p.Message{Kind: p2p.KindDataFetch, Payload: payload})
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: fetching %s from %s: %w", shareID, from, err)
+		return nil, reldb.Changeset{}, false, 0, fmt.Errorf("core: fetching %s from %s: %w", shareID, from, err)
 	}
 	var resp FetchResponse
 	if err := json.Unmarshal(msg.Payload, &resp); err != nil {
-		return nil, 0, fmt.Errorf("core: bad fetch response: %w", err)
+		return nil, reldb.Changeset{}, false, 0, fmt.Errorf("core: bad fetch response: %w", err)
 	}
 	switch resp.Mode {
 	case FetchModeDelta:
 		if base == nil {
-			return nil, 0, fmt.Errorf("core: unsolicited delta for %s", shareID)
+			return nil, reldb.Changeset{}, false, 0, fmt.Errorf("core: unsolicited delta for %s", shareID)
 		}
 		cs, err := reldb.UnmarshalChangeset(resp.Changeset)
 		if err != nil {
-			return nil, 0, err
+			return nil, reldb.Changeset{}, false, 0, err
 		}
 		table := base.Clone()
 		if err := table.Apply(cs); err != nil {
-			return nil, 0, fmt.Errorf("core: applying delta for %s: %w", shareID, err)
+			return nil, reldb.Changeset{}, false, 0, fmt.Errorf("core: applying delta for %s: %w", shareID, err)
 		}
-		return table, resp.Seq, nil
+		// Only a *minimal* changeset may drive the delta put downstream: a
+		// padded one (e.g. delete+insert of an unchanged row) reproduces
+		// the correct table — so it passes the payload-hash check — yet
+		// would destroy hidden source columns when replayed through a
+		// lens's structural-edit policies. Downgrade those to a full-table
+		// result.
+		if err := base.ValidateDiff(table, cs); err != nil {
+			return table, reldb.Changeset{}, false, resp.Seq, nil
+		}
+		return table, cs, true, resp.Seq, nil
 	case FetchModeFull, "":
 		table, err := reldb.UnmarshalTable(resp.Table)
 		if err != nil {
-			return nil, 0, err
+			return nil, reldb.Changeset{}, false, 0, err
 		}
-		return table, resp.Seq, nil
+		return table, reldb.Changeset{}, false, resp.Seq, nil
 	default:
-		return nil, 0, fmt.Errorf("core: unknown fetch mode %q", resp.Mode)
+		return nil, reldb.Changeset{}, false, 0, fmt.Errorf("core: unknown fetch mode %q", resp.Mode)
 	}
 }

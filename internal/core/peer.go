@@ -132,6 +132,14 @@ type Share struct {
 	// serve row-level changesets to peers that already hold it, instead
 	// of the whole view (delta transfer; measured in experiment E8).
 	prev *shareBackup
+
+	// diverged marks that the stored view replica no longer equals
+	// Lens.Get(source) — the deliberate state after a rejection or denial
+	// rollback, which restores the view but keeps the user's edit in the
+	// source. While set, puts take the full path (which re-embeds the
+	// whole view and realigns the pair) instead of the delta path (which
+	// would silently preserve the divergence). Guarded by Peer.mu.
+	diverged bool
 }
 
 // shareBackup is a (sequence, view snapshot) pair.

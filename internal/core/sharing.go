@@ -222,24 +222,32 @@ func (p *Peer) ProposeUpdate(ctx context.Context, shareID string) (ProposalResul
 	// request commits: the contract event may reach counterparties in the
 	// same instant the block lands, and their fetch must already see the
 	// new payload. The pre-proposal state is kept as a rollback point for
-	// a contract denial or a counterparty rejection.
+	// a contract denial or a counterparty rejection. oldView is already an
+	// immutable snapshot, so the rollback point and the delta base share
+	// it instead of each taking a copy.
 	p.cfg.DB.PutTable(newView.Renamed(s.ViewName))
 	p.mu.Lock()
-	s.backup = &shareBackup{seq: baseSeq, view: oldView.Clone()}
-	s.prev = &shareBackup{seq: baseSeq, view: oldView.Clone()}
+	s.backup = &shareBackup{seq: baseSeq, view: oldView}
+	s.prev = &shareBackup{seq: baseSeq, view: oldView}
 	s.AppliedSeq = baseSeq + 1
 	p.mu.Unlock()
 
 	if _, err := p.submitAndWait(ctx, tx); err != nil {
-		// Denied (permission, pending gate, stale base): roll back.
+		// Denied (permission, pending gate, stale base): roll back. The
+		// view returns to the pre-proposal snapshot while the source keeps
+		// the local edit, so the pair is diverged until a full put.
 		p.mu.Lock()
 		s.AppliedSeq = baseSeq
 		s.backup = nil
 		s.prev = nil
+		s.diverged = true
 		p.mu.Unlock()
 		p.cfg.DB.PutTable(oldView.Renamed(s.ViewName))
 		return ProposalResult{}, fmt.Errorf("core: update on %s denied: %w", shareID, err)
 	}
+	p.mu.Lock()
+	s.diverged = false // replica refreshed from Get(src); pair aligned
+	p.mu.Unlock()
 	p.record(HistoryEntry{ShareID: shareID, Seq: baseSeq + 1, Kind: kind, Cols: cols, From: p.Address()})
 	p.logf("proposed update on %s seq %d (cols %v)", shareID, baseSeq+1, cols)
 	return ProposalResult{ShareID: shareID, Seq: baseSeq + 1, Cols: cols, TxID: tx.IDString()}, nil
@@ -274,7 +282,9 @@ func (p *Peer) SyncShares(ctx context.Context, sourceTable string) ([]ProposalRe
 
 // UpdateView edits the shared view directly (entry-level CRUD of Fig. 4 on
 // the shared table) and immediately embeds the edit into the local source
-// via put before proposing — so source and view never diverge locally.
+// before proposing — so source and view never diverge locally. The edit is
+// diffed against the pre-edit view and embedded along the delta path, so
+// an entry-level edit costs O(changed rows) in the source.
 func (p *Peer) UpdateView(ctx context.Context, shareID string, mutate func(*reldb.Table) error) (ProposalResult, error) {
 	s, err := p.share(shareID)
 	if err != nil {
@@ -288,11 +298,30 @@ func (p *Peer) UpdateView(ctx context.Context, shareID string, mutate func(*reld
 	if err := mutate(edited); err != nil {
 		return ProposalResult{}, err
 	}
+	cs, err := view.Diff(edited)
+	if err != nil {
+		return ProposalResult{}, err
+	}
 	src, err := p.snapshotTable(s.SourceTable)
 	if err != nil {
 		return ProposalResult{}, err
 	}
-	newSrc, err := s.Lens.Put(src, edited)
+	// The delta path is only sound while the stored replica equals the
+	// lens's current view of the source. After a rejection or denial
+	// rollback the two deliberately diverge (the view is restored, the
+	// source keeps the user's edit) — the share tracks that in its
+	// diverged flag, and the full put re-embeds the whole view there,
+	// exactly as before the delta optimization, instead of silently
+	// re-proposing the rejected rows alongside the new edit.
+	p.mu.Lock()
+	diverged := s.diverged
+	p.mu.Unlock()
+	var newSrc *reldb.Table
+	if diverged {
+		newSrc, err = s.Lens.Put(src, edited)
+	} else {
+		newSrc, err = bx.PutDeltaTable(s.Lens, src, edited, cs)
+	}
 	if err != nil {
 		return ProposalResult{}, fmt.Errorf("core: put on %s: %w", shareID, err)
 	}

@@ -123,8 +123,47 @@ func (t *Table) Diff(target *Table) (Changeset, error) {
 	return cs, nil
 }
 
+// ValidateDiff checks that cs is the *minimal* keyed changeset from t to
+// target (up to ordering) — every delete names a row of t whose key is
+// absent from target, every insert a row of target whose key is absent
+// from t, and every update matches both sides exactly. Receivers of wire
+// changesets use it before delta-propagating a put: a non-minimal
+// changeset (e.g. a delete+insert pair for an unchanged row) reproduces
+// the right table under Apply yet would corrupt hidden source columns
+// when replayed through a lens's structural-edit policies.
+func (t *Table) ValidateDiff(target *Table, cs Changeset) error {
+	bad := func(kind string, key Row) error {
+		return fmt.Errorf("%w: non-minimal changeset: %s of key %v", ErrSchemaInvalid, kind, key)
+	}
+	for _, r := range cs.Deleted {
+		key := t.KeyValues(r)
+		old, ok := t.Get(key)
+		if !ok || !old.Equal(r) || target.Has(key) {
+			return bad("delete", key)
+		}
+	}
+	for _, r := range cs.Inserted {
+		key := t.KeyValues(r)
+		now, ok := target.Get(key)
+		if !ok || !now.Equal(r) || t.Has(key) {
+			return bad("insert", key)
+		}
+	}
+	for _, u := range cs.Updated {
+		key := t.KeyValues(u.After)
+		old, okOld := t.Get(key)
+		now, okNew := target.Get(key)
+		if !okOld || !okNew || !old.Equal(u.Before) || !now.Equal(u.After) {
+			return bad("update", key)
+		}
+	}
+	return nil
+}
+
 // Apply mutates the table by applying the changeset. Applying the result
-// of a.Diff(b) to a clone of a yields a table equal to b.
+// of a.Diff(b) to a clone of a yields a table equal to b. The table takes
+// ownership of the changeset's rows; changesets are immutable transfer
+// objects and must not be mutated after Apply.
 func (t *Table) Apply(cs Changeset) error {
 	for _, r := range cs.Deleted {
 		if err := t.Delete(t.KeyValues(r)); err != nil {
@@ -132,12 +171,12 @@ func (t *Table) Apply(cs Changeset) error {
 		}
 	}
 	for _, u := range cs.Updated {
-		if err := t.Upsert(u.After); err != nil {
+		if err := t.UpsertOwned(u.After); err != nil {
 			return fmt.Errorf("apply update: %w", err)
 		}
 	}
 	for _, r := range cs.Inserted {
-		if err := t.Insert(r); err != nil {
+		if err := t.InsertOwned(r); err != nil {
 			return fmt.Errorf("apply insert: %w", err)
 		}
 	}

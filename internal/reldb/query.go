@@ -19,22 +19,25 @@ func (t *Table) Project(name string, cols []string, key []string) (*Table, error
 	if err != nil {
 		return nil, err
 	}
+	out.Grow(len(t.rows))
 	srcIdx := make([]int, len(cols))
 	for i, c := range cols {
 		srcIdx[i] = t.schema.ColumnIndex(c)
 	}
+	var keyBuf []byte
 	for _, r := range t.rows {
 		pr := make(Row, len(cols))
 		for i, si := range srcIdx {
 			pr[i] = r[si]
 		}
-		if existing, ok := out.Get(out.KeyValues(pr)); ok {
+		keyBuf = out.AppendKeyOf(keyBuf[:0], pr)
+		if existing, ok := out.GetKeyBytes(keyBuf); ok {
 			if !existing.Equal(pr) {
 				return nil, fmt.Errorf("%w: projection %s is not functional on key %v", ErrSchemaInvalid, name, out.KeyValues(pr))
 			}
 			continue
 		}
-		if err := out.Insert(pr); err != nil {
+		if err := out.InsertOwned(pr); err != nil {
 			return nil, err
 		}
 	}
@@ -47,13 +50,14 @@ func (t *Table) Select(name string, pred Predicate) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	out.Grow(len(t.rows))
 	for _, r := range t.rows {
 		ok, err := pred.Eval(t.schema, r)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			if err := out.Insert(r); err != nil {
+			if err := out.InsertOwned(r); err != nil {
 				return nil, err
 			}
 		}
@@ -81,8 +85,9 @@ func (t *Table) RenameColumns(name string, mapping map[string]string) (*Table, e
 	if err != nil {
 		return nil, err
 	}
+	out.Grow(len(t.rows))
 	for _, r := range t.rows {
-		if err := out.Insert(r); err != nil {
+		if err := out.InsertOwned(r); err != nil {
 			return nil, err
 		}
 	}
@@ -165,7 +170,7 @@ func (t *Table) NaturalJoin(name string, o *Table) (*Table, error) {
 			for _, j := range oExtra {
 				joined = append(joined, or[j])
 			}
-			if err := out.Upsert(joined); err != nil {
+			if err := out.UpsertOwned(joined); err != nil {
 				return nil, err
 			}
 		}

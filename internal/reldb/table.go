@@ -2,21 +2,103 @@ package reldb
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Table is an in-memory relation: a schema plus rows indexed by primary
 // key. Rows are kept in insertion order; canonical (key-sorted) order is
-// used for hashing and equality so two tables with the same contents are
-// identical regardless of mutation history.
+// cached and used for encoding and equality so two tables with the same
+// contents behave identically regardless of mutation history.
 //
-// Table is not safe for concurrent use; Database serializes access.
+// Storage is copy-on-write: Clone shares the row storage with the
+// original and either side copies it lazily on its first mutation, so
+// snapshots are O(1) in row data. Rows are immutable once inside a table —
+// accessors (Rows, RowsCanonical, Get, Scan) return shared references that
+// callers must treat as read-only; all mutation goes through Insert /
+// Update / Upsert / Delete, which replace whole rows.
+//
+// Table is not safe for concurrent mutation; Database serializes access.
 type Table struct {
 	schema Schema
-	rows   []Row
+	// keyIdx caches schema.KeyIndexes(); the schema is immutable after
+	// construction (Renamed changes only the name).
+	keyIdx []int
+	rows []Row
 	// index maps canonical key encodings to positions in rows.
 	index map[string]int
+	// Incremental hash state, built lazily by the first Hash() call and
+	// maintained incrementally afterwards, so tables that are never
+	// hashed (derived views, intermediates) pay nothing. digests is
+	// parallel to rows: digests[i] is the canonical SHA-256 digest of
+	// rows[i]. sum is the additive multiset combination of all row
+	// digests; see Hash for the construction. hashed gates both; hashMu
+	// serializes the lazy build between concurrent readers.
+	digests [][32]byte
+	sum     tableSum
+	hashed  atomic.Bool
+	hashMu  sync.Mutex
+	// schemaSum digests the canonical schema encoding (name excluded).
+	schemaSum [32]byte
+	// canon caches the canonical (key-sorted) row order as positions into
+	// rows; nil means it must be recomputed. Atomic because the cache is
+	// filled in by read-only calls, which may run concurrently on a shared
+	// snapshot (e.g. two fetch handlers diffing the same retained view).
+	canon atomic.Pointer[[]int]
+	// cow marks the row storage as shared with at least one clone; any
+	// mutator copies it first. Atomic so concurrent snapshots race-freely
+	// mark a live table as shared.
+	cow atomic.Bool
+}
+
+// tableSum is a 256-bit little-endian accumulator. Row digests are added
+// on insert and subtracted on delete (mod 2^256), giving an
+// order-independent multiset hash that costs O(1) per row change.
+type tableSum [4]uint64
+
+func (s *tableSum) add(d [32]byte) {
+	var c uint64
+	for i := 0; i < 4; i++ {
+		s[i], c = bits.Add64(s[i], binary.LittleEndian.Uint64(d[i*8:]), c)
+	}
+}
+
+func (s *tableSum) sub(d [32]byte) {
+	var b uint64
+	for i := 0; i < 4; i++ {
+		s[i], b = bits.Sub64(s[i], binary.LittleEndian.Uint64(d[i*8:]), b)
+	}
+}
+
+// rowDigest hashes a row's canonical encoding.
+func rowDigest(r Row) [32]byte {
+	var buf [192]byte
+	return sha256.Sum256(r.AppendCanonical(buf[:0]))
+}
+
+// appendSchemaCanonical appends the deterministic schema encoding (columns
+// and key; the table name is deliberately excluded — see AppendCanonical).
+func appendSchemaCanonical(dst []byte, s Schema) []byte {
+	for _, c := range s.Columns {
+		dst = append(dst, []byte(c.Name)...)
+		dst = append(dst, 0, byte(c.Type))
+		if c.Nullable {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	dst = append(dst, 0)
+	for _, k := range s.Key {
+		dst = append(dst, []byte(k)...)
+		dst = append(dst, 0)
+	}
+	dst = append(dst, 0)
+	return dst
 }
 
 // NewTable creates an empty table with the given schema.
@@ -24,9 +106,13 @@ func NewTable(schema Schema) (*Table, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
+	sc := schema.Clone()
+	var buf [256]byte
 	return &Table{
-		schema: schema.Clone(),
-		index:  make(map[string]int),
+		schema:    sc,
+		keyIdx:    sc.KeyIndexes(),
+		index:     make(map[string]int),
+		schemaSum: sha256.Sum256(appendSchemaCanonical(buf[:0], sc)),
 	}, nil
 }
 
@@ -49,10 +135,54 @@ func (t *Table) Name() string { return t.schema.Name }
 // Len returns the number of rows.
 func (t *Table) Len() int { return len(t.rows) }
 
+// materialize unshares the row storage before a mutation. Positions are
+// preserved, so indexes held across the call stay valid.
+func (t *Table) materialize() {
+	if !t.cow.Load() {
+		return
+	}
+	rows := make([]Row, len(t.rows))
+	copy(rows, t.rows)
+	t.rows = rows
+	if t.hashed.Load() {
+		digests := make([][32]byte, len(t.digests))
+		copy(digests, t.digests)
+		t.digests = digests
+	}
+	index := make(map[string]int, len(t.index))
+	for k, v := range t.index {
+		index[k] = v
+	}
+	t.index = index
+	t.cow.Store(false)
+}
+
+// Grow unshares the storage and preallocates capacity for n more rows,
+// including the key index.
+func (t *Table) Grow(n int) {
+	t.materialize()
+	if cap(t.rows)-len(t.rows) >= n {
+		return
+	}
+	rows := make([]Row, len(t.rows), len(t.rows)+n)
+	copy(rows, t.rows)
+	t.rows = rows
+	if t.hashed.Load() {
+		digests := make([][32]byte, len(t.digests), len(t.digests)+n)
+		copy(digests, t.digests)
+		t.digests = digests
+	}
+	index := make(map[string]int, len(t.index)+n)
+	for k, v := range t.index {
+		index[k] = v
+	}
+	t.index = index
+}
+
 // keyOf extracts the canonical key encoding from a full row.
 func (t *Table) keyOf(r Row) string {
 	var buf []byte
-	for _, i := range t.schema.KeyIndexes() {
+	for _, i := range t.keyIdx {
 		buf = r[i].AppendCanonical(buf)
 	}
 	return string(buf)
@@ -60,12 +190,21 @@ func (t *Table) keyOf(r Row) string {
 
 // KeyValues extracts the primary-key values from a full row, in key order.
 func (t *Table) KeyValues(r Row) Row {
-	idx := t.schema.KeyIndexes()
-	out := make(Row, len(idx))
-	for i, j := range idx {
+	out := make(Row, len(t.keyIdx))
+	for i, j := range t.keyIdx {
 		out[i] = r[j]
 	}
 	return out
+}
+
+// AppendKeyOf appends the canonical key encoding of a full row to dst,
+// the same encoding GetKeyBytes looks up. Hot paths use it to probe the
+// index without materializing a key tuple.
+func (t *Table) AppendKeyOf(dst []byte, r Row) []byte {
+	for _, i := range t.keyIdx {
+		dst = r[i].AppendCanonical(dst)
+	}
+	return dst
 }
 
 // encodeKey canonically encodes a key tuple (values in key order).
@@ -83,12 +222,34 @@ func (t *Table) Insert(r Row) error {
 	if err := t.schema.checkRow(r); err != nil {
 		return err
 	}
+	return t.insertOwned(r.Clone())
+}
+
+// InsertOwned adds a row without copying it: the table takes ownership,
+// and the caller must never mutate r afterwards. It is the allocation-free
+// insert for code that constructs rows it will not reuse (lens puts,
+// relational operators, changeset application).
+func (t *Table) InsertOwned(r Row) error {
+	if err := t.schema.checkRow(r); err != nil {
+		return err
+	}
+	return t.insertOwned(r)
+}
+
+func (t *Table) insertOwned(r Row) error {
 	k := t.keyOf(r)
 	if _, dup := t.index[k]; dup {
 		return fmt.Errorf("%w: table %s key %v", ErrDuplicateKey, t.schema.Name, t.KeyValues(r))
 	}
+	t.materialize()
 	t.index[k] = len(t.rows)
-	t.rows = append(t.rows, r.Clone())
+	t.rows = append(t.rows, r)
+	if t.hashed.Load() {
+		d := rowDigest(r)
+		t.digests = append(t.digests, d)
+		t.sum.add(d)
+	}
+	t.canon.Store(nil)
 	return nil
 }
 
@@ -99,19 +260,45 @@ func (t *Table) MustInsert(r Row) {
 	}
 }
 
-// Get returns a copy of the row with the given key tuple.
+// Get returns the row with the given key tuple. The row is a shared
+// reference and must be treated as read-only.
 func (t *Table) Get(key Row) (Row, bool) {
 	i, ok := t.index[encodeKey(key)]
 	if !ok {
 		return nil, false
 	}
-	return t.rows[i].Clone(), true
+	return t.rows[i], true
+}
+
+// GetKeyBytes returns the row whose canonical key encoding equals k (as
+// produced by AppendKeyOf or Value.AppendCanonical over the key tuple).
+// The row is a shared reference and must be treated as read-only.
+func (t *Table) GetKeyBytes(k []byte) (Row, bool) {
+	i, ok := t.index[string(k)]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[i], true
 }
 
 // Has reports whether a row with the given key tuple exists.
 func (t *Table) Has(key Row) bool {
 	_, ok := t.index[encodeKey(key)]
 	return ok
+}
+
+// replaceAt swaps the row at position i for an owned replacement with the
+// same key, updating the digest sum. The canonical order stays valid
+// because neither position nor key changes.
+func (t *Table) replaceAt(i int, r Row) {
+	t.materialize()
+	if t.hashed.Load() {
+		d := rowDigest(r)
+		t.sum.sub(t.digests[i])
+		t.sum.add(d)
+		t.digests[i] = d
+	}
+	t.rows[i] = r
 }
 
 // Update modifies the non-key columns named in set for the row with the
@@ -136,7 +323,7 @@ func (t *Table) Update(key Row, set map[string]Value) error {
 	if err := t.schema.checkRow(updated); err != nil {
 		return err
 	}
-	t.rows[i] = updated
+	t.replaceAt(i, updated)
 	return nil
 }
 
@@ -167,13 +354,26 @@ func (t *Table) Delete(key Row) error {
 	if !ok {
 		return fmt.Errorf("%w: table %s key %v", ErrKeyNotFound, t.schema.Name, key)
 	}
+	t.materialize()
+	hashed := t.hashed.Load()
+	if hashed {
+		t.sum.sub(t.digests[i])
+	}
 	last := len(t.rows) - 1
 	if i != last {
 		t.rows[i] = t.rows[last]
 		t.index[t.keyOf(t.rows[i])] = i
+		if hashed {
+			t.digests[i] = t.digests[last]
+		}
 	}
+	t.rows[last] = nil
 	t.rows = t.rows[:last]
+	if hashed {
+		t.digests = t.digests[:last]
+	}
 	delete(t.index, ks)
+	t.canon.Store(nil)
 	return nil
 }
 
@@ -197,41 +397,74 @@ func (t *Table) DeleteWhere(pred Predicate) (int, error) {
 }
 
 // Upsert inserts the row, or replaces the existing row with the same key.
+// The row is cloned; the caller keeps ownership of r.
 func (t *Table) Upsert(r Row) error {
 	if err := t.schema.checkRow(r); err != nil {
 		return err
 	}
-	k := t.keyOf(r)
-	if i, ok := t.index[k]; ok {
-		t.rows[i] = r.Clone()
-		return nil
-	}
-	t.index[k] = len(t.rows)
-	t.rows = append(t.rows, r.Clone())
-	return nil
+	return t.upsertOwned(r.Clone())
 }
 
-// Rows returns copies of all rows in insertion order.
+// UpsertOwned is Upsert without the defensive copy: the table takes
+// ownership and the caller must never mutate r afterwards.
+func (t *Table) UpsertOwned(r Row) error {
+	if err := t.schema.checkRow(r); err != nil {
+		return err
+	}
+	return t.upsertOwned(r)
+}
+
+func (t *Table) upsertOwned(r Row) error {
+	k := t.keyOf(r)
+	if i, ok := t.index[k]; ok {
+		t.replaceAt(i, r)
+		return nil
+	}
+	return t.insertOwned(r)
+}
+
+// Rows returns the rows in insertion order. The slice is fresh, but its
+// rows are shared references that must be treated as read-only; no row
+// data is copied.
 func (t *Table) Rows() []Row {
 	out := make([]Row, len(t.rows))
-	for i, r := range t.rows {
-		out[i] = r.Clone()
-	}
+	copy(out, t.rows)
 	return out
 }
 
-// RowsCanonical returns copies of all rows sorted by primary key.
-func (t *Table) RowsCanonical() []Row {
-	out := t.Rows()
-	idx := t.schema.KeyIndexes()
-	sort.Slice(out, func(a, b int) bool {
-		for _, i := range idx {
-			if c := out[a][i].Compare(out[b][i]); c != 0 {
+// canonOrder returns (computing and caching if needed) the row positions
+// in canonical key order.
+func (t *Table) canonOrder() []int {
+	if p := t.canon.Load(); p != nil {
+		return *p
+	}
+	ord := make([]int, len(t.rows))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		ra, rb := t.rows[ord[a]], t.rows[ord[b]]
+		for _, i := range t.keyIdx {
+			if c := ra[i].Compare(rb[i]); c != 0 {
 				return c < 0
 			}
 		}
 		return false
 	})
+	t.canon.Store(&ord)
+	return ord
+}
+
+// RowsCanonical returns the rows sorted by primary key. The slice is
+// fresh, but its rows are shared references that must be treated as
+// read-only. The sorted order is cached and reused until the next
+// structural mutation.
+func (t *Table) RowsCanonical() []Row {
+	ord := t.canonOrder()
+	out := make([]Row, len(ord))
+	for i, j := range ord {
+		out[i] = t.rows[j]
+	}
 	return out
 }
 
@@ -263,19 +496,29 @@ func (t *Table) Value(key Row, col string) (Value, error) {
 	return r[ci], nil
 }
 
-// Clone returns a deep copy of the table.
+// Clone returns an independent copy of the table in O(1) row data: the
+// storage is shared copy-on-write and unshared by whichever side mutates
+// first.
 func (t *Table) Clone() *Table {
 	out := &Table{
-		schema: t.schema.Clone(),
-		rows:   make([]Row, len(t.rows)),
-		index:  make(map[string]int, len(t.index)),
+		schema:    t.schema.Clone(),
+		keyIdx:    t.keyIdx,
+		rows:      t.rows,
+		index:     t.index,
+		schemaSum: t.schemaSum,
 	}
-	for i, r := range t.rows {
-		out.rows[i] = r.Clone()
+	// Snapshot the hash state under the lock so a concurrent lazy build
+	// (another reader hashing this table) cannot be observed half-done.
+	t.hashMu.Lock()
+	if t.hashed.Load() {
+		out.digests = t.digests
+		out.sum = t.sum
+		out.hashed.Store(true)
 	}
-	for k, v := range t.index {
-		out.index[k] = v
-	}
+	t.hashMu.Unlock()
+	out.canon.Store(t.canon.Load())
+	out.cow.Store(true)
+	t.cow.Store(true)
 	return out
 }
 
@@ -285,6 +528,12 @@ func (t *Table) Equal(o *Table) bool {
 	if o == nil || !t.schema.Equal(o.schema) || len(t.rows) != len(o.rows) {
 		return false
 	}
+	if t.hashed.Load() && o.hashed.Load() && t.sum == o.sum {
+		return true
+	}
+	// Structural comparison when either side has no hash state yet, or
+	// when the digest sums differ for encodings that nevertheless compare
+	// equal (NaN payload bits).
 	a, b := t.RowsCanonical(), o.RowsCanonical()
 	for i := range a {
 		if !a[i].Equal(b[i]) {
@@ -299,36 +548,62 @@ func (t *Table) Equal(o *Table) bool {
 // two replicas of a shared table carry different local names (the paper's
 // D13 and D31) but must hash identically when their contents agree.
 func (t *Table) AppendCanonical(dst []byte) []byte {
-	for _, c := range t.schema.Columns {
-		dst = append(dst, []byte(c.Name)...)
-		dst = append(dst, 0, byte(c.Type))
-		if c.Nullable {
-			dst = append(dst, 1)
-		} else {
-			dst = append(dst, 0)
-		}
-	}
-	dst = append(dst, 0)
-	for _, k := range t.schema.Key {
-		dst = append(dst, []byte(k)...)
-		dst = append(dst, 0)
-	}
-	dst = append(dst, 0)
+	dst = appendSchemaCanonical(dst, t.schema)
 	for _, r := range t.RowsCanonical() {
 		dst = r.AppendCanonical(dst)
 	}
 	return dst
 }
 
-// Hash returns a SHA-256 digest of the canonical encoding. Two tables with
-// the same schema and contents hash identically, which is what the
-// sharing-layer uses to confirm that peers converged after an update.
+// Hash returns a SHA-256 digest committing to the schema and the multiset
+// of rows. Two tables with the same schema and contents hash identically —
+// regardless of insertion order or table name — which is what the
+// sharing layer uses to confirm that peers converged after an update.
+//
+// The digest is maintained incrementally: the first Hash call digests
+// every row once, and from then on each row's canonical SHA-256 digest is
+// added to (on insert) or subtracted from (on delete) a 256-bit
+// accumulator — so Hash costs O(k) after a k-row update instead of
+// re-encoding the whole relation, and tables that are never hashed pay
+// nothing. The construction is an AdHash-style multiset hash; see
+// PERFORMANCE.md for its guarantees and limits.
 func (t *Table) Hash() [32]byte {
-	return sha256.Sum256(t.AppendCanonical(nil))
+	t.ensureHashed()
+	var buf [72]byte
+	copy(buf[:32], t.schemaSum[:])
+	binary.BigEndian.PutUint64(buf[32:40], uint64(len(t.rows)))
+	for i, limb := range t.sum {
+		binary.LittleEndian.PutUint64(buf[40+8*i:], limb)
+	}
+	return sha256.Sum256(buf[:])
 }
 
-// Renamed returns a deep copy of the table under a different name. Peers
-// use it to store an incoming shared payload under their local view name.
+// ensureHashed builds the per-row digest cache and its additive sum on
+// first use. Safe to call from concurrent readers sharing one snapshot;
+// mutation is still single-writer by the Table contract.
+func (t *Table) ensureHashed() {
+	if t.hashed.Load() {
+		return
+	}
+	t.hashMu.Lock()
+	defer t.hashMu.Unlock()
+	if t.hashed.Load() {
+		return
+	}
+	digests := make([][32]byte, len(t.rows))
+	var sum tableSum
+	for i, r := range t.rows {
+		digests[i] = rowDigest(r)
+		sum.add(digests[i])
+	}
+	t.digests = digests
+	t.sum = sum
+	t.hashed.Store(true)
+}
+
+// Renamed returns a copy of the table under a different name (O(1) row
+// data, like Clone). Peers use it to store an incoming shared payload
+// under their local view name.
 func (t *Table) Renamed(name string) *Table {
 	out := t.Clone()
 	out.schema.Name = name

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The bench-regression gate: -compare diffs the run that just finished
+// against a committed BENCH_baseline.json and fails (non-zero exit) when
+// a metric got worse by more than -threshold. Result-array elements are
+// keyed by their configuration fields (records, nodes, shares, ...), not
+// their position, so a -quick run compares correctly against a full-sweep
+// baseline: sweep points absent from either side are skipped.
+
+// configFields identify a sweep point inside an experiment's result
+// slice. They are matched by (exported Go) field name.
+var configFields = map[string]bool{
+	"Records": true, "Nodes": true, "Rows": true, "Depth": true,
+	"Updaters": true, "Shares": true, "Readers": true, "BatchSize": true,
+	"Consensus": true, "BlockInterval": true, "Peer": true, "Updates": true,
+}
+
+// higherBetter metrics improve upward (throughputs, reduction ratios).
+var higherBetter = []string{"PerSec", "Speedup", "Ratio"}
+
+// lowerBetter metrics improve downward (latencies, makespans, sizes).
+// Everything else (counts, configuration echoes) is ignored.
+var lowerBetter = []string{
+	"Makespan", "Time", "PerOp", "Bootstrap", "DeriveAll", "PerView",
+	"PerRecord", "SingleHop", "FullCascade", "Get", "Put", "Create",
+	"Read", "Update", "Delete", "Bytes", "Transfer", "IntegrityOK",
+}
+
+// direction returns +1 for higher-better, -1 for lower-better, 0 for
+// ignored metrics. The metric name is the leaf field name of the
+// flattened key.
+func direction(key string) int {
+	leaf := key
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		leaf = key[i+1:]
+	}
+	if configFields[leaf] || strings.Contains(leaf, "Count") || leaf == "Blocks" || leaf == "BlocksUsed" {
+		return 0
+	}
+	for _, s := range higherBetter {
+		if strings.Contains(leaf, s) {
+			return +1
+		}
+	}
+	for _, s := range lowerBetter {
+		if strings.Contains(leaf, s) {
+			return -1
+		}
+	}
+	return 0
+}
+
+// elementKey renders a result object's sweep-point identity, e.g.
+// "Nodes=3,Records=10". Empty when the object carries no config fields.
+func elementKey(obj map[string]any) string {
+	var parts []string
+	for name, v := range obj {
+		if !configFields[name] {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%v", name, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// flatten walks a decoded JSON value and collects numeric leaves under
+// "/"-joined keys, keying array elements by elementKey when possible.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			flatten(prefix+"/"+k, sub, out)
+		}
+	case []any:
+		for i, sub := range x {
+			key := fmt.Sprintf("%s/%d", prefix, i)
+			if obj, ok := sub.(map[string]any); ok {
+				if ek := elementKey(obj); ek != "" {
+					key = prefix + "[" + ek + "]"
+				}
+			}
+			flatten(key, sub, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+// flattenExperiments normalizes either a full baseline file (with its
+// "experiments" envelope) or the in-memory result map into flat metrics.
+func flattenExperiments(v any) map[string]float64 {
+	out := make(map[string]float64)
+	if m, ok := v.(map[string]any); ok {
+		if exp, ok := m["experiments"]; ok {
+			v = exp
+		}
+	}
+	flatten("", v, out)
+	return out
+}
+
+// compareAgainst diffs the current run (baselineData) against the
+// committed baseline at path and reports the number of regressions
+// beyond the threshold.
+func compareAgainst(path string, threshold float64) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var oldDoc any
+	if err := json.Unmarshal(raw, &oldDoc); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	// Round-trip the in-memory results through JSON so both sides have
+	// identical generic shapes.
+	curRaw, err := json.Marshal(baselineData)
+	if err != nil {
+		return 0, err
+	}
+	var curDoc any
+	if err := json.Unmarshal(curRaw, &curDoc); err != nil {
+		return 0, err
+	}
+	oldFlat := flattenExperiments(oldDoc)
+	curFlat := flattenExperiments(curDoc)
+
+	keys := make([]string, 0, len(curFlat))
+	for k := range curFlat {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("\n=== regression gate (threshold %.0f%%, baseline %s) ===\n", threshold*100, path)
+	regressions, compared := 0, 0
+	for _, k := range keys {
+		dir := direction(k)
+		if dir == 0 {
+			continue
+		}
+		oldV, ok := oldFlat[k]
+		if !ok || oldV == 0 {
+			continue // new metric or absent sweep point: nothing to gate
+		}
+		newV := curFlat[k]
+		compared++
+		var ratio float64
+		if dir < 0 {
+			ratio = newV/oldV - 1 // positive = slower/bigger = worse
+		} else {
+			ratio = oldV/newV - 1 // positive = lower throughput = worse
+		}
+		if ratio > threshold {
+			regressions++
+			fmt.Printf("REGRESSION %-60s old %.4g new %.4g (%.0f%% worse)\n", k, oldV, newV, ratio*100)
+		}
+	}
+	fmt.Printf("compared %d metrics, %d regression(s)\n", compared, regressions)
+	return regressions, nil
+}

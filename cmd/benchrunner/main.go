@@ -23,9 +23,11 @@ import (
 )
 
 var (
-	quick    = flag.Bool("quick", false, "reduced parameter sweeps")
-	only     = flag.String("only", "", "run only the named experiment (E1..E10)")
-	baseline = flag.String("baseline", "BENCH_baseline.json", "write machine-readable results to this file (empty disables)")
+	quick     = flag.Bool("quick", false, "reduced parameter sweeps")
+	only      = flag.String("only", "", "run only the named experiment (E1..E11)")
+	baseline  = flag.String("baseline", "BENCH_baseline.json", "write machine-readable results to this file (empty disables)")
+	compare   = flag.String("compare", "", "diff this run against a committed baseline JSON and exit non-zero on regressions")
+	threshold = flag.Float64("threshold", 0.25, "relative regression threshold for -compare (0.25 = 25% worse)")
 )
 
 // baselineData collects every experiment's structured results so the run
@@ -44,7 +46,7 @@ func main() {
 	}{
 		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
-		{"E9", runE9}, {"E10", runE10},
+		{"E9", runE9}, {"E10", runE10}, {"E11", runE11},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
@@ -69,6 +71,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *baseline)
+	}
+	if *compare != "" {
+		regressions, err := compareAgainst(*compare, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "\n%d benchmark(s) regressed beyond %.0f%% against %s\n",
+				regressions, *threshold*100, *compare)
+			os.Exit(1)
+		}
+		fmt.Printf("\nno regressions beyond %.0f%% against %s\n", *threshold*100, *compare)
 	}
 }
 
@@ -319,6 +334,32 @@ func runE9(context.Context) error {
 			for _, r := range results {
 				fmt.Fprintf(w, "%d\t%d\t%v\t%v\n", r.Rows, r.Depth,
 					r.Get.Round(time.Microsecond), r.Put.Round(time.Microsecond))
+			}
+		})
+	return nil
+}
+
+func runE11(ctx context.Context) error {
+	type cfg struct{ shares, records int }
+	cfgs := []cfg{{16, 64}, {64, 64}}
+	if *quick {
+		cfgs = []cfg{{16, 64}}
+	}
+	var results []medshare.E11Result
+	for _, c := range cfgs {
+		r, err := medshare.RunE11ManyShares(ctx, c.shares, c.records)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	baselineData["E11"] = results
+	table("E11 — many-shares peer: one fan-out round to finality (2ms blocks)",
+		"shares\trecords\tsequential\tparallel\tspeedup ×\treads/s (4 readers)", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%.2f\t%.0f\n", r.Shares, r.Records,
+					r.SeqMakespan.Round(time.Millisecond), r.ParMakespan.Round(time.Millisecond),
+					r.SpeedupX, r.ReadsPerSec)
 			}
 		})
 	return nil

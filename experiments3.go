@@ -1,0 +1,180 @@
+package medshare
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medshare/internal/bx"
+	"medshare/internal/core"
+	"medshare/internal/identity"
+	"medshare/internal/reldb"
+	"medshare/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// E11 — many-shares peer: one hub stakeholder with a pairwise share per
+// counterparty (the multi-institution fan-out FHIRChain and SPChain treat
+// as the realistic deployment shape). The experiment measures one full
+// fan-out round — a local edit touching every share, proposed on all of
+// them, through to on-chain finality — with the peer's concurrent share
+// processing on and off, plus the snapshot-read throughput the hub
+// sustains for concurrent readers while the storm is in flight.
+
+// E11Result reports one many-shares configuration.
+type E11Result struct {
+	Shares  int
+	Records int
+	Readers int
+	// SeqMakespan is the round's wall time with sequential fan-out (the
+	// pre-concurrency behavior, FanoutWorkers < 0).
+	SeqMakespan time.Duration
+	// ParMakespan is the round's wall time with the concurrent fan-out
+	// pool.
+	ParMakespan time.Duration
+	// SpeedupX is SeqMakespan / ParMakespan.
+	SpeedupX float64
+	// ReadsPerSec is the hub's sustained View-snapshot rate from Readers
+	// concurrent readers, measured in a dedicated window after the round
+	// (so the round's makespan and the read rate don't perturb each other
+	// on small machines).
+	ReadsPerSec float64
+}
+
+// RunE11ManyShares measures both fan-out modes at the given scale.
+func RunE11ManyShares(ctx context.Context, shares, records int) (E11Result, error) {
+	out := E11Result{Shares: shares, Records: records, Readers: 4}
+
+	seq, _, err := RunE11Round(ctx, shares, records, -1, 0)
+	if err != nil {
+		return out, fmt.Errorf("E11 sequential: %w", err)
+	}
+	out.SeqMakespan = seq
+
+	par, reads, err := RunE11Round(ctx, shares, records, 16, out.Readers)
+	if err != nil {
+		return out, fmt.Errorf("E11 parallel: %w", err)
+	}
+	out.ParMakespan = par
+	out.ReadsPerSec = reads
+	if par > 0 {
+		out.SpeedupX = float64(seq) / float64(par)
+	}
+	return out, nil
+}
+
+// RunE11Round builds a fresh network with one hub and `shares`
+// counterparties, registers all pairwise shares, performs one fan-out
+// round (edit every column, SyncShares, wait for finality on every
+// share), and returns its makespan. With readers > 0, that many
+// goroutines then hammer hub.View for a fixed window and the sustained
+// snapshot-read rate is returned alongside.
+func RunE11Round(ctx context.Context, shares, records, workers, readers int) (time.Duration, float64, error) {
+	nw, err := NewNetwork(NetworkConfig{BlockInterval: 2 * time.Millisecond})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer nw.Stop()
+
+	hub, err := nw.NewPeerWithOptions("hub", 0, PeerOptions{FanoutWorkers: workers})
+	if err != nil {
+		return 0, 0, err
+	}
+	hub.DB().PutTable(workload.GenerateManyShares("T", shares, records, 1))
+
+	shareIDs := make([]string, shares)
+	for i := 0; i < shares; i++ {
+		partner, err := nw.NewPeer(fmt.Sprintf("partner-%d", i), 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		col := workload.ManyShareCol(i)
+		id := fmt.Sprintf("S%02d", i)
+		shareIDs[i] = id
+		hubLens := bx.Project(id+"h", []string{"k", col}, nil)
+		// The counterparty's local source holds just its slice of the
+		// record, derived once from the hub's initial data.
+		src, err := hub.Source("T")
+		if err != nil {
+			return 0, 0, err
+		}
+		pview, err := bx.Project("T", []string{"k", col}, nil).Get(src)
+		if err != nil {
+			return 0, 0, err
+		}
+		partner.DB().PutTable(pview)
+		err = hub.RegisterShare(ctx, core.RegisterShareArgs{
+			ID: id, SourceTable: "T", Lens: hubLens, ViewName: id + "h",
+			Peers:     []identity.Address{hub.Address(), partner.Address()},
+			WritePerm: map[string][]identity.Address{col: {hub.Address()}},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := partner.AttachShare(id, "T", bx.Project(id+"p", []string{"k", col}, nil), id+"p"); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// One fan-out round: edit every share's column on one row, propose on
+	// every share, and wait for all of them to finalize.
+	start := time.Now()
+	err = hub.UpdateSource("T", func(tbl *reldb.Table) error {
+		set := make(map[string]reldb.Value, shares)
+		for i := 0; i < shares; i++ {
+			set[workload.ManyShareCol(i)] = reldb.S(fmt.Sprintf("round-%d", i))
+		}
+		return tbl.Update(reldb.Row{reldb.I(0)}, set)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	props, err := hub.SyncShares(ctx, "T")
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(props) != shares {
+		return 0, 0, fmt.Errorf("E11: proposed %d of %d shares", len(props), shares)
+	}
+	for _, pr := range props {
+		if err := hub.WaitFinal(ctx, pr.ShareID, pr.Seq); err != nil {
+			return 0, 0, err
+		}
+	}
+	makespan := time.Since(start)
+
+	// Dedicated concurrent-reader window: lock-free snapshot reads over
+	// the hub's materialized views.
+	readsPerSec := 0.0
+	if readers > 0 {
+		const window = 100 * time.Millisecond
+		var (
+			readCount atomic.Int64
+			stop      = make(chan struct{})
+			wg        sync.WaitGroup
+		)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := hub.View(shareIDs[(r+i)%len(shareIDs)]); err == nil {
+						readCount.Add(1)
+					}
+				}
+			}(r)
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		readsPerSec = float64(readCount.Load()) / window.Seconds()
+	}
+	return makespan, readsPerSec, nil
+}

@@ -1,6 +1,8 @@
 package bx
 
 import (
+	"sync/atomic"
+
 	"medshare/internal/reldb"
 )
 
@@ -18,6 +20,60 @@ type ComposeLens struct {
 	Inner Lens
 	// Outer transforms the intermediate view into the final view.
 	Outer Lens
+
+	// memo caches the two most recent (source hash → intermediate view)
+	// pairs so a delta cascade does not rematerialize Inner.Get(src) —
+	// the last O(n) step of an otherwise O(changed rows) PutDelta chain.
+	// Two entries cover both access patterns: the cascade (the updated
+	// source of one put is the source of the next) and repeated puts over
+	// an unchanged source (retries, several counterparties of one share).
+	// Keyed by the source's content hash (insertion-order and name
+	// independent), so it hits across the O(1) snapshot clones the
+	// sharing layer takes, and a stale entry can never be confused for
+	// the current source. Cached tables are treated as immutable: lens
+	// Get/Put never mutate their arguments. Purely an optimization —
+	// semantics are unchanged because memo validity follows from the
+	// lens laws (PutGet: Inner.Get(Inner.Put(src, mid')) = mid').
+	memo [2]atomic.Pointer[composeMemo]
+}
+
+// composeMemo is one (source hash, intermediate view) pair.
+type composeMemo struct {
+	srcHash [32]byte
+	mid     *reldb.Table
+}
+
+// cachedMid returns the memoized intermediate view when an entry matches
+// src's already-built hash state. It never forces a hash build.
+func (l *ComposeLens) cachedMid(src *reldb.Table) (*reldb.Table, bool) {
+	h, ok := src.CachedHash()
+	if !ok {
+		return nil, false
+	}
+	for i := range l.memo {
+		if m := l.memo[i].Load(); m != nil && m.srcHash == h {
+			return m.mid, true
+		}
+	}
+	return nil, false
+}
+
+// remember stores the (src, mid) pair when src's hash state is built —
+// storing for a cold table would force an O(n) hash the caller never
+// asked for. The previous newest entry is demoted to the second slot.
+func (l *ComposeLens) remember(src, mid *reldb.Table) {
+	h, ok := src.CachedHash()
+	if !ok {
+		return
+	}
+	l.rememberHash(h, mid)
+}
+
+func (l *ComposeLens) rememberHash(h [32]byte, mid *reldb.Table) {
+	if cur := l.memo[0].Load(); cur != nil && cur.srcHash != h {
+		l.memo[1].Store(cur)
+	}
+	l.memo[0].Store(&composeMemo{srcHash: h, mid: mid})
 }
 
 // Compose chains lenses left-to-right: the first lens applies to the
@@ -41,18 +97,27 @@ func (l *ComposeLens) ViewSchema(src reldb.Schema) (reldb.Schema, error) {
 
 // Get implements Lens.
 func (l *ComposeLens) Get(src *reldb.Table) (*reldb.Table, error) {
+	if mid, ok := l.cachedMid(src); ok {
+		return l.Outer.Get(mid)
+	}
 	mid, err := l.Inner.Get(src)
 	if err != nil {
 		return nil, err
 	}
+	l.remember(src, mid)
 	return l.Outer.Get(mid)
 }
 
 // Put implements Lens.
 func (l *ComposeLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
-	mid, err := l.Inner.Get(src)
-	if err != nil {
-		return nil, err
+	mid, ok := l.cachedMid(src)
+	if !ok {
+		var err error
+		mid, err = l.Inner.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		l.remember(src, mid)
 	}
 	newMid, err := l.Outer.Put(mid, view)
 	if err != nil {

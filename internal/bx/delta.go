@@ -47,27 +47,17 @@ func PutDelta(l Lens, src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table,
 }
 
 // PutDeltaTable is PutDelta for callers that only need the updated
-// source table: lenses (or lens configurations) without a native delta
-// path run a plain full put, never the fallback's full-table diff.
+// source table: lenses without a native delta path run a plain full put,
+// never the fallback's full-table diff.
 func PutDeltaTable(l Lens, src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, error) {
 	if cs.Empty() {
 		return src.Clone(), nil
-	}
-	if pl, ok := l.(*ProjectLens); ok && !pl.deltaDirect(src) {
-		return pl.Put(src, view)
 	}
 	if dl, ok := l.(DeltaLens); ok {
 		newSrc, _, err := dl.PutDelta(src, view, cs)
 		return newSrc, err
 	}
 	return l.Put(src, view)
-}
-
-// deltaDirect reports whether the projection can address source rows by
-// view key (the O(changed rows) path) for this source.
-func (l *ProjectLens) deltaDirect(src *reldb.Table) bool {
-	wantView, err := l.ViewSchema(src.Schema())
-	return err == nil && sameKey(src.Schema().Key, wantView.Key)
 }
 
 // putDeltaFallback is the O(table) path for lenses without native delta
@@ -85,6 +75,17 @@ func putDeltaFallback(l Lens, src, view *reldb.Table) (*reldb.Table, reldb.Chang
 	return newSrc, srcCs, nil
 }
 
+// keyChanged reports whether two full rows differ in t's key columns.
+func keyChanged(t *reldb.Table, a, b reldb.Row) bool {
+	ka, kb := t.KeyValues(a), t.KeyValues(b)
+	for i := range ka {
+		if !ka[i].Equal(kb[i]) {
+			return true
+		}
+	}
+	return false
+}
+
 // sameKey reports whether the view key names equal the source key names
 // in order — the condition under which a view key tuple addresses the
 // source row directly.
@@ -100,10 +101,14 @@ func sameKey(srcKey, viewKey []string) bool {
 	return true
 }
 
-// PutDelta implements DeltaLens. The O(changed rows) path requires the
-// view key to coincide with the source key (the paper's D13/D31 shares);
-// projections re-keyed on other columns (D23/D32) fall back to the full
-// put, which is still cheap under copy-on-write tables.
+// PutDelta implements DeltaLens. When the view key coincides with the
+// source key (the paper's D13/D31 shares) every changeset row addresses
+// its source row directly through the primary index; re-keyed projections
+// (D23/D32, view key ≠ source key) address the *group* of source rows
+// sharing the view-key tuple through a secondary index on the source
+// (built lazily once, maintained incrementally afterwards — see
+// reldb.Table.RowsByCols). Both paths are O(changed source rows); nothing
+// falls back to a full put or diff.
 func (l *ProjectLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error) {
 	srcSchema := src.Schema()
 	wantView, err := l.ViewSchema(srcSchema)
@@ -112,9 +117,6 @@ func (l *ProjectLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*rel
 	}
 	if !wantView.Equal(view.Schema()) {
 		return nil, reldb.Changeset{}, fmt.Errorf("%w: view schema does not match projection of source", ErrPutViolation)
-	}
-	if !sameKey(srcSchema.Key, wantView.Key) {
-		return putDeltaFallback(l, src, view)
 	}
 
 	srcIdxOfCol := make(map[string]int, len(srcSchema.Columns))
@@ -127,43 +129,102 @@ func (l *ProjectLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*rel
 	}
 	viewKeyIdx := wantView.KeyIndexes()
 
+	rekeyed := !sameKey(srcSchema.Key, wantView.Key)
+	if rekeyed {
+		// Prime the view-key index on the source *before* cloning: the
+		// clone then shares it, the updated source inherits it, and every
+		// later cycle over this share finds it already built (one O(n)
+		// scan for the share's lifetime, maintained incrementally).
+		if err := src.EnsureIndex(wantView.Key); err != nil {
+			return nil, reldb.Changeset{}, err
+		}
+	}
+
 	out := src.Clone()
 	var srcCs reldb.Changeset
-	var keyBuf []byte
-	lookup := func(vr reldb.Row) (reldb.Row, bool) {
-		keyBuf = keyBuf[:0]
-		for _, j := range viewKeyIdx {
-			keyBuf = vr[j].AppendCanonical(keyBuf)
+
+	// lookup returns the source rows a view row addresses: exactly one via
+	// the primary index when the keys coincide, the whole view-key group
+	// via the secondary index otherwise.
+	var lookup func(vr reldb.Row) ([]reldb.Row, error)
+	if !rekeyed {
+		var keyBuf []byte
+		lookup = func(vr reldb.Row) ([]reldb.Row, error) {
+			keyBuf = keyBuf[:0]
+			for _, j := range viewKeyIdx {
+				keyBuf = vr[j].AppendCanonical(keyBuf)
+			}
+			sr, ok := out.GetKeyBytes(keyBuf)
+			if !ok {
+				return nil, nil
+			}
+			return []reldb.Row{sr}, nil
 		}
-		return out.GetKeyBytes(keyBuf)
+	} else {
+		viewKeyCols := wantView.Key
+		lookup = func(vr reldb.Row) ([]reldb.Row, error) {
+			key := make(reldb.Row, len(viewKeyIdx))
+			for i, j := range viewKeyIdx {
+				key[i] = vr[j]
+			}
+			return out.RowsByCols(viewKeyCols, key)
+		}
 	}
 
 	for _, u := range cs.Updated {
-		sr, ok := lookup(u.After)
-		if !ok {
+		group, err := lookup(u.After)
+		if err != nil {
+			return nil, reldb.Changeset{}, err
+		}
+		if len(group) == 0 {
 			return nil, reldb.Changeset{}, fmt.Errorf("%w: delta update on view %s targets missing source row (stale changeset?)", ErrPutViolation, l.ViewName)
 		}
-		updated := sr.Clone()
-		for vi, si := range colIdxInSrc {
-			updated[si] = u.After[vi]
+		for _, sr := range group {
+			updated := sr.Clone()
+			for vi, si := range colIdxInSrc {
+				updated[si] = u.After[vi]
+			}
+			// A re-keyed projection may project a *source* key column; a
+			// view edit to it moves the source row to a new primary key —
+			// a delete + insert both in the table and in the reported
+			// changeset (an Updated entry is keyed by After and would not
+			// replay). Upsert would leave the old row behind. When the
+			// keys coincide the view's key is the source's, which an
+			// Updated entry by construction never changes.
+			if rekeyed && keyChanged(out, sr, updated) {
+				if err := out.Delete(out.KeyValues(sr)); err != nil {
+					return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
+				}
+				if err := out.InsertOwned(updated); err != nil {
+					return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
+				}
+				srcCs.Deleted = append(srcCs.Deleted, sr)
+				srcCs.Inserted = append(srcCs.Inserted, updated)
+				continue
+			}
+			if err := out.UpsertOwned(updated); err != nil {
+				return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
+			}
+			srcCs.Updated = append(srcCs.Updated, reldb.RowChange{Before: sr, After: updated})
 		}
-		if err := out.UpsertOwned(updated); err != nil {
-			return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
-		}
-		srcCs.Updated = append(srcCs.Updated, reldb.RowChange{Before: sr, After: updated})
 	}
 	for _, vr := range cs.Deleted {
 		if l.OnDelete != PolicyApply {
 			return nil, reldb.Changeset{}, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, viewKeyOf(wantView, vr))
 		}
-		sr, ok := lookup(vr)
-		if !ok {
+		group, err := lookup(vr)
+		if err != nil {
+			return nil, reldb.Changeset{}, err
+		}
+		if len(group) == 0 {
 			return nil, reldb.Changeset{}, fmt.Errorf("%w: delta delete on view %s targets missing source row (stale changeset?)", ErrPutViolation, l.ViewName)
 		}
-		if err := out.Delete(viewKeyOf(wantView, vr)); err != nil {
-			return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
+		for _, sr := range group {
+			if err := out.Delete(out.KeyValues(sr)); err != nil {
+				return nil, reldb.Changeset{}, fmt.Errorf("%w: %v", ErrPutViolation, err)
+			}
+			srcCs.Deleted = append(srcCs.Deleted, sr)
 		}
-		srcCs.Deleted = append(srcCs.Deleted, sr)
 	}
 	for _, vr := range cs.Inserted {
 		if l.OnInsert != PolicyApply {
@@ -260,16 +321,36 @@ func (l *RenameLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reld
 
 // PutDelta implements DeltaLens: the outer delta is embedded into the
 // intermediate view, and the changeset it induces there propagates to the
-// inner lens — so a one-row edit stays one row through the whole chain
-// (one O(source) get to materialize the intermediate view, no diffs).
+// inner lens — so a one-row edit stays one row through the whole chain.
+// The intermediate view comes from the lens's memo when the source hash
+// matches (the steady state of a cascade: every delta put refreshes the
+// memo with the pair it just computed), eliminating the O(n)
+// materializing get that used to be the last full-table step. The first
+// call on a cold source pays one get plus one hash build; everything
+// after is O(changed rows).
 func (l *ComposeLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error) {
-	mid, err := l.Inner.Get(src)
-	if err != nil {
-		return nil, reldb.Changeset{}, err
+	// Force the hash state: O(n) once, maintained incrementally across
+	// the copy-on-write clones every later cycle works on.
+	srcHash := src.Hash()
+	mid, ok := l.cachedMid(src)
+	if !ok {
+		var err error
+		mid, err = l.Inner.Get(src)
+		if err != nil {
+			return nil, reldb.Changeset{}, err
+		}
+		l.rememberHash(srcHash, mid)
 	}
 	newMid, midCs, err := PutDelta(l.Outer, mid, view, cs)
 	if err != nil {
 		return nil, reldb.Changeset{}, err
 	}
-	return PutDelta(l.Inner, src, newMid, midCs)
+	newSrc, srcCs, err := PutDelta(l.Inner, src, newMid, midCs)
+	if err != nil {
+		return nil, reldb.Changeset{}, err
+	}
+	// Refresh the memo for the cascade's next hop: by PutGet on the inner
+	// lens, Inner.Get(newSrc) = newMid, so the pair is exact.
+	l.rememberHash(newSrc.Hash(), newMid)
+	return newSrc, srcCs, nil
 }

@@ -239,12 +239,14 @@ func TestSelectInsertCollidingWithInvisibleRow(t *testing.T) {
 	}
 }
 
-// TestPutDeltaRekeyedProjectionFallsBack: the medication-keyed projection
-// (the paper's D23/D32) cannot address source rows by view key; the delta
-// path must fall back to the full put and still agree with it.
-func TestPutDeltaRekeyedProjectionFallsBack(t *testing.T) {
+// TestPutDeltaRekeyedProjectionDirect: the medication-keyed projection
+// (the paper's D23/D32) addresses the *group* of source rows sharing the
+// view-key tuple through the source's secondary index — no full put, no
+// diff. The delta path must agree with the full put, update every row of
+// the group, and report a source changeset that replays.
+func TestPutDeltaRekeyedProjectionDirect(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
-	src := genRecords(rng, 10)
+	src := genRecords(rng, 30) // ~6 medications → multi-row groups
 	l := Project("v", []string{"med", "mech"}, []string{"med"})
 	view := mustGet(t, l, src)
 	edited := view.Clone()
@@ -257,12 +259,188 @@ func TestPutDeltaRekeyedProjectionFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := PutDelta(l, src, edited, cs)
+	got, srcCs, err := PutDelta(l, src, edited, cs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !want.Equal(got) {
-		t.Fatal("fallback delta result diverges from put")
+		t.Fatal("re-keyed delta result diverges from put")
+	}
+	// The one-view-row edit must have touched every source row of the
+	// medication group, and only those.
+	med, _ := rows[0][0].Str()
+	groupSize := 0
+	_ = src.Scan(func(r reldb.Row) (bool, error) {
+		if m, _ := r[1].Str(); m == med {
+			groupSize++
+		}
+		return true, nil
+	})
+	if len(srcCs.Updated) != groupSize || groupSize == 0 {
+		t.Fatalf("source changeset touched %d rows, group has %d", len(srcCs.Updated), groupSize)
+	}
+	replayed := src.Clone()
+	if err := replayed.Apply(srcCs); err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Equal(got) {
+		t.Fatal("re-keyed source changeset does not replay")
+	}
+}
+
+// TestPutDeltaRekeyedStructural drives the delete and insert arms of the
+// re-keyed projection delta: deleting a view row removes the whole
+// source group; inserting creates one defaulted source row.
+func TestPutDeltaRekeyedStructural(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	src := genRecords(rng, 24)
+	l := Project("v", []string{"med", "mech"}, []string{"med"}).
+		WithDelete(PolicyApply).
+		WithInsert(PolicyApply, map[string]reldb.Value{
+			"pid": reldb.I(999), "dose": reldb.S("ddose"),
+		})
+	view := mustGet(t, l, src)
+	edited := view.Clone()
+	rows := edited.RowsCanonical()
+	if err := edited.Delete(edited.KeyValues(rows[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := edited.Insert(reldb.Row{reldb.S("medX"), reldb.S("mech-of-medX")}); err != nil {
+		t.Fatal(err)
+	}
+	cs := deltaFor(t, view, edited)
+	want, err := l.Put(src, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, srcCs, err := PutDelta(l, src, edited, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatal("re-keyed structural delta diverges from put")
+	}
+	replayed := src.Clone()
+	if err := replayed.Apply(srcCs); err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Equal(got) {
+		t.Fatal("re-keyed structural changeset does not replay")
+	}
+}
+
+// TestPutDeltaRekeyedSourceKeyEdit: a re-keyed view that projects the
+// *source* key column. Editing it through the view moves the source row
+// to a new primary key — the delta path must mirror the full put
+// (delete + insert), not leave a stale duplicate behind.
+func TestPutDeltaRekeyedSourceKeyEdit(t *testing.T) {
+	src := reldb.MustNewTable(recordsSchema())
+	for i := 0; i < 6; i++ {
+		src.MustInsert(reldb.Row{
+			reldb.I(int64(i)), reldb.S(fmt.Sprintf("med%d", i)),
+			reldb.S("d"), reldb.S(fmt.Sprintf("mech-of-med%d", i)),
+		})
+	}
+	l := Project("v", []string{"pid", "med"}, []string{"med"})
+	view := mustGet(t, l, src)
+	edited := view.Clone()
+	if err := edited.Update(reldb.Row{reldb.S("med3")}, map[string]reldb.Value{"pid": reldb.I(77)}); err != nil {
+		t.Fatal(err)
+	}
+	cs := deltaFor(t, view, edited)
+	want, err := l.Put(src, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, srcCs, err := PutDelta(l, src, edited, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatal("source-key edit diverges from put")
+	}
+	if got.Len() != src.Len() {
+		t.Fatalf("row count changed: %d -> %d (stale duplicate?)", src.Len(), got.Len())
+	}
+	replayed := src.Clone()
+	if err := replayed.Apply(srcCs); err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Equal(got) {
+		t.Fatal("source-key edit changeset does not replay")
+	}
+}
+
+// TestComposePutDeltaMemo drives a multi-step cascade through one
+// ComposeLens instance — the per-share shape in the sharing layer — and
+// checks every step agrees with the stateless full put, including after
+// the source changes behind the lens's back (memo invalidation by hash).
+func TestComposePutDeltaMemo(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	src := genRecords(rng, 20)
+	cl := Compose(
+		Select("ca", reldb.Cmp("pid", reldb.OpGe, reldb.I(2))).WithDelete(PolicyApply).WithInsert(PolicyApply),
+		Project("cb", []string{"pid", "dose"}, nil),
+	)
+	fresh := func() Lens { // stateless reference lens (no memo reuse)
+		return Compose(
+			Select("ca", reldb.Cmp("pid", reldb.OpGe, reldb.I(2))).WithDelete(PolicyApply).WithInsert(PolicyApply),
+			Project("cb", []string{"pid", "dose"}, nil),
+		)
+	}
+	cur := src
+	for step := 0; step < 5; step++ {
+		view := mustGet(t, cl, cur)
+		edited := view.Clone()
+		rows := edited.RowsCanonical()
+		r := rows[step%len(rows)]
+		if err := edited.Update(edited.KeyValues(r), map[string]reldb.Value{"dose": reldb.S(fmt.Sprintf("dose-step%d", step))}); err != nil {
+			t.Fatal(err)
+		}
+		cs := deltaFor(t, view, edited)
+		want, err := fresh().Put(cur, edited)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, srcCs, err := PutDelta(cl, cur, edited, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("step %d: memoized compose delta diverges from put", step)
+		}
+		replayed := cur.Clone()
+		if err := replayed.Apply(srcCs); err != nil {
+			t.Fatal(err)
+		}
+		if !replayed.Equal(got) {
+			t.Fatalf("step %d: compose changeset does not replay", step)
+		}
+		cur = got
+	}
+	// Mutate the source outside the lens (an out-of-band UpdateSource):
+	// the memo's hash key must miss and the next delta still agree.
+	out := cur.Clone()
+	if err := out.Update(reldb.Row{reldb.I(3)}, map[string]reldb.Value{"dose": reldb.S("oob")}); err != nil {
+		t.Fatal(err)
+	}
+	view := mustGet(t, cl, out)
+	edited := view.Clone()
+	rows := edited.RowsCanonical()
+	if err := edited.Update(edited.KeyValues(rows[0]), map[string]reldb.Value{"dose": reldb.S("post-oob")}); err != nil {
+		t.Fatal(err)
+	}
+	cs := deltaFor(t, view, edited)
+	want, err := fresh().Put(out, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := PutDelta(cl, out, edited, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatal("stale memo survived an out-of-band source change")
 	}
 }
 

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"medshare/internal/bx"
+	"medshare/internal/consensus"
+	"medshare/internal/contract"
+	"medshare/internal/contract/sharereg"
+	"medshare/internal/identity"
+	"medshare/internal/node"
+	"medshare/internal/p2p"
+	"medshare/internal/reldb"
+	"medshare/internal/workload"
+)
+
+// stressHarness is a hub peer sharing one source table with K counterpart
+// peers, one share per counterpart — the many-shares fan-out shape. Share
+// i projects column v<i>, so the updater goroutines write disjoint
+// columns and the sequential outcome is deterministic.
+type stressHarness struct {
+	node     *node.Node
+	hub      *Peer
+	partners []*Peer
+	shares   []string
+}
+
+// stressSchema is the many-shares scenario schema from the workload
+// package (one int key plus one value column per share).
+func stressSchema(name string, cols int) reldb.Schema {
+	return workload.ManySharesSchema(name, cols)
+}
+
+func newStressHarness(t *testing.T, shares, rows int) *stressHarness {
+	t.Helper()
+	nid := identity.MustNew("node")
+	n, err := node.New(node.Config{
+		NetworkName:   "stress-test",
+		Identity:      nid,
+		Engine:        consensus.NewPoA(false, nid.Address()),
+		Registry:      contract.NewRegistry(sharereg.New()),
+		BlockInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	n.Start(ctx)
+	t.Cleanup(n.Stop)
+
+	mem := p2p.NewMemNetwork()
+	dir := NewDirectory()
+	mk := func(name string, schema reldb.Schema) *Peer {
+		id := identity.MustNew(name)
+		db := reldb.NewDatabase(name)
+		tbl := reldb.MustNewTable(schema)
+		for r := 0; r < rows; r++ {
+			row := reldb.Row{reldb.I(int64(r))}
+			for c := 1; c < len(schema.Columns); c++ {
+				row = append(row, reldb.S("init"))
+			}
+			tbl.MustInsert(row)
+		}
+		db.PutTable(tbl)
+		p, err := NewPeer(Config{
+			Identity: id, DB: db, Node: n,
+			Transport: mem.Endpoint(name), Directory: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		t.Cleanup(p.Stop)
+		return p
+	}
+
+	h := &stressHarness{node: n}
+	h.hub = mk("hub", stressSchema("T", shares))
+	for i := 0; i < shares; i++ {
+		// Counterpart i's source holds only the columns its share sees.
+		pschema := reldb.Schema{Name: "T", Key: []string{"k"}, Columns: []reldb.Column{
+			{Name: "k", Type: reldb.KindInt},
+			{Name: workload.ManyShareCol(i), Type: reldb.KindString},
+		}}
+		h.partners = append(h.partners, mk(fmt.Sprintf("peer%d", i), pschema))
+	}
+
+	octx, ocancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer ocancel()
+	for i := 0; i < shares; i++ {
+		id := fmt.Sprintf("S%d", i)
+		col := workload.ManyShareCol(i)
+		hubLens := bx.Project(id+"h", []string{"k", col}, nil)
+		err := h.hub.RegisterShare(octx, RegisterShareArgs{
+			ID: id, SourceTable: "T", Lens: hubLens, ViewName: id + "h",
+			Peers: []identity.Address{h.hub.Address(), h.partners[i].Address()},
+			WritePerm: map[string][]identity.Address{
+				col: {h.hub.Address(), h.partners[i].Address()},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := bx.Project(id+"p", []string{"k", col}, nil)
+		if err := h.partners[i].AttachShare(id, "T", pl, id+"p"); err != nil {
+			t.Fatal(err)
+		}
+		h.shares = append(h.shares, id)
+	}
+	return h
+}
+
+// TestConcurrentPeerStress drives one hub peer from many goroutines at
+// once — updaters (UpdateSource + ProposeUpdate per share), fetchers
+// (counterparty Fetch), and resyncers (hub and counterpart Resync) — and
+// asserts every replica converges to the deterministic sequential
+// outcome, verified by table hash equality on both sides of every share.
+func TestConcurrentPeerStress(t *testing.T) {
+	const (
+		shares  = 4
+		rows    = 8
+		updates = 4
+	)
+	h := newStressHarness(t, shares, rows)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, shares*3)
+
+	// Updater goroutines: one per share, writing its own column of a row
+	// it owns, proposing, and waiting for finality before the next round.
+	for i := 0; i < shares; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			col := workload.ManyShareCol(i)
+			id := h.shares[i]
+			for u := 1; u <= updates; u++ {
+				val := fmt.Sprintf("val-%d-%d", i, u)
+				err := h.hub.UpdateSource("T", func(tbl *reldb.Table) error {
+					return tbl.Update(reldb.Row{reldb.I(int64(u % rows))}, map[string]reldb.Value{col: reldb.S(val)})
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("update %s: %w", id, err)
+					return
+				}
+				res, err := h.hub.ProposeUpdate(ctx, id)
+				if err != nil {
+					errCh <- fmt.Errorf("propose %s round %d: %w", id, u, err)
+					return
+				}
+				if err := h.hub.WaitFinal(ctx, id, res.Seq); err != nil {
+					errCh <- fmt.Errorf("waitfinal %s seq %d: %w", id, res.Seq, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Fetcher goroutines: counterparties pull payloads over the data
+	// channel while updates are in flight.
+	stop := make(chan struct{})
+	for i := 0; i < shares; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fctx, fcancel := context.WithTimeout(ctx, 10*time.Second)
+				_, _, err := h.partners[i].Fetch(fctx, h.hub.Address(), h.shares[i], 0)
+				fcancel()
+				if err != nil {
+					errCh <- fmt.Errorf("fetch %s: %w", h.shares[i], err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Resync goroutines: the hub and one counterpart reconcile in a loop,
+	// racing the event-loop applies.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rctx, rcancel := context.WithTimeout(ctx, 10*time.Second)
+			if err := h.hub.Resync(rctx); err != nil {
+				t.Logf("hub resync (tolerated): %v", err)
+			}
+			if err := h.partners[0].Resync(rctx); err != nil {
+				t.Logf("partner resync (tolerated): %v", err)
+			}
+			rcancel()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Actively wait for every updater's final sequence to land.
+	deadline := time.After(90 * time.Second)
+	for i := 0; i < shares; i++ {
+		for {
+			info, err := h.hub.ShareInfo(h.shares[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.AppliedSeq >= uint64(updates) {
+				break
+			}
+			select {
+			case err := <-errCh:
+				t.Fatal(err)
+			case <-deadline:
+				t.Fatalf("share %s stuck at seq %d", h.shares[i], info.AppliedSeq)
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Let the counterparties settle, then force reconciliation.
+	for _, p := range h.partners {
+		if err := p.Resync(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The sequential outcome: each column's last write is val-<i>-<updates>
+	// on row updates%rows, with earlier rounds' rows holding their last
+	// values — deterministic because each goroutine owned its column and
+	// rounds were serialized by WaitFinal.
+	expected := reldb.MustNewTable(stressSchema("T", shares))
+	for r := 0; r < rows; r++ {
+		row := reldb.Row{reldb.I(int64(r))}
+		for i := 0; i < shares; i++ {
+			last := "init"
+			for u := 1; u <= updates; u++ {
+				if u%rows == r {
+					last = fmt.Sprintf("val-%d-%d", i, u)
+				}
+			}
+			row = append(row, reldb.S(last))
+		}
+		expected.MustInsert(row)
+	}
+	hubSrc, err := h.hub.Source("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hubSrc.Hash() != expected.Hash() {
+		t.Fatalf("hub source diverged from sequential result:\nhave %v\nwant %v", hubSrc.Rows(), expected.Rows())
+	}
+
+	// Hash equality across every share: hub view replica == counterpart
+	// view replica == lens of the converged source.
+	for i, id := range h.shares {
+		hv, err := h.hub.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, err := h.partners[i].View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hv.Hash() != pv.Hash() {
+			t.Fatalf("share %s replicas diverged", id)
+		}
+		wantView, err := bx.Project(id, []string{"k", workload.ManyShareCol(i)}, nil).Get(expected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hv.Hash() != wantView.Hash() {
+			t.Fatalf("share %s converged to a non-sequential state", id)
+		}
+		// The counterpart's own source must equal its view (its lens is
+		// the identity projection of its two columns).
+		psrc, err := h.partners[i].Source("T")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psrc.Hash() != pv.Hash() {
+			t.Fatalf("share %s counterpart source/view misaligned", id)
+		}
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"medshare/internal/bx"
@@ -32,10 +34,15 @@ func (p *Peer) handleEvent(ev contract.Event) {
 		p.onUpdateRequested(payload)
 	case sharereg.EvUpdateFinal:
 		p.mu.Lock()
-		if s, ok := p.shares[payload.ShareID]; ok && s.backup != nil && s.backup.seq+1 == payload.Seq {
-			s.backup = nil // our proposal finalized; drop the rollback point
-		}
+		s, ok := p.shares[payload.ShareID]
 		p.mu.Unlock()
+		if ok {
+			s.stMu.Lock()
+			if s.backup != nil && s.backup.seq+1 == payload.Seq {
+				s.backup = nil // our proposal finalized; drop the rollback point
+			}
+			s.stMu.Unlock()
+		}
 		p.record(HistoryEntry{
 			ShareID: payload.ShareID, Seq: payload.Seq, Kind: "final",
 			Cols: payload.Cols, From: payload.From,
@@ -77,16 +84,30 @@ func (p *Peer) applyIncoming(ctx context.Context, shareID string, seq uint64, fr
 	if err != nil {
 		return err
 	}
+	if err := p.applyIncomingLocked(ctx, s, seq, from, payloadHash, cols); err != nil {
+		return err
+	}
+	// Step 6: cascade into overlapping shares over the same source. Runs
+	// after s.opMu is released: cascade proposes on *sibling* shares
+	// (taking their opMu), and holding the origin's lock across that
+	// would deadlock two concurrent cascades with opposite origins.
+	return p.cascade(ctx, s, cols)
+}
+
+// applyIncomingLocked performs steps 3-5 (fetch, verify, put, ack) under
+// the share's operation lock.
+func (p *Peer) applyIncomingLocked(ctx context.Context, s *Share, seq uint64, from identity.Address, payloadHash string, cols []string) error {
+	shareID := s.ID
 	// The share-level operation lock orders this apply against our own
 	// in-flight proposals: if we optimistically advanced the replica for
 	// a proposal that lost the race for this sequence number, the
 	// rollback completes before we read AppliedSeq here.
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
-	p.mu.Lock()
+	s.stMu.Lock()
 	applied := s.AppliedSeq
 	diverged := s.diverged
-	p.mu.Unlock()
+	s.stMu.Unlock()
 	if applied >= seq {
 		return nil // already applied (e.g. via resync)
 	}
@@ -110,15 +131,24 @@ func (p *Peer) applyIncoming(ctx context.Context, shareID string, seq uint64, fr
 	// Step 5: put the updated view into the local source. When the fetch
 	// arrived as a row-level changeset, put goes through the delta path —
 	// a one-row edit touches one source row instead of rematerializing
-	// the table. A put failure means the view edit has no translation
-	// into our source under the local lens; reject the pending update
-	// on-chain so the share does not stall and the proposer rolls back.
-	src, err := p.snapshotTable(s.SourceTable)
-	if err != nil {
+	// the table. The put runs inside the source table's atomic
+	// replacement so two shares over the same source embedding
+	// concurrently (parallel Resync, event loop racing a Resync)
+	// serialize instead of overwriting each other's applied updates. A
+	// put failure means the view edit has no translation into our source
+	// under the local lens; reject the pending update on-chain so the
+	// share does not stall and the proposer rolls back.
+	local := newView.Renamed(s.ViewName)
+	err = p.cfg.DB.ReplaceTable(s.SourceTable, func(src *reldb.Table) (*reldb.Table, error) {
+		newSrc, err := putViaDelta(s.Lens, src, local, cs, hasDelta && !diverged)
+		if err != nil {
+			return nil, err
+		}
+		return newSrc.Renamed(s.SourceTable), nil
+	})
+	if errors.Is(err, reldb.ErrNoSuchTable) {
 		return err
 	}
-	local := newView.Renamed(s.ViewName)
-	newSrc, err := putViaDelta(s.Lens, src, local, cs, hasDelta && !diverged)
 	if err != nil {
 		rej, berr := p.buildTx(sharereg.FnRejectUpdate, shareID, sharereg.RejectArgs{
 			ShareID: shareID, Seq: seq, Reason: err.Error(),
@@ -131,13 +161,12 @@ func (p *Peer) applyIncoming(ctx context.Context, shareID string, seq uint64, fr
 		p.record(HistoryEntry{ShareID: shareID, Seq: seq, Kind: "rejected", From: p.Address(), Note: err.Error()})
 		return fmt.Errorf("core: put on %s rejected: %w", shareID, err)
 	}
-	p.cfg.DB.PutTable(newSrc.Renamed(s.SourceTable))
 	p.cfg.DB.PutTable(local)
-	p.mu.Lock()
+	s.stMu.Lock()
 	s.prev = &shareBackup{seq: applied, view: curView}
 	s.AppliedSeq = seq
 	s.diverged = false // put realigned source and view
-	p.mu.Unlock()
+	s.stMu.Unlock()
 	p.record(HistoryEntry{ShareID: shareID, Seq: seq, Kind: "applied", Cols: cols, From: from})
 	p.logf("applied update on %s seq %d from %s", shareID, seq, from.Short())
 
@@ -150,9 +179,7 @@ func (p *Peer) applyIncoming(ctx context.Context, shareID string, seq uint64, fr
 	if _, err := p.submitAndWait(ctx, ack); err != nil {
 		return fmt.Errorf("core: acking %s seq %d: %w", shareID, seq, err)
 	}
-
-	// Step 6: cascade into overlapping shares over the same source.
-	return p.cascade(ctx, s, cols)
+	return nil
 }
 
 // putViaDelta embeds an incoming view into the source along the delta
@@ -173,10 +200,14 @@ func putViaDelta(l bx.Lens, src, local *reldb.Table, cs reldb.Changeset, hasDelt
 
 // cascade regenerates and proposes updates on every other share derived
 // from the same source whose visible columns overlap the incoming change
-// (the dependency check of Fig. 5 step 6). Convergence is guaranteed for
-// well-behaved lenses because re-putting identical data yields an empty
-// diff; MaxCascadeDepth additionally bounds the number of proposals one
-// incoming update may trigger on this peer.
+// (the dependency check of Fig. 5 step 6). Overlapping shares are
+// proposed concurrently (bounded by Config.FanoutWorkers): each sibling
+// share serializes internally on its own opMu and the proposals target
+// distinct on-chain shares, so their commit waits overlap safely.
+// Convergence is guaranteed for well-behaved lenses because re-putting
+// identical data yields an empty diff; MaxCascadeDepth additionally
+// bounds the number of proposals one incoming update may trigger on this
+// peer.
 func (p *Peer) cascade(ctx context.Context, origin *Share, changedCols []string) error {
 	src, err := p.snapshotTable(origin.SourceTable)
 	if err != nil {
@@ -194,29 +225,40 @@ func (p *Peer) cascade(ctx context.Context, origin *Share, changedCols []string)
 	p.mu.Unlock()
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ID < candidates[j].ID })
 
-	proposals := 0
+	// The overlap check is pure schema analysis — run it inline and fan
+	// out only the shares the change actually reaches.
+	var hits []*Share
 	for _, s2 := range candidates {
 		hit, err := bx.Overlaps(srcSchema, origin.Lens, changedCols, s2.Lens)
 		if err != nil {
 			return err
 		}
-		if !hit {
-			continue
+		if hit {
+			hits = append(hits, s2)
 		}
-		if proposals >= p.cfg.MaxCascadeDepth {
+	}
+
+	// The depth bound counts *successful* proposals, exactly like the old
+	// sequential loop: a worker refuses to propose once the bound is
+	// reached. Concurrent in-flight proposals may overshoot by at most
+	// FanoutWorkers-1 — the bound is runaway-cascade protection, not an
+	// exact quota, and no-change probes never consume it.
+	var proposals atomic.Int64
+	return forEachShare(hits, p.cfg.FanoutWorkers, func(s2 *Share) error {
+		if proposals.Load() >= int64(p.cfg.MaxCascadeDepth) {
 			return fmt.Errorf("%w: share %s", ErrCascadeTooDeep, origin.ID)
 		}
 		res, err := p.ProposeUpdate(ctx, s2.ID)
 		if err == ErrNoChanges {
-			continue // overlap was column-level only; data unaffected
+			return nil // overlap was column-level only; data unaffected
 		}
 		if err != nil {
 			return fmt.Errorf("core: cascading %s -> %s: %w", origin.ID, s2.ID, err)
 		}
-		proposals++
+		proposals.Add(1)
 		p.logf("cascaded %s -> %s seq %d", origin.ID, s2.ID, res.Seq)
-	}
-	return nil
+		return nil
+	})
 }
 
 // onUpdateRejected rolls the proposer's replica back to the pre-proposal
@@ -224,8 +266,13 @@ func (p *Peer) cascade(ctx context.Context, origin *Share, changedCols []string)
 func (p *Peer) onUpdateRejected(ev sharereg.EventPayload) {
 	p.mu.Lock()
 	s, ok := p.shares[ev.ShareID]
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
 	var bk *shareBackup
-	if ok && s.backup != nil && s.backup.seq+1 == ev.Seq {
+	s.stMu.Lock()
+	if s.backup != nil && s.backup.seq+1 == ev.Seq {
 		bk = s.backup
 		s.backup = nil
 		s.prev = nil // the retained delta base no longer matches
@@ -234,7 +281,7 @@ func (p *Peer) onUpdateRejected(ev sharereg.EventPayload) {
 		// the pair is diverged until a full put realigns it.
 		s.diverged = true
 	}
-	p.mu.Unlock()
+	s.stMu.Unlock()
 	if bk == nil {
 		return // not our proposal (or already resolved)
 	}
@@ -264,6 +311,10 @@ func (p *Peer) onRemoved(ev sharereg.EventPayload) {
 // updates we have not applied are fetched and acknowledged, and finalized
 // updates we missed entirely (dropped events) are fetched from the last
 // updater. It makes the peer robust to lossy notification delivery.
+// Shares are reconciled concurrently (bounded by Config.FanoutWorkers) —
+// they are independent replicas, and a hospital-scale peer recovering
+// hundreds of them mostly waits on fetches and ack commits. Every share
+// is attempted even when some fail; the errors are joined.
 func (p *Peer) Resync(ctx context.Context) error {
 	p.mu.Lock()
 	ids := make([]string, 0, len(p.shares))
@@ -273,32 +324,30 @@ func (p *Peer) Resync(ctx context.Context) error {
 	p.mu.Unlock()
 	sort.Strings(ids)
 
-	for _, id := range ids {
+	return forEachShare(ids, p.cfg.FanoutWorkers, func(id string) error {
 		meta, err := p.Meta(id)
 		if err != nil {
 			return err
 		}
 		s, err := p.share(id)
 		if err != nil {
-			continue
+			return nil // unbound concurrently (removed share)
 		}
-		p.mu.Lock()
+		s.stMu.Lock()
 		applied := s.AppliedSeq
-		p.mu.Unlock()
+		s.stMu.Unlock()
 
 		if meta.Pending != nil && meta.Pending.From != p.Address() && applied < meta.Pending.Seq {
 			if err := p.applyIncoming(ctx, id, meta.Pending.Seq, meta.Pending.From, meta.Pending.PayloadHash, meta.Pending.Cols); err != nil {
 				return fmt.Errorf("core: resync %s pending: %w", id, err)
 			}
-			continue
+			return nil
 		}
 		if meta.Seq > applied && meta.LastFrom != p.Address() && !meta.LastFrom.IsZero() {
-			if err := p.resyncFinalized(ctx, s, meta); err != nil {
-				return err
-			}
+			return p.resyncFinalized(ctx, s, meta)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // resyncFinalized catches the share up to an already-finalized update the
@@ -306,10 +355,10 @@ func (p *Peer) Resync(ctx context.Context) error {
 func (p *Peer) resyncFinalized(ctx context.Context, s *Share, meta *sharereg.Meta) error {
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
-	p.mu.Lock()
+	s.stMu.Lock()
 	applied := s.AppliedSeq
 	diverged := s.diverged
-	p.mu.Unlock()
+	s.stMu.Unlock()
 	if applied >= meta.Seq {
 		return nil // caught up while waiting for the lock
 	}
@@ -324,22 +373,23 @@ func (p *Peer) resyncFinalized(ctx context.Context, s *Share, meta *sharereg.Met
 	if got := hashHex(newView); seq == meta.Seq && got != meta.LastPayloadHash {
 		return fmt.Errorf("%w: resync %s seq %d", ErrPayloadHash, s.ID, seq)
 	}
-	src, err := p.snapshotTable(s.SourceTable)
-	if err != nil {
-		return err
-	}
 	local := newView.Renamed(s.ViewName)
-	newSrc, err := putViaDelta(s.Lens, src, local, cs, hasDelta && !diverged)
+	err = p.cfg.DB.ReplaceTable(s.SourceTable, func(src *reldb.Table) (*reldb.Table, error) {
+		newSrc, err := putViaDelta(s.Lens, src, local, cs, hasDelta && !diverged)
+		if err != nil {
+			return nil, err
+		}
+		return newSrc.Renamed(s.SourceTable), nil
+	})
 	if err != nil {
 		return err
 	}
-	p.cfg.DB.PutTable(newSrc.Renamed(s.SourceTable))
 	p.cfg.DB.PutTable(local)
-	p.mu.Lock()
+	s.stMu.Lock()
 	s.prev = &shareBackup{seq: applied, view: curView}
 	s.AppliedSeq = seq
 	s.diverged = false // put realigned source and view
-	p.mu.Unlock()
+	s.stMu.Unlock()
 	p.record(HistoryEntry{ShareID: s.ID, Seq: seq, Kind: "resynced", From: meta.LastFrom})
 	return nil
 }

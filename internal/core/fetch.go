@@ -99,13 +99,16 @@ func (p *Peer) serveDataFetch(msg p2p.Message) (p2p.Message, error) {
 	if err != nil {
 		return p2p.Message{}, err
 	}
-	p.mu.Lock()
+	// Serving reads only the share's own state (per-share mutex) and an
+	// atomic database snapshot — a fetch on one share never waits behind
+	// operations on the peer's other shares.
+	s.stMu.Lock()
 	seq := s.AppliedSeq
 	var prevView *reldb.Table
 	if s.prev != nil && req.HaveSeq > 0 && s.prev.seq == req.HaveSeq {
 		prevView = s.prev.view
 	}
-	p.mu.Unlock()
+	s.stMu.Unlock()
 	if seq < req.MinSeq {
 		return p2p.Message{}, fmt.Errorf("%w: have seq %d, want %d", ErrStaleData, seq, req.MinSeq)
 	}

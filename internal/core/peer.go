@@ -70,6 +70,12 @@ type Config struct {
 	// MaxCascadeDepth bounds re-share propagation chains (Fig. 5 step 6
 	// re-entry). 0 means 16.
 	MaxCascadeDepth int
+	// FanoutWorkers bounds how many shares the peer processes
+	// concurrently on its fan-out paths (cascade, Resync, SyncShares).
+	// Share operations mostly wait on chain commits, so this is an
+	// in-flight-proposals bound rather than a CPU bound. 0 means 8;
+	// negative forces sequential processing.
+	FanoutWorkers int
 	// TxTimeout bounds each wait for a transaction commit. 0 means 30s.
 	TxTimeout time.Duration
 	// ResyncInterval, when positive, runs Resync periodically in the
@@ -111,15 +117,24 @@ type Share struct {
 	// ViewName is the local name for the materialized view (the paper
 	// gives the two replicas different names, D13 vs D31).
 	ViewName string
-	// AppliedSeq is the last fully applied update sequence number.
-	AppliedSeq uint64
 
 	// opMu serializes share-level operations (ProposeUpdate,
 	// applyIncoming, Resync) against each other. Without it, a peer's
 	// optimistic replica refresh during its own proposal can race the
 	// arrival of a competing update that won the same sequence number,
-	// making the peer skip an update it must acknowledge.
+	// making the peer skip an update it must acknowledge. It is never
+	// held across another share's opMu: cascade releases the origin's
+	// lock before proposing on sibling shares, so concurrent cascades
+	// from different origins cannot deadlock.
 	opMu sync.Mutex
+
+	// stMu guards the mutable share state below. Per-share — not
+	// peer-wide — so a fetch handler serving one share never contends
+	// with operations on the peer's hundreds of others.
+	stMu sync.Mutex
+
+	// AppliedSeq is the last fully applied update sequence number.
+	AppliedSeq uint64
 
 	// backup holds the pre-proposal view replica while our own update is
 	// pending, so a rejection by a counterparty rolls the share back.
@@ -138,7 +153,7 @@ type Share struct {
 	// rollback, which restores the view but keeps the user's edit in the
 	// source. While set, puts take the full path (which re-embeds the
 	// whole view and realigns the pair) instead of the delta path (which
-	// would silently preserve the divergence). Guarded by Peer.mu.
+	// would silently preserve the divergence).
 	diverged bool
 }
 
@@ -172,6 +187,9 @@ func NewPeer(cfg Config) (*Peer, error) {
 	}
 	if cfg.TxTimeout <= 0 {
 		cfg.TxTimeout = 30 * time.Second
+	}
+	if cfg.FanoutWorkers == 0 {
+		cfg.FanoutWorkers = 8
 	}
 	p := &Peer{
 		cfg:     cfg,
@@ -296,8 +314,8 @@ func (p *Peer) ShareInfo(id string) (ShareInfo, error) {
 	if err != nil {
 		return ShareInfo{}, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
 	return ShareInfo{
 		ID:          s.ID,
 		SourceTable: s.SourceTable,
@@ -372,18 +390,11 @@ func hashHex(t *reldb.Table) string {
 	return hex.EncodeToString(h[:])
 }
 
-// snapshotTable returns an independent copy of a local table, taken under
-// the database lock. The peer's event goroutine and the user's goroutines
-// both reach tables; all cross-goroutine reads go through snapshots while
-// in-place mutation stays confined to UpdateSource's locked callback.
+// snapshotTable returns an independent snapshot of a local table. The
+// database read path is lock-free (one atomic load plus an O(1)
+// copy-on-write clone), so the peer's event goroutine, fetch handlers,
+// and user goroutines all snapshot without contending; in-place mutation
+// stays confined to the database's per-table commit path.
 func (p *Peer) snapshotTable(name string) (*reldb.Table, error) {
-	var out *reldb.Table
-	err := p.cfg.DB.WithTable(name, func(t *reldb.Table) error {
-		out = t.Clone()
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return p.cfg.DB.Table(name)
 }

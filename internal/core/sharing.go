@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"medshare/internal/bx"
 	"medshare/internal/contract/sharereg"
@@ -202,9 +203,9 @@ func (p *Peer) ProposeUpdate(ctx context.Context, shareID string) (ProposalResul
 	sort.Strings(cols)
 	kind := updateKind(cs)
 
-	p.mu.Lock()
+	s.stMu.Lock()
 	baseSeq := s.AppliedSeq
-	p.mu.Unlock()
+	s.stMu.Unlock()
 
 	ua := sharereg.UpdateArgs{
 		ShareID:     shareID,
@@ -226,36 +227,39 @@ func (p *Peer) ProposeUpdate(ctx context.Context, shareID string) (ProposalResul
 	// immutable snapshot, so the rollback point and the delta base share
 	// it instead of each taking a copy.
 	p.cfg.DB.PutTable(newView.Renamed(s.ViewName))
-	p.mu.Lock()
+	s.stMu.Lock()
 	s.backup = &shareBackup{seq: baseSeq, view: oldView}
 	s.prev = &shareBackup{seq: baseSeq, view: oldView}
 	s.AppliedSeq = baseSeq + 1
-	p.mu.Unlock()
+	s.stMu.Unlock()
 
 	if _, err := p.submitAndWait(ctx, tx); err != nil {
 		// Denied (permission, pending gate, stale base): roll back. The
 		// view returns to the pre-proposal snapshot while the source keeps
 		// the local edit, so the pair is diverged until a full put.
-		p.mu.Lock()
+		s.stMu.Lock()
 		s.AppliedSeq = baseSeq
 		s.backup = nil
 		s.prev = nil
 		s.diverged = true
-		p.mu.Unlock()
+		s.stMu.Unlock()
 		p.cfg.DB.PutTable(oldView.Renamed(s.ViewName))
 		return ProposalResult{}, fmt.Errorf("core: update on %s denied: %w", shareID, err)
 	}
-	p.mu.Lock()
+	s.stMu.Lock()
 	s.diverged = false // replica refreshed from Get(src); pair aligned
-	p.mu.Unlock()
+	s.stMu.Unlock()
 	p.record(HistoryEntry{ShareID: shareID, Seq: baseSeq + 1, Kind: kind, Cols: cols, From: p.Address()})
 	p.logf("proposed update on %s seq %d (cols %v)", shareID, baseSeq+1, cols)
 	return ProposalResult{ShareID: shareID, Seq: baseSeq + 1, Cols: cols, TxID: tx.IDString()}, nil
 }
 
 // SyncShares runs ProposeUpdate on every share derived from the given
-// source table, returning the successful proposals. Shares whose views are
-// unaffected are skipped.
+// source table, returning the successful proposals sorted by share ID.
+// Shares whose views are unaffected are skipped. Independent shares are
+// proposed concurrently (bounded by Config.FanoutWorkers), overlapping
+// their commit waits — the many-shares fan-out of a hospital-scale peer.
+// Every share is attempted even when some fail; the errors are joined.
 func (p *Peer) SyncShares(ctx context.Context, sourceTable string) ([]ProposalResult, error) {
 	p.mu.Lock()
 	var ids []string
@@ -266,18 +270,26 @@ func (p *Peer) SyncShares(ctx context.Context, sourceTable string) ([]ProposalRe
 	}
 	p.mu.Unlock()
 	sort.Strings(ids)
-	var out []ProposalResult
-	for _, id := range ids {
+
+	var (
+		mu  sync.Mutex
+		out []ProposalResult
+	)
+	err := forEachShare(ids, p.cfg.FanoutWorkers, func(id string) error {
 		res, err := p.ProposeUpdate(ctx, id)
 		if err == ErrNoChanges {
-			continue
+			return nil
 		}
 		if err != nil {
-			return out, err
+			return err
 		}
+		mu.Lock()
 		out = append(out, res)
-	}
-	return out, nil
+		mu.Unlock()
+		return nil
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ShareID < out[j].ShareID })
+	return out, err
 }
 
 // UpdateView edits the shared view directly (entry-level CRUD of Fig. 4 on
@@ -302,30 +314,34 @@ func (p *Peer) UpdateView(ctx context.Context, shareID string, mutate func(*reld
 	if err != nil {
 		return ProposalResult{}, err
 	}
-	src, err := p.snapshotTable(s.SourceTable)
-	if err != nil {
-		return ProposalResult{}, err
-	}
 	// The delta path is only sound while the stored replica equals the
 	// lens's current view of the source. After a rejection or denial
 	// rollback the two deliberately diverge (the view is restored, the
 	// source keeps the user's edit) — the share tracks that in its
 	// diverged flag, and the full put re-embeds the whole view there,
 	// exactly as before the delta optimization, instead of silently
-	// re-proposing the rejected rows alongside the new edit.
-	p.mu.Lock()
+	// re-proposing the rejected rows alongside the new edit. The put
+	// runs inside the source's atomic replacement so it cannot overwrite
+	// a concurrent embed by another share over the same source.
+	s.stMu.Lock()
 	diverged := s.diverged
-	p.mu.Unlock()
-	var newSrc *reldb.Table
-	if diverged {
-		newSrc, err = s.Lens.Put(src, edited)
-	} else {
-		newSrc, err = bx.PutDeltaTable(s.Lens, src, edited, cs)
-	}
+	s.stMu.Unlock()
+	err = p.cfg.DB.ReplaceTable(s.SourceTable, func(src *reldb.Table) (*reldb.Table, error) {
+		var newSrc *reldb.Table
+		var perr error
+		if diverged {
+			newSrc, perr = s.Lens.Put(src, edited)
+		} else {
+			newSrc, perr = bx.PutDeltaTable(s.Lens, src, edited, cs)
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		return newSrc.Renamed(s.SourceTable), nil
+	})
 	if err != nil {
 		return ProposalResult{}, fmt.Errorf("core: put on %s: %w", shareID, err)
 	}
-	p.cfg.DB.PutTable(newSrc.Renamed(s.SourceTable))
 	return p.ProposeUpdate(ctx, shareID)
 }
 

@@ -4,111 +4,241 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// Database is a named collection of tables with coarse-grained locking.
+// Database is a named collection of tables with a lock-free read path.
 // Each peer in the sharing architecture owns one Database holding its full
 // records (sources) and its materialized shared views.
+//
+// Concurrency model: every table name maps to a slot holding an atomic
+// pointer to an immutable *Table snapshot. A table stored in a slot is
+// never mutated in place — all mutation goes through the commit path
+// (WithTable / PutTable), which clones the current snapshot (O(1) under
+// copy-on-write), applies the change to the private clone, and atomically
+// publishes it. Readers (Table, Snapshot, the peers' fetch handlers)
+// therefore see consistent snapshots with a single atomic load and never
+// contend with writers or with readers of other tables; writers to
+// different tables never contend with each other. The name→slot map itself
+// is copy-on-write too: Create/Drop/first-Put replace the whole map under
+// a short mutex, so lookups are one atomic load plus a map read.
 type Database struct {
-	mu     sync.RWMutex
-	name   string
-	tables map[string]*Table
+	name string
+	// tables points to the current immutable name→slot map. Replaced
+	// wholesale by structural changes (create/drop/first put of a name);
+	// never mutated in place.
+	tables atomic.Pointer[map[string]*tableSlot]
+	// mapMu serializes map replacement. Slot commits do not take it.
+	mapMu sync.Mutex
+}
+
+// tableSlot is one table's commit point: a mutex serializing writers and
+// an atomic pointer readers load without locking.
+type tableSlot struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[Table]
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase(name string) *Database {
-	return &Database{name: name, tables: make(map[string]*Table)}
+	d := &Database{name: name}
+	m := make(map[string]*tableSlot)
+	d.tables.Store(&m)
+	return d
 }
 
 // Name returns the database name.
 func (d *Database) Name() string { return d.name }
 
-// CreateTable creates an empty table from the schema. It fails if a table
-// with the same name already exists.
+// slot returns the commit slot for name, or nil.
+func (d *Database) slot(name string) *tableSlot {
+	return (*d.tables.Load())[name]
+}
+
+// slotOrCreate returns the slot for name, installing a fresh one (via a
+// copy-on-write map swap) if the name is new.
+func (d *Database) slotOrCreate(name string) *tableSlot {
+	if s := d.slot(name); s != nil {
+		return s
+	}
+	d.mapMu.Lock()
+	defer d.mapMu.Unlock()
+	old := *d.tables.Load()
+	if s, ok := old[name]; ok {
+		return s
+	}
+	next := make(map[string]*tableSlot, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	s := &tableSlot{}
+	next[name] = s
+	d.tables.Store(&next)
+	return s
+}
+
+// CreateTable creates an empty table from the schema and returns an
+// independent snapshot of it. It fails if a table with the same name
+// already exists. Mutate the new table through WithTable (or build it
+// first and install it with PutTable).
 func (d *Database) CreateTable(schema Schema) (*Table, error) {
 	t, err := NewTable(schema)
 	if err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, dup := d.tables[schema.Name]; dup {
+	s := d.slotOrCreate(schema.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur.Load() != nil {
 		return nil, fmt.Errorf("reldb: table %s already exists in %s", schema.Name, d.name)
 	}
-	d.tables[schema.Name] = t
-	return t, nil
+	s.cur.Store(t)
+	return t.Clone(), nil
 }
 
-// PutTable installs (or replaces) a table under its schema name.
+// PutTable installs (or replaces) a table under its schema name. The
+// stored snapshot is independent of t: the caller may keep mutating its
+// instance without affecting the database (and vice versa).
 func (d *Database) PutTable(t *Table) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.tables[t.Name()] = t
+	s := d.slotOrCreate(t.Name())
+	snap := t.Clone()
+	s.mu.Lock()
+	s.cur.Store(snap)
+	s.mu.Unlock()
 }
 
-// Table returns the named table, or an error if it does not exist. The
-// returned table is the live instance; use WithTable for guarded access in
-// concurrent contexts.
+// Table returns an independent snapshot of the named table, or an error
+// if it does not exist. The snapshot is O(1) (copy-on-write) and safe to
+// read or mutate without further locking; changes are not reflected in
+// the database until committed back via PutTable or made through
+// WithTable.
 func (d *Database) Table(name string) (*Table, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	t, ok := d.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s in database %s", ErrNoSuchTable, name, d.name)
+	if s := d.slot(name); s != nil {
+		if t := s.cur.Load(); t != nil {
+			return t.Clone(), nil
+		}
 	}
-	return t, nil
+	return nil, fmt.Errorf("%w: %s in database %s", ErrNoSuchTable, name, d.name)
+}
+
+// view returns the current immutable snapshot without cloning. Internal
+// read-only fast path; callers must not mutate the result.
+func (d *Database) view(name string) (*Table, bool) {
+	if s := d.slot(name); s != nil {
+		if t := s.cur.Load(); t != nil {
+			return t, true
+		}
+	}
+	return nil, false
 }
 
 // Has reports whether the named table exists.
 func (d *Database) Has(name string) bool {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	_, ok := d.tables[name]
+	_, ok := d.view(name)
 	return ok
 }
 
 // Drop removes the named table.
 func (d *Database) Drop(name string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.tables[name]; !ok {
+	d.mapMu.Lock()
+	defer d.mapMu.Unlock()
+	old := *d.tables.Load()
+	s, ok := old[name]
+	if !ok || s.cur.Load() == nil {
 		return fmt.Errorf("%w: %s in database %s", ErrNoSuchTable, name, d.name)
 	}
-	delete(d.tables, name)
+	next := make(map[string]*tableSlot, len(old))
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	d.tables.Store(&next)
 	return nil
 }
 
 // TableNames returns the sorted names of all tables.
 func (d *Database) TableNames() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]string, 0, len(d.tables))
-	for n := range d.tables {
-		out = append(out, n)
+	m := *d.tables.Load()
+	out := make([]string, 0, len(m))
+	for n, s := range m {
+		if s.cur.Load() != nil {
+			out = append(out, n)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// WithTable runs fn while holding the database write lock, giving fn
-// exclusive access to the named table.
+// WithTable atomically commits a mutation to the named table: fn runs on
+// a private clone of the current snapshot while holding the table's
+// commit lock, and the clone is published only if fn succeeds — an error
+// aborts the commit and leaves the table unchanged. Readers are never
+// blocked; they keep seeing the previous snapshot until the commit lands.
+// Writers to other tables proceed in parallel.
 func (d *Database) WithTable(name string, fn func(*Table) error) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	t, ok := d.tables[name]
-	if !ok {
+	s := d.slot(name)
+	if s == nil {
 		return fmt.Errorf("%w: %s in database %s", ErrNoSuchTable, name, d.name)
 	}
-	return fn(t)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	if cur == nil {
+		return fmt.Errorf("%w: %s in database %s", ErrNoSuchTable, name, d.name)
+	}
+	work := cur.Clone()
+	if err := fn(work); err != nil {
+		return err
+	}
+	s.cur.Store(work)
+	return nil
 }
 
-// Snapshot returns a deep copy of the database.
-func (d *Database) Snapshot() *Database {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := NewDatabase(d.name)
-	for n, t := range d.tables {
-		out.tables[n] = t.Clone()
+// ReplaceTable atomically replaces the named table: fn receives the
+// current immutable snapshot (it must not mutate it) and returns the
+// replacement, which is published under the table's commit lock. It is
+// the read-modify-write primitive for callers that derive a whole new
+// table from the current one (a lens put embedding an incoming view) —
+// two such replacements of one table serialize instead of overwriting
+// each other, which a snapshot-then-PutTable sequence would.
+func (d *Database) ReplaceTable(name string, fn func(*Table) (*Table, error)) error {
+	s := d.slot(name)
+	if s == nil {
+		return fmt.Errorf("%w: %s in database %s", ErrNoSuchTable, name, d.name)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	if cur == nil {
+		return fmt.Errorf("%w: %s in database %s", ErrNoSuchTable, name, d.name)
+	}
+	next, err := fn(cur)
+	if err != nil {
+		return err
+	}
+	s.cur.Store(next.Clone())
+	return nil
+}
+
+// Snapshot returns a consistent point-in-time copy of the database in
+// O(#tables): each table's current immutable snapshot is shared by
+// pointer (copy-on-write), no row data is copied.
+func (d *Database) Snapshot() *Database {
+	out := NewDatabase(d.name)
+	old := *d.tables.Load()
+	next := make(map[string]*tableSlot, len(old))
+	for n, s := range old {
+		t := s.cur.Load()
+		if t == nil {
+			continue
+		}
+		ns := &tableSlot{}
+		// The stored snapshot is immutable; sharing the pointer is safe
+		// because both databases clone before any mutation.
+		ns.cur.Store(t)
+		next[n] = ns
+	}
+	out.tables.Store(&next)
 	return out
 }

@@ -53,6 +53,22 @@ type Table struct {
 	// mutator copies it first. Atomic so concurrent snapshots race-freely
 	// mark a live table as shared.
 	cow atomic.Bool
+	// secondary points to the current set of secondary indexes, keyed by
+	// the joined column names. Built lazily by the first RowsByCols call
+	// over a column set (read-only callers may share one snapshot, so
+	// builds publish copy-on-write under secMu) and maintained
+	// incrementally by every mutator afterwards, like the hash state.
+	secondary atomic.Pointer[map[string]*secIndex]
+	secMu     sync.Mutex
+}
+
+// secIndex maps a canonical encoding of a non-key column tuple to the
+// primary-key encodings of every row carrying that tuple. Primary keys —
+// not row positions — are stored so delete's swap-with-last never
+// invalidates the index.
+type secIndex struct {
+	cols []int // column positions forming the secondary key
+	m    map[string][]string
 }
 
 // tableSum is a 256-bit little-endian accumulator. Row digests are added
@@ -154,6 +170,17 @@ func (t *Table) materialize() {
 		index[k] = v
 	}
 	t.index = index
+	if secs := t.secondary.Load(); secs != nil {
+		next := make(map[string]*secIndex, len(*secs))
+		for name, ix := range *secs {
+			m := make(map[string][]string, len(ix.m))
+			for k, pks := range ix.m {
+				m[k] = append([]string(nil), pks...)
+			}
+			next[name] = &secIndex{cols: ix.cols, m: m}
+		}
+		t.secondary.Store(&next)
+	}
 	t.cow.Store(false)
 }
 
@@ -249,6 +276,7 @@ func (t *Table) insertOwned(r Row) error {
 		t.digests = append(t.digests, d)
 		t.sum.add(d)
 	}
+	t.secAdd(r, k)
 	t.canon.Store(nil)
 	return nil
 }
@@ -298,6 +326,7 @@ func (t *Table) replaceAt(i int, r Row) {
 		t.sum.add(d)
 		t.digests[i] = d
 	}
+	t.secReplace(t.rows[i], r)
 	t.rows[i] = r
 }
 
@@ -359,6 +388,7 @@ func (t *Table) Delete(key Row) error {
 	if hashed {
 		t.sum.sub(t.digests[i])
 	}
+	t.secRemove(t.rows[i], ks)
 	last := len(t.rows) - 1
 	if i != last {
 		t.rows[i] = t.rows[last]
@@ -517,6 +547,7 @@ func (t *Table) Clone() *Table {
 	}
 	t.hashMu.Unlock()
 	out.canon.Store(t.canon.Load())
+	out.secondary.Store(t.secondary.Load())
 	out.cow.Store(true)
 	t.cow.Store(true)
 	return out
@@ -578,6 +609,18 @@ func (t *Table) Hash() [32]byte {
 	return sha256.Sum256(buf[:])
 }
 
+// CachedHash returns the table hash and true when the incremental hash
+// state is already built, without forcing the O(n) first build. Callers
+// that merely want to reuse a hash-keyed cache (the composed-lens
+// intermediate view memo) use it so cold tables don't pay for hashing
+// they never asked for.
+func (t *Table) CachedHash() ([32]byte, bool) {
+	if !t.hashed.Load() {
+		return [32]byte{}, false
+	}
+	return t.Hash(), true
+}
+
 // ensureHashed builds the per-row digest cache and its additive sum on
 // first use. Safe to call from concurrent readers sharing one snapshot;
 // mutation is still single-writer by the Table contract.
@@ -599,6 +642,186 @@ func (t *Table) ensureHashed() {
 	t.digests = digests
 	t.sum = sum
 	t.hashed.Store(true)
+}
+
+// Secondary indexes: RowsByCols answers "which rows carry this value
+// tuple in these columns" in O(group size) instead of a table scan. The
+// delta-aware lens pipeline uses it to address source rows by a re-keyed
+// view key (the paper's D23/D32 shares, keyed on medication rather than
+// patient). An index is built lazily by the first lookup over its column
+// set — an O(n) scan paid once — and maintained incrementally by every
+// mutator afterwards, exactly like the hash state; Clone shares it
+// copy-on-write.
+
+// secName canonically joins a column list into an index key.
+func secName(cols []string) string {
+	var buf []byte
+	for _, c := range cols {
+		buf = append(buf, c...)
+		buf = append(buf, 0)
+	}
+	return string(buf)
+}
+
+// secKey encodes the secondary-key tuple of a full row.
+func (ix *secIndex) secKey(r Row) string {
+	var buf []byte
+	for _, c := range ix.cols {
+		buf = r[c].AppendCanonical(buf)
+	}
+	return string(buf)
+}
+
+// secAdd registers a newly inserted row (pk is its canonical key
+// encoding) with every built index.
+func (t *Table) secAdd(r Row, pk string) {
+	secs := t.secondary.Load()
+	if secs == nil {
+		return
+	}
+	for _, ix := range *secs {
+		k := ix.secKey(r)
+		ix.m[k] = append(ix.m[k], pk)
+	}
+}
+
+// secRemove unregisters a deleted row from every built index.
+func (t *Table) secRemove(r Row, pk string) {
+	secs := t.secondary.Load()
+	if secs == nil {
+		return
+	}
+	for _, ix := range *secs {
+		ix.remove(ix.secKey(r), pk)
+	}
+}
+
+// secReplace re-registers a row whose non-key columns changed in place.
+// The primary key is unchanged by contract (replaceAt), so only indexes
+// whose secondary tuple actually changed move the entry.
+func (t *Table) secReplace(old, new Row) {
+	secs := t.secondary.Load()
+	if secs == nil {
+		return
+	}
+	var pk string
+	for _, ix := range *secs {
+		ko, kn := ix.secKey(old), ix.secKey(new)
+		if ko == kn {
+			continue
+		}
+		if pk == "" {
+			pk = t.keyOf(new)
+		}
+		ix.remove(ko, pk)
+		ix.m[kn] = append(ix.m[kn], pk)
+	}
+}
+
+func (ix *secIndex) remove(key, pk string) {
+	pks := ix.m[key]
+	for i, p := range pks {
+		if p == pk {
+			pks[i] = pks[len(pks)-1]
+			pks = pks[:len(pks)-1]
+			break
+		}
+	}
+	if len(pks) == 0 {
+		delete(ix.m, key)
+	} else {
+		ix.m[key] = pks
+	}
+}
+
+// secIndexFor returns (building and publishing if needed) the index over
+// cols. Safe for concurrent readers sharing one snapshot; mutation is
+// still single-writer by the Table contract.
+func (t *Table) secIndexFor(cols []string) (*secIndex, error) {
+	name := secName(cols)
+	if secs := t.secondary.Load(); secs != nil {
+		if ix, ok := (*secs)[name]; ok {
+			return ix, nil
+		}
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		ci := t.schema.ColumnIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %s (indexing %s)", ErrNoSuchColumn, c, t.schema.Name)
+		}
+		idx[i] = ci
+	}
+	t.secMu.Lock()
+	defer t.secMu.Unlock()
+	if secs := t.secondary.Load(); secs != nil {
+		if ix, ok := (*secs)[name]; ok {
+			return ix, nil
+		}
+	}
+	ix := &secIndex{cols: idx, m: make(map[string][]string)}
+	var keyBuf []byte
+	for _, r := range t.rows {
+		k := ix.secKey(r)
+		keyBuf = t.AppendKeyOf(keyBuf[:0], r)
+		ix.m[k] = append(ix.m[k], string(keyBuf))
+	}
+	var next map[string]*secIndex
+	if old := t.secondary.Load(); old != nil {
+		next = make(map[string]*secIndex, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	} else {
+		next = make(map[string]*secIndex, 1)
+	}
+	next[name] = ix
+	t.secondary.Store(&next)
+	return ix, nil
+}
+
+// EnsureIndex builds (if absent) the secondary index over cols without
+// performing a lookup. Callers that are about to Clone and then query the
+// clone prime the original first, so the index is shared into the clone
+// (and from there into every later copy-on-write descendant) instead of
+// being rebuilt per clone.
+func (t *Table) EnsureIndex(cols []string) error {
+	_, err := t.secIndexFor(cols)
+	return err
+}
+
+// RowsByCols returns every row whose values in cols equal key (given in
+// the same order), sorted by primary key. The rows are shared references
+// and must be treated as read-only. The first call over a column set
+// scans the table once to build the index; later calls — and every call
+// on tables derived from this one by Clone — are O(matching rows), with
+// the index maintained incrementally across mutations.
+func (t *Table) RowsByCols(cols []string, key Row) ([]Row, error) {
+	ix, err := t.secIndexFor(cols)
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	for _, v := range key {
+		buf = v.AppendCanonical(buf)
+	}
+	pks := ix.m[string(buf)]
+	if len(pks) == 0 {
+		return nil, nil
+	}
+	// Sort the group's primary-key encodings so the result order is
+	// deterministic regardless of insertion history.
+	sorted := append([]string(nil), pks...)
+	sort.Strings(sorted)
+	out := make([]Row, 0, len(sorted))
+	for _, pk := range sorted {
+		i, ok := t.index[pk]
+		if !ok {
+			return nil, fmt.Errorf("reldb: secondary index on %s out of sync (missing pk)", t.schema.Name)
+		}
+		out = append(out, t.rows[i])
+	}
+	return out, nil
 }
 
 // Renamed returns a copy of the table under a different name (O(1) row

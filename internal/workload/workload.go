@@ -122,6 +122,43 @@ var (
 	ShareD23Cols = []string{ColMedication, ColMechanism}
 )
 
+// The many-shares peer scenario: one hub stakeholder (a hospital-scale
+// peer) holds a wide source table and maintains one pairwise share per
+// counterparty, each projecting the key plus that share's own value
+// column. Updates to different columns touch disjoint shares, so the
+// scenario isolates the peer's fan-out scalability: how many independent
+// shares it can propose, serve, and resync concurrently.
+
+// ManyShareCol returns the value column owned by share i.
+func ManyShareCol(i int) string { return fmt.Sprintf("v%d", i) }
+
+// ManySharesSchema returns the hub's wide source schema: one int key plus
+// one string value column per share.
+func ManySharesSchema(name string, shares int) reldb.Schema {
+	s := reldb.Schema{Name: name, Key: []string{"k"}}
+	s.Columns = append(s.Columns, reldb.Column{Name: "k", Type: reldb.KindInt})
+	for i := 0; i < shares; i++ {
+		s.Columns = append(s.Columns, reldb.Column{Name: ManyShareCol(i), Type: reldb.KindString})
+	}
+	return s
+}
+
+// GenerateManyShares builds the hub's source table with n rows,
+// deterministic under seed.
+func GenerateManyShares(name string, shares, n int, seed int64) *reldb.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := reldb.MustNewTable(ManySharesSchema(name, shares))
+	for r := 0; r < n; r++ {
+		row := make(reldb.Row, 0, shares+1)
+		row = append(row, reldb.I(int64(r)))
+		for i := 0; i < shares; i++ {
+			row = append(row, reldb.S(fmt.Sprintf("v%d-%d-%d", i, r, rng.Intn(1000))))
+		}
+		t.MustInsert(row)
+	}
+	return t
+}
+
 // Update is one synthetic field update.
 type Update struct {
 	// Key identifies the row (primary-key tuple).

@@ -170,9 +170,23 @@ func (nw *Network) Clock() clock.Clock { return nw.clk }
 // DataDirectory returns the shared endpoint directory.
 func (nw *Network) DataDirectory() *core.Directory { return nw.dir }
 
+// PeerOptions tunes a peer beyond the network defaults.
+type PeerOptions struct {
+	// FanoutWorkers bounds the peer's concurrent share processing on
+	// cascade, Resync, and SyncShares. 0 keeps the core default (8);
+	// negative forces sequential fan-out (the pre-concurrency behavior,
+	// kept for baselines and experiments).
+	FanoutWorkers int
+}
+
 // NewPeer creates a stakeholder attached to the given node, with a fresh
 // local database and a data-channel endpoint, and starts its event loop.
 func (nw *Network) NewPeer(name string, nodeIndex int) (*core.Peer, error) {
+	return nw.NewPeerWithOptions(name, nodeIndex, PeerOptions{})
+}
+
+// NewPeerWithOptions is NewPeer with explicit tuning.
+func (nw *Network) NewPeerWithOptions(name string, nodeIndex int, opts PeerOptions) (*core.Peer, error) {
 	if nodeIndex < 0 || nodeIndex >= len(nw.nodes) {
 		return nil, fmt.Errorf("medshare: node index %d out of range", nodeIndex)
 	}
@@ -188,6 +202,7 @@ func (nw *Network) NewPeer(name string, nodeIndex int) (*core.Peer, error) {
 		Directory:      nw.dir,
 		Clock:          nw.clk,
 		ResyncInterval: nw.cfg.PeerResyncInterval,
+		FanoutWorkers:  opts.FanoutWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -14,6 +14,16 @@ import (
 // keyed by their configuration fields (records, nodes, shares, ...), not
 // their position, so a -quick run compares correctly against a full-sweep
 // baseline: sweep points absent from either side are skipped.
+//
+// CPU-bound experiments (the in-process data-plane sweeps, no block
+// intervals in the loop) are additionally *normalized* by the ratio of
+// the two runs' CPU calibration scores (see calibrateCPU): a metric
+// measured on hardware 2x slower than the baseline machine is halved
+// before comparison. That removes the dominant cross-machine variance,
+// which is what lets those metrics be gated at the tighter
+// -cpu-threshold instead of the loose protocol-level -threshold. When
+// either side lacks a calibration score the normalization (and the
+// tighter threshold) is skipped.
 
 // configFields identify a sweep point inside an experiment's result
 // slice. They are matched by (exported Go) field name.
@@ -21,6 +31,27 @@ var configFields = map[string]bool{
 	"Records": true, "Nodes": true, "Rows": true, "Depth": true,
 	"Updaters": true, "Shares": true, "Readers": true, "BatchSize": true,
 	"Consensus": true, "BlockInterval": true, "Peer": true, "Updates": true,
+}
+
+// cpuBoundExperiments run entirely in-process with no configured block
+// intervals: their durations scale with the host CPU and are normalized
+// by the calibration ratio. Everything else is protocol-bound (block
+// intervals, modeled time) or machine-independent (byte sizes) and is
+// compared raw.
+var cpuBoundExperiments = map[string]bool{
+	"E1": true, "E3": true, "E9": true, "E10": true, "E12": true,
+}
+
+// experimentOf extracts the experiment name from a flattened metric key
+// ("/E9[Rows=100]/Get" -> "E9").
+func experimentOf(key string) string {
+	s := strings.TrimPrefix(key, "/")
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' || s[i] == '[' {
+			return s[:i]
+		}
+	}
+	return s
 }
 
 // higherBetter metrics improve upward (throughputs, reduction ratios).
@@ -32,16 +63,29 @@ var lowerBetter = []string{
 	"Makespan", "Time", "PerOp", "Bootstrap", "DeriveAll", "PerView",
 	"PerRecord", "SingleHop", "FullCascade", "Get", "Put", "Create",
 	"Read", "Update", "Delete", "Bytes", "Transfer", "IntegrityOK",
+	"Diff", "Commit", "Hash",
+}
+
+// leafOf returns the leaf field name of a flattened metric key.
+func leafOf(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// isSizeMetric reports whether a metric is a deterministic byte count
+// (exempt from the timing noise floor).
+func isSizeMetric(key string) bool {
+	leaf := leafOf(key)
+	return strings.Contains(leaf, "Bytes") || strings.Contains(leaf, "Transfer")
 }
 
 // direction returns +1 for higher-better, -1 for lower-better, 0 for
 // ignored metrics. The metric name is the leaf field name of the
 // flattened key.
 func direction(key string) int {
-	leaf := key
-	if i := strings.LastIndexByte(key, '/'); i >= 0 {
-		leaf = key[i+1:]
-	}
+	leaf := leafOf(key)
 	if configFields[leaf] || strings.Contains(leaf, "Count") || leaf == "Blocks" || leaf == "BlocksUsed" {
 		return 0
 	}
@@ -110,8 +154,14 @@ func flattenExperiments(v any) map[string]float64 {
 
 // compareAgainst diffs the current run (baselineData) against the
 // committed baseline at path and reports the number of regressions
-// beyond the threshold.
-func compareAgainst(path string, threshold float64) (int, error) {
+// beyond the thresholds (cpuThreshold for calibration-normalized
+// CPU-bound metrics, threshold for everything else). Duration metrics
+// whose absolute increase stays under noiseFloor nanoseconds are never
+// flagged: a 3µs→7µs jitter on a shared CI box is scheduling noise,
+// while the regressions the micro-metrics exist to catch (an O(n) step
+// reappearing on the delta path) overshoot the floor by orders of
+// magnitude at the measured table sizes.
+func compareAgainst(path string, threshold, cpuThreshold, noiseFloor float64) (int, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
@@ -133,6 +183,18 @@ func compareAgainst(path string, threshold float64) (int, error) {
 	oldFlat := flattenExperiments(oldDoc)
 	curFlat := flattenExperiments(curDoc)
 
+	// calScale converts a current-run duration to the baseline machine's
+	// scale (duration ÷ calScale compares against oldV... see below);
+	// 1 disables normalization.
+	calScale := 1.0
+	normalizing := false
+	if m, ok := oldDoc.(map[string]any); ok {
+		if oldCal, ok := m["cpuCalibrationNs"].(float64); ok && oldCal > 0 && cpuCalibration > 0 {
+			calScale = float64(cpuCalibration) / oldCal
+			normalizing = true
+		}
+	}
+
 	keys := make([]string, 0, len(curFlat))
 	for k := range curFlat {
 		keys = append(keys, k)
@@ -140,6 +202,12 @@ func compareAgainst(path string, threshold float64) (int, error) {
 	sort.Strings(keys)
 
 	fmt.Printf("\n=== regression gate (threshold %.0f%%, baseline %s) ===\n", threshold*100, path)
+	if normalizing {
+		fmt.Printf("cpu calibration: baseline/current ratio %.2f; CPU-bound metrics normalized and gated at %.0f%%\n",
+			1/calScale, cpuThreshold*100)
+	} else {
+		fmt.Printf("no calibration in baseline; all metrics gated at %.0f%% unnormalized\n", threshold*100)
+	}
 	regressions, compared := 0, 0
 	for _, k := range keys {
 		dir := direction(k)
@@ -151,16 +219,32 @@ func compareAgainst(path string, threshold float64) (int, error) {
 			continue // new metric or absent sweep point: nothing to gate
 		}
 		newV := curFlat[k]
+		gate := threshold
+		note := ""
+		if normalizing && cpuBoundExperiments[experimentOf(k)] {
+			// Durations shrink on a faster machine (divide by the
+			// calibration scale); throughputs grow (multiply).
+			if dir < 0 {
+				newV /= calScale
+			} else {
+				newV *= calScale
+			}
+			gate = cpuThreshold
+			note = " (normalized)"
+		}
 		compared++
 		var ratio float64
 		if dir < 0 {
 			ratio = newV/oldV - 1 // positive = slower/bigger = worse
+			if !isSizeMetric(k) && newV-oldV < noiseFloor {
+				continue // absolute timing increase below the noise floor
+			}
 		} else {
 			ratio = oldV/newV - 1 // positive = lower throughput = worse
 		}
-		if ratio > threshold {
+		if ratio > gate {
 			regressions++
-			fmt.Printf("REGRESSION %-60s old %.4g new %.4g (%.0f%% worse)\n", k, oldV, newV, ratio*100)
+			fmt.Printf("REGRESSION %-60s old %.4g new %.4g (%.0f%% worse)%s\n", k, oldV, newV, ratio*100, note)
 		}
 	}
 	fmt.Printf("compared %d metrics, %d regression(s)\n", compared, regressions)

@@ -142,9 +142,18 @@ func TestRunE9(t *testing.T) {
 	if r1.Get <= 0 || r1.Put <= 0 {
 		t.Fatalf("result = %+v", r1)
 	}
-	// Deeper compositions cost more.
+	// Deeper compositions cost more. Wall-clock comparisons of sub-ms
+	// measurements can invert under a GC pause or scheduler blip, so an
+	// inversion is re-measured once before failing.
 	if r3.Put < r1.Put {
-		t.Fatalf("depth-3 put %v cheaper than depth-1 %v", r3.Put, r1.Put)
+		r1b, err1 := RunE9BX(200, 1, 1)
+		r3b, err3 := RunE9BX(200, 3, 1)
+		if err1 != nil || err3 != nil {
+			t.Fatalf("remeasure: %v, %v", err1, err3)
+		}
+		if r3b.Put < r1b.Put {
+			t.Fatalf("depth-3 put %v cheaper than depth-1 %v (twice)", r3b.Put, r1b.Put)
+		}
 	}
 }
 

@@ -9,23 +9,26 @@ import (
 
 // This file is the "key-aligned vs positional put" ablation called out in
 // DESIGN.md §5: it demonstrates *why* the projection lens aligns rows by
-// key. A strawman positional put — write the i-th view row's projected
-// columns into the i-th source row — looks plausible, is what a naive
-// implementation would do, and silently corrupts data the moment the two
-// sides enumerate rows in different orders (which JSON transport, set
-// semantics, or a remote peer's insertion history all cause).
+// key. A strawman positional put — write the i-th delivered view row's
+// projected columns into the i-th source row — looks plausible, is what a
+// naive implementation would do, and silently corrupts data the moment
+// the payload enumerates rows in a different order than the receiver's
+// source (which JSON transport, set semantics, or a remote peer's
+// serialization history all cause). reldb tables themselves now enumerate
+// in canonical key order (the persistent storage is key-sorted), so the
+// reordering is modeled where it actually happens: the wire payload, a
+// plain row slice whose order the receiver does not control.
 
-// positionalPut is the strawman: zip source and view rows by position.
-func positionalPut(cols []string, src, view *reldb.Table) (*reldb.Table, error) {
+// positionalPut is the strawman: zip source rows with the view rows in
+// the order the payload delivered them.
+func positionalPut(cols []string, src *reldb.Table, viewRows []reldb.Row, viewSchema reldb.Schema) (*reldb.Table, error) {
 	srcSchema := src.Schema()
 	out, err := reldb.NewTable(srcSchema)
 	if err != nil {
 		return nil, err
 	}
-	srcRows := src.Rows()   // insertion order
-	viewRows := view.Rows() // insertion order — NOT key order
+	srcRows := src.Rows()
 	colIdx := make([]int, len(cols))
-	viewSchema := view.Schema()
 	for i, c := range cols {
 		colIdx[i] = viewSchema.ColumnIndex(c)
 	}
@@ -58,15 +61,16 @@ func TestPositionalPutCorruptsUnderReorder(t *testing.T) {
 	lens := Project("v", cols, nil)
 	view := mustGet(t, lens, src)
 
-	// The counterparty edits row 1's dose and ships the view back — but
-	// its table enumerates rows in the opposite order (e.g. it inserted
-	// them in a different sequence). Same logical content.
+	// The counterparty edits row 1's dose and ships the view back, but
+	// the payload lists the rows in the opposite order. Same logical
+	// content; a keyed table built from it is order-insensitive.
+	wireRows := []reldb.Row{
+		{reldb.I(2), reldb.S("dose-2")},
+		{reldb.I(1), reldb.S("dose-1-EDITED")},
+	}
 	reordered := reldb.MustNewTable(view.Schema())
-	reordered.MustInsert(reldb.Row{reldb.I(2), reldb.S("dose-2")})
-	reordered.MustInsert(reldb.Row{reldb.I(1), reldb.S("dose-1-EDITED")})
-	if !view.Equal(mustReorderCheck(t, view, reordered)) {
-		// (sanity: they differ only by the edit, not by identity)
-		_ = view
+	for _, r := range wireRows {
+		reordered.MustInsert(r)
 	}
 
 	// Key-aligned put: correct regardless of order.
@@ -87,7 +91,7 @@ func TestPositionalPutCorruptsUnderReorder(t *testing.T) {
 	// versa — a medically catastrophic silent corruption. The put also
 	// violates PutGet: projecting the "updated" source does not
 	// reproduce the view that was put.
-	positional, err := positionalPut(cols, src, reordered)
+	positional, err := positionalPut(cols, src, wireRows, view.Schema())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,16 +100,9 @@ func TestPositionalPutCorruptsUnderReorder(t *testing.T) {
 		t.Fatal("positional put accidentally correct; reorder the fixture")
 	}
 	got, err := positional.Project("v", cols, nil)
-	if err == nil && got.Equal(reordered) {
+	if err == nil && got.Equal(reordered.Renamed(view.Name())) {
 		t.Fatal("positional put unexpectedly satisfies PutGet")
 	}
-}
-
-// mustReorderCheck rebuilds b with a's schema name so Equal compares
-// contents only; helper for the sanity assertion above.
-func mustReorderCheck(t *testing.T, a, b *reldb.Table) *reldb.Table {
-	t.Helper()
-	return b.Renamed(a.Name())
 }
 
 // BenchmarkAblationKeyAlignedPut quantifies what key alignment costs over
@@ -125,6 +122,7 @@ func BenchmarkAblationKeyAlignedPut(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		viewRows := view.Rows()
 		b.Run(fmt.Sprintf("aligned/rows=%d", rows), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := lens.Put(src, view); err != nil {
@@ -134,7 +132,7 @@ func BenchmarkAblationKeyAlignedPut(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("positional-broken/rows=%d", rows), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := positionalPut(cols, src, view); err != nil {
+				if _, err := positionalPut(cols, src, viewRows, view.Schema()); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -152,7 +152,7 @@ func (l *ProjectLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*rel
 		lookup = func(vr reldb.Row) ([]reldb.Row, error) {
 			keyBuf = keyBuf[:0]
 			for _, j := range viewKeyIdx {
-				keyBuf = vr[j].AppendCanonical(keyBuf)
+				keyBuf = vr[j].AppendOrdered(keyBuf)
 			}
 			sr, ok := out.GetKeyBytes(keyBuf)
 			if !ok {

@@ -98,22 +98,22 @@ func (l *ProjectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 		colIdxInSrc[i] = srcIdxOfCol[c]
 	}
 
-	out, err := reldb.NewTable(srcSchema)
+	bld, err := reldb.NewTableBuilder(srcSchema)
 	if err != nil {
 		return nil, err
 	}
-	out.Grow(src.Len())
 	matched := make(map[string]bool, view.Len())
 
 	// Align source rows with view rows by the view key, streaming over the
 	// source storage: rows whose projected columns are unchanged are
 	// inserted as shared references (zero row copies), rows with view
-	// edits are copied once.
+	// edits are copied once. The stream ascends the source's key order, so
+	// the builder assembles the result in one O(n) pass.
 	var keyBuf []byte
 	err = src.Scan(func(sr reldb.Row) (bool, error) {
 		keyBuf = keyBuf[:0]
 		for _, j := range viewKeyIdxInSrc {
-			keyBuf = sr[j].AppendCanonical(keyBuf)
+			keyBuf = sr[j].AppendOrdered(keyBuf)
 		}
 		vr, ok := view.GetKeyBytes(keyBuf)
 		if !ok {
@@ -137,7 +137,7 @@ func (l *ProjectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 				updated[si] = vr[vi]
 			}
 		}
-		if err := out.InsertOwned(updated); err != nil {
+		if err := bld.Append(updated); err != nil {
 			return false, fmt.Errorf("%w: %v", ErrPutViolation, err)
 		}
 		return true, nil
@@ -156,12 +156,12 @@ func (l *ProjectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 			if l.OnInsert != PolicyApply {
 				return nil, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, vkey)
 			}
-			if err := out.InsertOwned(l.newSourceRow(srcSchema, colIdxInSrc, vr)); err != nil {
+			if err := bld.Append(l.newSourceRow(srcSchema, colIdxInSrc, vr)); err != nil {
 				return nil, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
 			}
 		}
 	}
-	return out, nil
+	return bld.Table(), nil
 }
 
 // newSourceRow builds a fresh source row for a view-side insert: hidden
@@ -227,10 +227,13 @@ func viewKeyOf(s reldb.Schema, r reldb.Row) reldb.Row {
 	return out
 }
 
+// keyString encodes a key tuple with the ordered storage encoding — the
+// same bytes the GetKeyBytes probes above use, so the two sides of the
+// matched set agree.
 func keyString(key reldb.Row) string {
 	var buf []byte
 	for _, v := range key {
-		buf = v.AppendCanonical(buf)
+		buf = v.AppendOrdered(buf)
 	}
 	return string(buf)
 }

@@ -62,11 +62,10 @@ func (l *SelectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 	if !srcSchema.Equal(view.Schema()) {
 		return nil, fmt.Errorf("%w: selection view schema must equal source schema", ErrPutViolation)
 	}
-	out, err := reldb.NewTable(srcSchema)
+	bld, err := reldb.NewTableBuilder(srcSchema)
 	if err != nil {
 		return nil, err
 	}
-	out.Grow(src.Len())
 	// Every view row must satisfy the predicate, or it would escape its
 	// own view and PutGet would fail.
 	err = view.Scan(func(vr reldb.Row) (bool, error) {
@@ -84,7 +83,9 @@ func (l *SelectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 	}
 	// Stream over the source, aligning selected rows with view rows by
 	// key. Rows are inserted as shared references — the selection lens
-	// never rewrites row contents, only membership.
+	// never rewrites row contents, only membership — and arrive in
+	// ascending key order, so the builder assembles the result in one
+	// O(n) pass.
 	matched := 0
 	var keyBuf []byte
 	err = src.Scan(func(sr reldb.Row) (bool, error) {
@@ -94,7 +95,7 @@ func (l *SelectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 		}
 		if !ok {
 			// Invisible to the view: passes through.
-			return true, out.InsertOwned(sr)
+			return true, bld.Append(sr)
 		}
 		keyBuf = src.AppendKeyOf(keyBuf[:0], sr)
 		vr, found := view.GetKeyBytes(keyBuf)
@@ -105,7 +106,7 @@ func (l *SelectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 			return true, nil
 		}
 		matched++
-		return true, out.InsertOwned(vr)
+		return true, bld.Append(vr)
 	})
 	if err != nil {
 		return nil, err
@@ -130,12 +131,12 @@ func (l *SelectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 			if l.OnInsert != PolicyApply {
 				return nil, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, key)
 			}
-			if err := out.InsertOwned(vr); err != nil {
+			if err := bld.Append(vr); err != nil {
 				return nil, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
 			}
 		}
 	}
-	return out, nil
+	return bld.Table(), nil
 }
 
 // Spec implements Lens.

@@ -18,10 +18,30 @@ import (
 // pollInterval paces WaitFinal and resync polling.
 const pollInterval = 5 * time.Millisecond
 
-// handleEvent dispatches one committed contract event. Events are
-// processed sequentially by the peer's event goroutine so share state
-// never races.
-func (p *Peer) handleEvent(ev contract.Event) {
+// Incoming-event dispatch: shares are independent replicas, so events
+// for *different* shares may be handled concurrently — a hospital-scale
+// peer bound to hundreds of shares applies incoming updates in parallel
+// instead of serializing every fetch+put+ack behind one goroutine.
+// Events for the *same* share stay strictly ordered: each share has a
+// FIFO queue drained by at most one goroutine at a time, so the
+// per-share sequence-number ordering the protocol relies on is
+// preserved, and the per-share opMu makes the concurrent handlers safe
+// (the same argument as the cascade/Resync fan-out pool). The number of
+// concurrently draining shares is bounded by Config.FanoutWorkers;
+// FanoutWorkers < 0 degrades to the old fully sequential loop.
+
+// shareEvent is one decoded sharereg event queued for a share's drainer
+// (decoded once at dispatch; the handler never re-parses the payload).
+type shareEvent struct {
+	name    string
+	payload sharereg.EventPayload
+}
+
+// dispatchEvent routes one committed contract event: sharereg events are
+// enqueued on their share's ordered queue (sequential mode and events
+// without a share ID are handled inline). Called only from the peer's
+// event goroutine.
+func (p *Peer) dispatchEvent(ev contract.Event) {
 	if ev.Contract != sharereg.ContractName {
 		return
 	}
@@ -29,7 +49,72 @@ func (p *Peer) handleEvent(ev contract.Event) {
 	if err != nil {
 		return
 	}
-	switch ev.Name {
+	if p.cfg.FanoutWorkers <= 1 || payload.ShareID == "" {
+		p.handleEvent(ev.Name, payload)
+		return
+	}
+	id := payload.ShareID
+	p.evMu.Lock()
+	p.evQueues[id] = append(p.evQueues[id], shareEvent{name: ev.Name, payload: payload})
+	if p.evActive[id] {
+		p.evMu.Unlock()
+		return // a drainer is already responsible for this share's queue
+	}
+	p.evActive[id] = true
+	p.evMu.Unlock()
+	// wg.Add is safe here: the caller (event goroutine) is itself
+	// wg-tracked, so the counter cannot reach zero concurrently.
+	p.wg.Add(1)
+	go p.drainShareEvents(id)
+}
+
+// drainShareEvents processes one share's queued events in FIFO order
+// until the queue empties, holding one slot of the bounded worker pool.
+func (p *Peer) drainShareEvents(id string) {
+	defer p.wg.Done()
+	select {
+	case p.evSem <- struct{}{}:
+	case <-p.stopped:
+		p.abandonShareQueue(id)
+		return
+	}
+	defer func() { <-p.evSem }()
+	for {
+		select {
+		case <-p.stopped:
+			p.abandonShareQueue(id)
+			return
+		default:
+		}
+		p.evMu.Lock()
+		q := p.evQueues[id]
+		if len(q) == 0 {
+			delete(p.evQueues, id)
+			p.evActive[id] = false
+			p.evMu.Unlock()
+			return
+		}
+		ev := q[0]
+		p.evQueues[id] = q[1:]
+		p.evMu.Unlock()
+		p.handleEvent(ev.name, ev.payload)
+	}
+}
+
+// abandonShareQueue drops a stopping share queue; missed events are
+// recovered by Resync, exactly like events lost while the peer is down.
+func (p *Peer) abandonShareQueue(id string) {
+	p.evMu.Lock()
+	delete(p.evQueues, id)
+	p.evActive[id] = false
+	p.evMu.Unlock()
+}
+
+// handleEvent processes one decoded sharereg event. Events for one
+// share are processed in order (by the share's queue drainer, or by the
+// event goroutine itself in sequential mode) so share state never races.
+func (p *Peer) handleEvent(name string, payload sharereg.EventPayload) {
+	switch name {
 	case sharereg.EvUpdateRequested:
 		p.onUpdateRequested(payload)
 	case sharereg.EvUpdateFinal:

@@ -100,6 +100,14 @@ type Peer struct {
 	stopOnce     sync.Once
 	stopped      chan struct{}
 
+	// Incoming-event dispatch state (see events.go): per-share FIFO
+	// queues drained concurrently for independent shares, bounded by
+	// evSem (capacity Config.FanoutWorkers).
+	evMu     sync.Mutex
+	evQueues map[string][]shareEvent
+	evActive map[string]bool
+	evSem    chan struct{}
+
 	// history records locally observed share activity for the audit
 	// examples; the authoritative history lives on-chain.
 	history []HistoryEntry
@@ -192,9 +200,14 @@ func NewPeer(cfg Config) (*Peer, error) {
 		cfg.FanoutWorkers = 8
 	}
 	p := &Peer{
-		cfg:     cfg,
-		shares:  make(map[string]*Share),
-		stopped: make(chan struct{}),
+		cfg:      cfg,
+		shares:   make(map[string]*Share),
+		stopped:  make(chan struct{}),
+		evQueues: make(map[string][]shareEvent),
+		evActive: make(map[string]bool),
+	}
+	if cfg.FanoutWorkers > 1 {
+		p.evSem = make(chan struct{}, cfg.FanoutWorkers)
 	}
 	if cfg.Transport != nil {
 		cfg.Transport.HandleRequest(p.serveDataFetch)
@@ -230,7 +243,7 @@ func (p *Peer) Start() {
 				if !ok {
 					return
 				}
-				p.handleEvent(ev)
+				p.dispatchEvent(ev)
 			}
 		}
 	}()

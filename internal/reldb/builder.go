@@ -1,0 +1,118 @@
+package reldb
+
+import (
+	"fmt"
+
+	"medshare/internal/reldb/pmap"
+)
+
+// TableBuilder constructs a fresh table from a stream of rows in O(n)
+// when the rows arrive in ascending primary-key order — which is the
+// natural case everywhere a table is rebuilt from a canonical scan of
+// another (relational operators, lens puts): the persistent storage
+// iterates in key order, so a same-keyed rebuild streams ascending by
+// construction. Ascending appends are buffered and turned into a
+// perfectly balanced tree in one pass instead of n O(log n) path-copying
+// inserts; if the stream ever goes out of order the builder degrades
+// transparently to per-row inserts, so callers never need to know which
+// case they are in.
+//
+// Append takes ownership of its row (InsertOwned semantics: the caller
+// must not mutate it afterwards). Call Table exactly once when done.
+type TableBuilder struct {
+	t        *Table
+	keys     []string
+	entries  []*rowEntry
+	degraded bool
+	done     bool
+}
+
+// NewTableBuilder returns a builder for a table with the given schema.
+func NewTableBuilder(schema Schema) (*TableBuilder, error) {
+	t, err := NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	return &TableBuilder{t: t}, nil
+}
+
+// Append adds an owned row, validating it against the schema and
+// rejecting duplicate keys exactly like Table.InsertOwned.
+func (b *TableBuilder) Append(r Row) error {
+	if err := b.t.schema.checkRow(r); err != nil {
+		return err
+	}
+	return b.appendChecked(r)
+}
+
+// appendChecked is Append without the schema check (for callers that
+// already validated, e.g. rows coming out of a same-schema table).
+func (b *TableBuilder) appendChecked(r Row) error {
+	k := b.t.keyOf(r)
+	if b.degraded {
+		return b.t.insertOwned(r)
+	}
+	if n := len(b.keys); n > 0 && k <= b.keys[n-1] {
+		if k == b.keys[n-1] {
+			return fmt.Errorf("%w: table %s key %v", ErrDuplicateKey, b.t.schema.Name, b.t.KeyValues(r))
+		}
+		// Out of order: flush the sorted prefix and fall back to
+		// per-row inserts (duplicates anywhere are caught there).
+		b.t.rows = pmap.FromSorted(b.keys, b.entries)
+		b.keys, b.entries = nil, nil
+		b.degraded = true
+		return b.t.insertOwned(r)
+	}
+	b.keys = append(b.keys, k)
+	b.entries = append(b.entries, &rowEntry{row: r})
+	return nil
+}
+
+// Peek returns the row appended under the ordered key encoding k, if
+// any. It sees both flushed and still-buffered rows, which is what lets
+// operators that probe their own partial output (projection's
+// functionality check) run on top of the builder.
+func (b *TableBuilder) Peek(k []byte) (Row, bool) {
+	if !b.degraded {
+		if n := len(b.keys); n > 0 {
+			// Binary search the buffered ascending keys; the byte-slice
+			// key is compared in place, never converted (no allocation).
+			lo, hi := 0, n
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if pmap.CompareBytesKey(k, b.keys[mid]) > 0 {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < n && pmap.CompareBytesKey(k, b.keys[lo]) == 0 {
+				return b.entries[lo].row, true
+			}
+		}
+		return nil, false
+	}
+	return b.t.GetKeyBytes(k)
+}
+
+// Len returns the number of rows appended so far.
+func (b *TableBuilder) Len() int {
+	if b.degraded {
+		return b.t.Len()
+	}
+	return len(b.keys)
+}
+
+// Table finalizes and returns the built table. The builder must not be
+// used afterwards.
+func (b *TableBuilder) Table() *Table {
+	if b.done {
+		panic("reldb: TableBuilder.Table called twice")
+	}
+	b.done = true
+	if !b.degraded {
+		b.t.rows = pmap.FromSorted(b.keys, b.entries)
+		b.keys, b.entries = nil, nil
+	}
+	return b.t
+}

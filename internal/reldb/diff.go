@@ -2,6 +2,8 @@ package reldb
 
 import (
 	"fmt"
+
+	"medshare/internal/reldb/pmap"
 )
 
 // RowChange records an update to a single row: the old and new images.
@@ -100,26 +102,27 @@ func (c Changeset) ChangedColumns(s Schema) map[string]bool {
 }
 
 // Diff computes the changeset that transforms t into target. Rows are
-// matched by primary key. The schemas must be equal (modulo table name).
+// matched by primary key; each changeset section lists rows in canonical
+// key order. The schemas must be equal (modulo table name).
+//
+// The comparison is structural over the persistent row storage:
+// subtrees the two tables share by pointer are skipped wholesale, so
+// diffing a snapshot against a descendant produced by k edits (the
+// ProposeUpdate/UpdateView pattern: clone, edit, diff) costs
+// O(k log n), not O(n).
 func (t *Table) Diff(target *Table) (Changeset, error) {
 	if !t.schema.Equal(target.schema) {
 		return Changeset{}, fmt.Errorf("%w: diff between incompatible schemas %s and %s", ErrSchemaInvalid, t.schema.Name, target.schema.Name)
 	}
 	var cs Changeset
-	for _, r := range target.RowsCanonical() {
-		old, ok := t.Get(target.KeyValues(r))
-		switch {
-		case !ok:
-			cs.Inserted = append(cs.Inserted, r)
-		case !old.Equal(r):
-			cs.Updated = append(cs.Updated, RowChange{Before: old, After: r})
-		}
-	}
-	for _, r := range t.RowsCanonical() {
-		if !target.Has(t.KeyValues(r)) {
-			cs.Deleted = append(cs.Deleted, r)
-		}
-	}
+	pmap.Diff(t.rows, target.rows, sameRowEntry,
+		func(_ string, e *rowEntry) bool { cs.Deleted = append(cs.Deleted, e.row); return true },
+		func(_ string, e *rowEntry) bool { cs.Inserted = append(cs.Inserted, e.row); return true },
+		func(_ string, before, after *rowEntry) bool {
+			cs.Updated = append(cs.Updated, RowChange{Before: before.row, After: after.row})
+			return true
+		},
+	)
 	return cs, nil
 }
 

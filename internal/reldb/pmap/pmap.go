@@ -1,0 +1,421 @@
+// Package pmap implements an immutable, persistent ordered map from
+// string keys to values, the structural-sharing storage substrate of
+// reldb tables. Every mutating operation returns a *new* map that shares
+// all untouched structure with its input, so
+//
+//   - a snapshot ("clone") is one pointer copy, O(1);
+//   - Set and Delete copy only the O(log n) path from the root to the
+//     touched key, never the whole map;
+//   - two maps derived from a common ancestor by k edits share all but
+//     O(k log n) nodes, which Diff exploits to compare them in
+//     O(k log n) instead of O(n).
+//
+// The implementation is a weight-balanced binary search tree (the
+// delta=3 / ratio=2 scheme of Haskell's Data.Map, whose balance
+// conditions are machine-checked in the literature) rather than a
+// hash-array-mapped trie: the table layer needs *ordered* iteration
+// (canonical key-sorted row order falls out of an in-order walk for
+// free, with no cached sort to invalidate) and prefix range scans (the
+// secondary index stores composite secondary-key‖primary-key entries and
+// answers group lookups with a prefix walk). A HAMT offers neither; the
+// structural-sharing and O(log n) path-copy properties are the same.
+//
+// The zero Map is the empty map. Maps are safe for concurrent readers
+// without synchronization (they are immutable); a *variable* holding a
+// map needs the caller's usual synchronization when rebound.
+package pmap
+
+// Map is an immutable ordered map from string keys to values of type V.
+// The zero value is the empty map.
+type Map[V any] struct {
+	root *node[V]
+}
+
+// node is an immutable tree node. Nodes are never mutated after
+// construction; all "mutation" builds new nodes along the root path.
+type node[V any] struct {
+	key   string
+	val   V
+	size  int // nodes in this subtree, including this one
+	left  *node[V]
+	right *node[V]
+}
+
+// Balance parameters, exactly Data.Map's: a subtree may be at most
+// delta times the size of its sibling; ratio picks single vs double
+// rotation.
+const (
+	delta = 3
+	ratio = 2
+)
+
+func size[V any](n *node[V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func mk[V any](l *node[V], k string, v V, r *node[V]) *node[V] {
+	return &node[V]{key: k, val: v, size: size(l) + size(r) + 1, left: l, right: r}
+}
+
+// balanceL rebuilds a node whose LEFT subtree may have become too heavy
+// (after an insert on the left or a delete on the right), rotating right
+// when the weight invariant is violated.
+func balanceL[V any](k string, v V, l, r *node[V]) *node[V] {
+	if size(l) > delta*size(r) && size(l) >= 2 {
+		// l is non-nil with at least two nodes; rotate right.
+		if size(l.right) < ratio*size(l.left) {
+			// Single right rotation.
+			return mk(l.left, l.key, l.val, mk(l.right, k, v, r))
+		}
+		// Double rotation: l.right is non-nil here (its size exceeds
+		// ratio*size(l.left) >= 0 and the subtree has >= 2 nodes).
+		lr := l.right
+		return mk(mk(l.left, l.key, l.val, lr.left), lr.key, lr.val, mk(lr.right, k, v, r))
+	}
+	return mk(l, k, v, r)
+}
+
+// balanceR is the mirror image: the RIGHT subtree may be too heavy.
+func balanceR[V any](k string, v V, l, r *node[V]) *node[V] {
+	if size(r) > delta*size(l) && size(r) >= 2 {
+		if size(r.left) < ratio*size(r.right) {
+			// Single left rotation.
+			return mk(mk(l, k, v, r.left), r.key, r.val, r.right)
+		}
+		rl := r.left
+		return mk(mk(l, k, v, rl.left), rl.key, rl.val, mk(rl.right, r.key, r.val, r.right))
+	}
+	return mk(l, k, v, r)
+}
+
+// Len returns the number of entries.
+func (m Map[V]) Len() int { return size(m.root) }
+
+// Get returns the value stored under k.
+func (m Map[V]) Get(k string) (V, bool) {
+	n := m.root
+	for n != nil {
+		switch {
+		case k < n.key:
+			n = n.left
+		case k > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// CompareBytesKey compares a byte-slice key with a string key bytewise
+// without converting (and so without allocating). Exported for callers
+// that probe string-keyed structures with reused byte buffers (the
+// table builder's Peek).
+func CompareBytesKey(b []byte, s string) int {
+	n := len(b)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
+}
+
+// GetBytes is Get for a key held as a byte slice; it never allocates.
+// Hot paths (index probes with reused key buffers) use it.
+func (m Map[V]) GetBytes(k []byte) (V, bool) {
+	n := m.root
+	for n != nil {
+		switch CompareBytesKey(k, n.key) {
+		case -1:
+			n = n.left
+		case 1:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Has reports whether k is present.
+func (m Map[V]) Has(k string) bool {
+	_, ok := m.Get(k)
+	return ok
+}
+
+// Set returns a map with k bound to v (replacing any existing binding)
+// plus whether a binding existed. The receiver is unchanged.
+func (m Map[V]) Set(k string, v V) (Map[V], bool) {
+	root, existed := set(m.root, k, v)
+	return Map[V]{root: root}, existed
+}
+
+func set[V any](n *node[V], k string, v V) (*node[V], bool) {
+	if n == nil {
+		return mk[V](nil, k, v, nil), false
+	}
+	switch {
+	case k < n.key:
+		l, existed := set(n.left, k, v)
+		if existed {
+			return mk(l, n.key, n.val, n.right), true
+		}
+		return balanceL(n.key, n.val, l, n.right), false
+	case k > n.key:
+		r, existed := set(n.right, k, v)
+		if existed {
+			return mk(n.left, n.key, n.val, r), true
+		}
+		return balanceR(n.key, n.val, n.left, r), false
+	default:
+		return &node[V]{key: k, val: v, size: n.size, left: n.left, right: n.right}, true
+	}
+}
+
+// Delete returns a map without k, plus whether k was present. When k is
+// absent the receiver is returned unchanged (no copying).
+func (m Map[V]) Delete(k string) (Map[V], bool) {
+	root, existed := del(m.root, k)
+	if !existed {
+		return m, false
+	}
+	return Map[V]{root: root}, true
+}
+
+func del[V any](n *node[V], k string) (*node[V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch {
+	case k < n.key:
+		l, existed := del(n.left, k)
+		if !existed {
+			return n, false
+		}
+		return balanceR(n.key, n.val, l, n.right), true
+	case k > n.key:
+		r, existed := del(n.right, k)
+		if !existed {
+			return n, false
+		}
+		return balanceL(n.key, n.val, n.left, r), true
+	default:
+		return glue(n.left, n.right), true
+	}
+}
+
+// glue merges two balanced sibling subtrees (all keys of l < all keys
+// of r, sizes within the balance bound of each other).
+func glue[V any](l, r *node[V]) *node[V] {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case size(l) > size(r):
+		k, v, nl := popMax(l)
+		return balanceR(k, v, nl, r)
+	default:
+		k, v, nr := popMin(r)
+		return balanceL(k, v, l, nr)
+	}
+}
+
+func popMin[V any](n *node[V]) (string, V, *node[V]) {
+	if n.left == nil {
+		return n.key, n.val, n.right
+	}
+	k, v, l := popMin(n.left)
+	return k, v, balanceR(n.key, n.val, l, n.right)
+}
+
+func popMax[V any](n *node[V]) (string, V, *node[V]) {
+	if n.right == nil {
+		return n.key, n.val, n.left
+	}
+	k, v, r := popMax(n.right)
+	return k, v, balanceL(n.key, n.val, n.left, r)
+}
+
+// Ascend calls fn for every entry in ascending key order until fn
+// returns false.
+func (m Map[V]) Ascend(fn func(k string, v V) bool) {
+	m.root.ascend(fn)
+}
+
+func (n *node[V]) ascend(fn func(string, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	return n.left.ascend(fn) && fn(n.key, n.val) && n.right.ascend(fn)
+}
+
+// AscendPrefix calls fn for every entry whose key starts with prefix, in
+// ascending key order, until fn returns false.
+func (m Map[V]) AscendPrefix(prefix string, fn func(k string, v V) bool) {
+	m.root.ascendFrom(prefix, func(k string, v V) bool {
+		if len(k) < len(prefix) || k[:len(prefix)] != prefix {
+			return false // past the prefix range
+		}
+		return fn(k, v)
+	})
+}
+
+// ascendFrom visits entries with key >= lo in ascending order.
+func (n *node[V]) ascendFrom(lo string, fn func(string, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key < lo {
+		return n.right.ascendFrom(lo, fn)
+	}
+	return n.left.ascendFrom(lo, fn) && fn(n.key, n.val) && n.right.ascend(fn)
+}
+
+// AppendMapped appends f(v) for every value in ascending key order. With
+// a preallocated dst and a top-level (non-closure) f it performs no
+// allocations beyond dst's growth — the table layer's zero-copy row
+// accessors are built on it.
+func AppendMapped[V, U any](m Map[V], dst []U, f func(V) U) []U {
+	return appendMapped(m.root, dst, f)
+}
+
+func appendMapped[V, U any](n *node[V], dst []U, f func(V) U) []U {
+	if n == nil {
+		return dst
+	}
+	dst = appendMapped(n.left, dst, f)
+	dst = append(dst, f(n.val))
+	return appendMapped(n.right, dst, f)
+}
+
+// FromSorted builds a map from keys and parallel vals in one O(n) pass.
+// keys MUST be in strictly ascending order — the precondition is the
+// caller's to guarantee (table builders append rows in canonical scan
+// order) and is not rechecked here. The result is a perfectly balanced
+// tree, which trivially satisfies the weight invariant.
+func FromSorted[V any](keys []string, vals []V) Map[V] {
+	return Map[V]{root: buildSorted(keys, vals)}
+}
+
+func buildSorted[V any](keys []string, vals []V) *node[V] {
+	if len(keys) == 0 {
+		return nil
+	}
+	mid := len(keys) / 2
+	return &node[V]{
+		key:   keys[mid],
+		val:   vals[mid],
+		size:  len(keys),
+		left:  buildSorted(keys[:mid], vals[:mid]),
+		right: buildSorted(keys[mid+1:], vals[mid+1:]),
+	}
+}
+
+// link joins l, k/v, r where every key of l < k < every key of r and l
+// and r are each balanced but may differ arbitrarily in size. It is
+// Data.Map's link: descend the spine of the heavier side until the
+// remainder balances against the lighter side, then rebalance upward.
+func link[V any](k string, v V, l, r *node[V]) *node[V] {
+	switch {
+	case l == nil:
+		return insertMin(k, v, r)
+	case r == nil:
+		return insertMax(k, v, l)
+	case delta*l.size < r.size:
+		return balanceL(r.key, r.val, link(k, v, l, r.left), r.right)
+	case delta*r.size < l.size:
+		return balanceR(l.key, l.val, l.left, link(k, v, l.right, r))
+	default:
+		return mk(l, k, v, r)
+	}
+}
+
+func insertMin[V any](k string, v V, n *node[V]) *node[V] {
+	if n == nil {
+		return mk[V](nil, k, v, nil)
+	}
+	return balanceL(n.key, n.val, insertMin(k, v, n.left), n.right)
+}
+
+func insertMax[V any](k string, v V, n *node[V]) *node[V] {
+	if n == nil {
+		return mk[V](nil, k, v, nil)
+	}
+	return balanceR(n.key, n.val, n.left, insertMax(k, v, n.right))
+}
+
+// split partitions n around k into the entries below k, the value at k
+// (if present), and the entries above k. Subtrees entirely on one side
+// are reused by pointer, which is what lets Diff keep pruning
+// pointer-equal structure after a split.
+func split[V any](n *node[V], k string) (l *node[V], v V, found bool, r *node[V]) {
+	if n == nil {
+		var zero V
+		return nil, zero, false, nil
+	}
+	switch {
+	case k < n.key:
+		ll, v, found, lr := split(n.left, k)
+		return ll, v, found, link(n.key, n.val, lr, n.right)
+	case k > n.key:
+		rl, v, found, rr := split(n.right, k)
+		return link(n.key, n.val, n.left, rl), v, found, rr
+	default:
+		return n.left, n.val, true, n.right
+	}
+}
+
+// Diff compares a and b and reports their differences in ascending key
+// order: onA for keys only in a, onB for keys only in b, and onBoth for
+// keys present in both whose values differ under same. Any callback
+// returning false aborts the walk (equality checks stop at the first
+// difference). Pointer-equal subtrees are skipped wholesale, so diffing
+// a map against a descendant produced by k edits costs O(k log n)
+// rather than O(n) — the property that makes ProposeUpdate/UpdateView's
+// view diff proportional to the edit, not the table.
+func Diff[V any](a, b Map[V], same func(x, y V) bool, onA, onB func(k string, v V) bool, onBoth func(k string, x, y V) bool) {
+	diffNodes(a.root, b.root, same, onA, onB, onBoth)
+}
+
+func diffNodes[V any](a, b *node[V], same func(x, y V) bool, onA, onB func(string, V) bool, onBoth func(string, V, V) bool) bool {
+	if a == b {
+		return true
+	}
+	if a == nil {
+		return b.ascend(onB)
+	}
+	if b == nil {
+		return a.ascend(onA)
+	}
+	bl, bv, found, br := split(b, a.key)
+	if !diffNodes(a.left, bl, same, onA, onB, onBoth) {
+		return false
+	}
+	if found {
+		if !same(a.val, bv) && !onBoth(a.key, a.val, bv) {
+			return false
+		}
+	} else if !onA(a.key, a.val) {
+		return false
+	}
+	return diffNodes(a.right, br, same, onA, onB, onBoth)
+}

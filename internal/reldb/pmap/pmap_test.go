@@ -1,0 +1,396 @@
+package pmap
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// checkInvariants walks the tree verifying the three structural
+// invariants everything else rests on: key order, correct sizes, and
+// the delta weight balance.
+func checkInvariants[V any](t *testing.T, m Map[V]) {
+	t.Helper()
+	var walk func(n *node[V], lo, hi string, hasLo, hasHi bool) int
+	walk = func(n *node[V], lo, hi string, hasLo, hasHi bool) int {
+		if n == nil {
+			return 0
+		}
+		if hasLo && n.key <= lo {
+			t.Fatalf("order violated: %q <= lower bound %q", n.key, lo)
+		}
+		if hasHi && n.key >= hi {
+			t.Fatalf("order violated: %q >= upper bound %q", n.key, hi)
+		}
+		ls := walk(n.left, lo, n.key, hasLo, true)
+		rs := walk(n.right, n.key, hi, true, hasHi)
+		if n.size != ls+rs+1 {
+			t.Fatalf("size wrong at %q: have %d want %d", n.key, n.size, ls+rs+1)
+		}
+		// The weight invariant: neither subtree more than delta times
+		// the other (sizes >= 2 per the rotation guard — single-node
+		// imbalance like (1,0) is inherently fine).
+		if ls+rs >= 2 && (ls > delta*rs || rs > delta*ls) {
+			t.Fatalf("imbalance at %q: left %d right %d", n.key, ls, rs)
+		}
+		return n.size
+	}
+	walk(m.root, "", "", false, false)
+}
+
+// collect returns the map contents as sorted key/value pairs.
+func collect(m Map[int]) ([]string, []int) {
+	var ks []string
+	var vs []int
+	m.Ascend(func(k string, v int) bool {
+		ks = append(ks, k)
+		vs = append(vs, v)
+		return true
+	})
+	return ks, vs
+}
+
+// TestMapAgainstReferenceModel drives random op sequences against a
+// plain Go map and checks full agreement (contents, Len, iteration
+// order) plus the structural invariants after every operation.
+func TestMapAgainstReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m Map[int]
+		ref := make(map[string]int)
+		for op := 0; op < 400; op++ {
+			k := fmt.Sprintf("k%03d", rng.Intn(120))
+			switch rng.Intn(4) {
+			case 0, 1: // set twice as often as delete so the map grows
+				v := rng.Int()
+				var existed bool
+				m, existed = m.Set(k, v)
+				_, refExisted := ref[k]
+				if existed != refExisted {
+					t.Logf("seed %d: Set(%q) existed=%v want %v", seed, k, existed, refExisted)
+					return false
+				}
+				ref[k] = v
+			case 2:
+				var existed bool
+				m, existed = m.Delete(k)
+				_, refExisted := ref[k]
+				if existed != refExisted {
+					t.Logf("seed %d: Delete(%q) existed=%v want %v", seed, k, existed, refExisted)
+					return false
+				}
+				delete(ref, k)
+			case 3:
+				v, ok := m.Get(k)
+				refV, refOK := ref[k]
+				if ok != refOK || (ok && v != refV) {
+					t.Logf("seed %d: Get(%q) = %v,%v want %v,%v", seed, k, v, ok, refV, refOK)
+					return false
+				}
+				if bv, bok := m.GetBytes([]byte(k)); bok != ok || bv != v {
+					t.Logf("seed %d: GetBytes(%q) disagrees with Get", seed, k)
+					return false
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Logf("seed %d: Len %d want %d", seed, m.Len(), len(ref))
+			return false
+		}
+		ks, vs := collect(m)
+		if !sort.StringsAreSorted(ks) {
+			t.Logf("seed %d: iteration not sorted", seed)
+			return false
+		}
+		for i, k := range ks {
+			if ref[k] != vs[i] {
+				t.Logf("seed %d: content mismatch at %q", seed, k)
+				return false
+			}
+		}
+		checkInvariants(t, m)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistenceSnapshotsUnchanged: every intermediate version of the
+// map must remain exactly as it was when later versions mutate — the
+// defining property of persistence.
+func TestPersistenceSnapshotsUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type snap struct {
+		m   Map[int]
+		ref map[string]int
+	}
+	var m Map[int]
+	ref := make(map[string]int)
+	var snaps []snap
+	for op := 0; op < 300; op++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(80))
+		if rng.Intn(3) == 0 {
+			m, _ = m.Delete(k)
+			delete(ref, k)
+		} else {
+			v := rng.Int()
+			m, _ = m.Set(k, v)
+			ref[k] = v
+		}
+		if op%37 == 0 {
+			cp := make(map[string]int, len(ref))
+			for k, v := range ref {
+				cp[k] = v
+			}
+			snaps = append(snaps, snap{m: m, ref: cp})
+		}
+	}
+	for i, s := range snaps {
+		if s.m.Len() != len(s.ref) {
+			t.Fatalf("snapshot %d: len %d want %d", i, s.m.Len(), len(s.ref))
+		}
+		ks, vs := collect(s.m)
+		for j, k := range ks {
+			if s.ref[k] != vs[j] {
+				t.Fatalf("snapshot %d: %q changed under later mutations", i, k)
+			}
+		}
+	}
+}
+
+// TestStructuralSharing: a single-key edit of a large map must allocate
+// only a root path of new nodes, aliasing everything else. This is the
+// O(log n)-per-delta guarantee made concrete.
+func TestStructuralSharing(t *testing.T) {
+	var m Map[int]
+	const n = 4096
+	for i := 0; i < n; i++ {
+		m, _ = m.Set(fmt.Sprintf("k%05d", i), i)
+	}
+	nodes := func(mm Map[int]) map[*node[int]]bool {
+		set := make(map[*node[int]]bool)
+		var walk func(*node[int])
+		walk = func(nd *node[int]) {
+			if nd == nil {
+				return
+			}
+			set[nd] = true
+			walk(nd.left)
+			walk(nd.right)
+		}
+		walk(mm.root)
+		return set
+	}
+	before := nodes(m)
+	m2, _ := m.Set("k02048", -1)
+	fresh := 0
+	for nd := range nodes(m2) {
+		if !before[nd] {
+			fresh++
+		}
+	}
+	// A 4096-entry weight-balanced tree is at most ~2·log2(n) deep;
+	// allow generous slack while still catching any O(n) copying.
+	if fresh > 40 {
+		t.Fatalf("one-key edit created %d fresh nodes (want O(log n))", fresh)
+	}
+	if v, _ := m.Get("k02048"); v != 2048 {
+		t.Fatal("original mutated by derived edit")
+	}
+	if v, _ := m2.Get("k02048"); v != -1 {
+		t.Fatal("edit lost")
+	}
+}
+
+// TestFromSortedMatchesIncremental: the O(n) bulk build must produce the
+// same contents as n incremental sets, with valid invariants.
+func TestFromSortedMatchesIncremental(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		keys := make([]string, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%05d", i)
+			vals[i] = i * 3
+		}
+		bulk := FromSorted(keys, vals)
+		checkInvariants(t, bulk)
+		var inc Map[int]
+		for i := range keys {
+			inc, _ = inc.Set(keys[i], vals[i])
+		}
+		bk, bv := collect(bulk)
+		ik, iv := collect(inc)
+		if len(bk) != len(ik) {
+			t.Fatalf("n=%d: bulk %d entries, incremental %d", n, len(bk), len(ik))
+		}
+		for i := range bk {
+			if bk[i] != ik[i] || bv[i] != iv[i] {
+				t.Fatalf("n=%d: mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestAscendPrefix checks prefix scans against a filtered full walk.
+func TestAscendPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var m Map[int]
+	for i := 0; i < 500; i++ {
+		m, _ = m.Set(fmt.Sprintf("g%02d/p%04d", rng.Intn(20), i), i)
+	}
+	for g := 0; g < 20; g++ {
+		prefix := fmt.Sprintf("g%02d/", g)
+		var got []string
+		m.AscendPrefix(prefix, func(k string, _ int) bool {
+			got = append(got, k)
+			return true
+		})
+		var want []string
+		m.Ascend(func(k string, _ int) bool {
+			if strings.HasPrefix(k, prefix) {
+				want = append(want, k)
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("prefix %q: got %d keys want %d", prefix, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("prefix %q: order mismatch at %d", prefix, i)
+			}
+		}
+	}
+}
+
+// TestDiffAgainstReferenceModel checks Diff between two random maps
+// against the set-algebra answer, including value-change detection.
+func TestDiffAgainstReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		build := func() (Map[int], map[string]int) {
+			var m Map[int]
+			ref := make(map[string]int)
+			for i := 0; i < 150; i++ {
+				k := fmt.Sprintf("k%03d", rng.Intn(100))
+				v := rng.Intn(5)
+				m, _ = m.Set(k, v)
+				ref[k] = v
+			}
+			return m, ref
+		}
+		a, ra := build()
+		b, rb := build()
+		onlyA := map[string]bool{}
+		onlyB := map[string]bool{}
+		changed := map[string]bool{}
+		var order []string
+		Diff(a, b, func(x, y int) bool { return x == y },
+			func(k string, _ int) bool { onlyA[k] = true; order = append(order, k); return true },
+			func(k string, _ int) bool { onlyB[k] = true; order = append(order, k); return true },
+			func(k string, _, _ int) bool { changed[k] = true; order = append(order, k); return true },
+		)
+		for k, v := range ra {
+			bv, ok := rb[k]
+			switch {
+			case !ok && !onlyA[k]:
+				t.Logf("seed %d: missing onlyA %q", seed, k)
+				return false
+			case ok && v != bv && !changed[k]:
+				t.Logf("seed %d: missing change %q", seed, k)
+				return false
+			case ok && v == bv && (changed[k] || onlyA[k] || onlyB[k]):
+				t.Logf("seed %d: false positive %q", seed, k)
+				return false
+			}
+		}
+		for k := range rb {
+			if _, ok := ra[k]; !ok && !onlyB[k] {
+				t.Logf("seed %d: missing onlyB %q", seed, k)
+				return false
+			}
+		}
+		if len(onlyA)+len(onlyB)+len(changed) != len(order) {
+			t.Logf("seed %d: duplicate emission", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffPrunesSharedStructure: diffing a map against a k-edit
+// descendant must touch O(k log n) nodes, not O(n). Measured through the
+// value-comparison callback: pointer-equal subtrees are skipped without
+// comparing.
+func TestDiffPrunesSharedStructure(t *testing.T) {
+	var m Map[int]
+	const n = 8192
+	for i := 0; i < n; i++ {
+		m, _ = m.Set(fmt.Sprintf("k%05d", i), i)
+	}
+	d := m
+	for _, i := range []int{17, 4000, 8100} {
+		d, _ = d.Set(fmt.Sprintf("k%05d", i), -i)
+	}
+	comparisons := 0
+	diffs := 0
+	Diff(m, d, func(x, y int) bool { comparisons++; return x == y },
+		func(string, int) bool { diffs++; return true },
+		func(string, int) bool { diffs++; return true },
+		func(string, int, int) bool { diffs++; return true },
+	)
+	if diffs != 3 {
+		t.Fatalf("diffs = %d, want 3", diffs)
+	}
+	// Without pruning this would be ~8192 comparisons.
+	if comparisons > 200 {
+		t.Fatalf("diff compared %d entries of a 3-edit derived map (pruning broken)", comparisons)
+	}
+}
+
+// TestConcurrentReaders exercises the immutability contract under the
+// race detector: many goroutines reading one map (and diffing snapshots)
+// while a writer derives new versions must be race-free.
+func TestConcurrentReaders(t *testing.T) {
+	var m Map[int]
+	for i := 0; i < 1000; i++ {
+		m, _ = m.Set(fmt.Sprintf("k%04d", i), i)
+	}
+	base := m
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if v, ok := base.Get(fmt.Sprintf("k%04d", i)); !ok || v != i {
+					t.Errorf("reader %d: wrong value", w)
+					return
+				}
+				sum := 0
+				base.AscendPrefix("k00", func(_ string, v int) bool { sum += v; return true })
+			}
+		}(w)
+	}
+	// Writer derives private versions; base is never rebound.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d := base
+		for i := 0; i < 500; i++ {
+			d, _ = d.Set(fmt.Sprintf("k%04d", i%1000), -i)
+		}
+		if d.Len() != base.Len() {
+			t.Error("writer changed length unexpectedly")
+		}
+	}()
+	wg.Wait()
+}

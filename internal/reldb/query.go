@@ -15,54 +15,70 @@ func (t *Table) Project(name string, cols []string, key []string) (*Table, error
 	if err != nil {
 		return nil, err
 	}
-	out, err := NewTable(ps)
+	bld, err := NewTableBuilder(ps)
 	if err != nil {
 		return nil, err
 	}
-	out.Grow(len(t.rows))
 	srcIdx := make([]int, len(cols))
 	for i, c := range cols {
 		srcIdx[i] = t.schema.ColumnIndex(c)
 	}
 	var keyBuf []byte
-	for _, r := range t.rows {
+	var perr error
+	t.rows.Ascend(func(_ string, e *rowEntry) bool {
+		r := e.row
 		pr := make(Row, len(cols))
 		for i, si := range srcIdx {
 			pr[i] = r[si]
 		}
-		keyBuf = out.AppendKeyOf(keyBuf[:0], pr)
-		if existing, ok := out.GetKeyBytes(keyBuf); ok {
+		keyBuf = bld.t.AppendKeyOf(keyBuf[:0], pr)
+		if existing, ok := bld.Peek(keyBuf); ok {
 			if !existing.Equal(pr) {
-				return nil, fmt.Errorf("%w: projection %s is not functional on key %v", ErrSchemaInvalid, name, out.KeyValues(pr))
+				perr = fmt.Errorf("%w: projection %s is not functional on key %v", ErrSchemaInvalid, name, bld.t.KeyValues(pr))
+				return false
 			}
-			continue
+			return true
 		}
-		if err := out.InsertOwned(pr); err != nil {
-			return nil, err
+		if err := bld.Append(pr); err != nil {
+			perr = err
+			return false
 		}
+		return true
+	})
+	if perr != nil {
+		return nil, perr
 	}
-	return out, nil
+	return bld.Table(), nil
 }
 
 // Select returns a new table named name containing the rows matching pred.
 func (t *Table) Select(name string, pred Predicate) (*Table, error) {
-	out, err := NewTable(t.schema.Rename(name))
+	bld, err := NewTableBuilder(t.schema.Rename(name))
 	if err != nil {
 		return nil, err
 	}
-	out.Grow(len(t.rows))
-	for _, r := range t.rows {
-		ok, err := pred.Eval(t.schema, r)
+	var serr error
+	t.rows.Ascend(func(_ string, e *rowEntry) bool {
+		ok, err := pred.Eval(t.schema, e.row)
 		if err != nil {
-			return nil, err
+			serr = err
+			return false
 		}
 		if ok {
-			if err := out.InsertOwned(r); err != nil {
-				return nil, err
+			// Rows stream in ascending key order from the same key set,
+			// so the builder's O(n) sorted path always applies; the rows
+			// were validated by this table already.
+			if err := bld.appendChecked(e.row); err != nil {
+				serr = err
+				return false
 			}
 		}
+		return true
+	})
+	if serr != nil {
+		return nil, serr
 	}
-	return out, nil
+	return bld.Table(), nil
 }
 
 // RenameColumns returns a copy of the table with columns renamed per the
@@ -81,17 +97,22 @@ func (t *Table) RenameColumns(name string, mapping map[string]string) (*Table, e
 			ns.Key[i] = nw
 		}
 	}
-	out, err := NewTable(ns)
+	bld, err := NewTableBuilder(ns)
 	if err != nil {
 		return nil, err
 	}
-	out.Grow(len(t.rows))
-	for _, r := range t.rows {
-		if err := out.InsertOwned(r); err != nil {
-			return nil, err
+	var rerr error
+	t.rows.Ascend(func(_ string, e *rowEntry) bool {
+		if err := bld.appendChecked(e.row); err != nil {
+			rerr = err
+			return false
 		}
+		return true
+	})
+	if rerr != nil {
+		return nil, rerr
 	}
-	return out, nil
+	return bld.Table(), nil
 }
 
 // NaturalJoin joins t with o on their shared column names. The result
@@ -142,14 +163,15 @@ func (t *Table) NaturalJoin(name string, o *Table) (*Table, error) {
 		oShared[i] = o.schema.ColumnIndex(c)
 	}
 	buckets := make(map[string][]Row)
-	for _, r := range o.rows {
+	o.rows.Ascend(func(_ string, e *rowEntry) bool {
 		kt := make(Row, len(oShared))
 		for i, j := range oShared {
-			kt[i] = r[j]
+			kt[i] = e.row[j]
 		}
 		ks := encodeKey(kt)
-		buckets[ks] = append(buckets[ks], r)
-	}
+		buckets[ks] = append(buckets[ks], e.row)
+		return true
+	})
 
 	tShared := make([]int, len(shared))
 	for i, c := range shared {
@@ -159,7 +181,9 @@ func (t *Table) NaturalJoin(name string, o *Table) (*Table, error) {
 	for i, c := range extra {
 		oExtra[i] = o.schema.ColumnIndex(c)
 	}
-	for _, r := range t.rows {
+	var jerr error
+	t.rows.Ascend(func(_ string, e *rowEntry) bool {
+		r := e.row
 		kt := make(Row, len(tShared))
 		for i, j := range tShared {
 			kt[i] = r[j]
@@ -171,9 +195,14 @@ func (t *Table) NaturalJoin(name string, o *Table) (*Table, error) {
 				joined = append(joined, or[j])
 			}
 			if err := out.UpsertOwned(joined); err != nil {
-				return nil, err
+				jerr = err
+				return false
 			}
 		}
+		return true
+	})
+	if jerr != nil {
+		return nil, jerr
 	}
 	return out, nil
 }

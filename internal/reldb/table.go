@@ -5,70 +5,108 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
-	"sort"
 	"sync"
 	"sync/atomic"
+
+	"medshare/internal/reldb/pmap"
 )
 
-// Table is an in-memory relation: a schema plus rows indexed by primary
-// key. Rows are kept in insertion order; canonical (key-sorted) order is
-// cached and used for encoding and equality so two tables with the same
-// contents behave identically regardless of mutation history.
+// Table is an in-memory relation: a schema plus rows stored in a
+// persistent (structurally shared) ordered map keyed by the
+// order-preserving encoding of each row's primary key. In-order
+// traversal of that map *is* canonical (key-sorted) row order, so two
+// tables with the same contents behave identically regardless of
+// mutation history and no sorted-order cache exists to invalidate.
 //
-// Storage is copy-on-write: Clone shares the row storage with the
-// original and either side copies it lazily on its first mutation, so
-// snapshots are O(1) in row data. Rows are immutable once inside a table —
-// accessors (Rows, RowsCanonical, Get, Scan) return shared references that
-// callers must treat as read-only; all mutation goes through Insert /
-// Update / Upsert / Delete, which replace whole rows.
+// Storage is persistent rather than copy-on-write: Clone shares the row
+// map with the original in O(1), and every mutation path-copies only the
+// O(log n) spine from the root to the touched key — there is no
+// "unshare the whole table" step, so a k-row delta costs O(k log n)
+// regardless of how many snapshots share the storage. Rows are immutable
+// once inside a table — accessors (Rows, RowsCanonical, Get, Scan)
+// return shared references that callers must treat as read-only; all
+// mutation goes through Insert / Update / Upsert / Delete, which replace
+// whole rows.
 //
 // Table is not safe for concurrent mutation; Database serializes access.
+// Concurrent *readers* of one shared snapshot are safe, including the
+// lazy hash and secondary-index builds.
 type Table struct {
 	schema Schema
 	// keyIdx caches schema.KeyIndexes(); the schema is immutable after
 	// construction (Renamed changes only the name).
 	keyIdx []int
-	rows []Row
-	// index maps canonical key encodings to positions in rows.
-	index map[string]int
+	// rows maps the ordered primary-key encoding to the row entry.
+	rows pmap.Map[*rowEntry]
 	// Incremental hash state, built lazily by the first Hash() call and
 	// maintained incrementally afterwards, so tables that are never
-	// hashed (derived views, intermediates) pay nothing. digests is
-	// parallel to rows: digests[i] is the canonical SHA-256 digest of
-	// rows[i]. sum is the additive multiset combination of all row
-	// digests; see Hash for the construction. hashed gates both; hashMu
-	// serializes the lazy build between concurrent readers.
-	digests [][32]byte
-	sum     tableSum
-	hashed  atomic.Bool
-	hashMu  sync.Mutex
+	// hashed (derived views, intermediates) pay nothing. Per-row digests
+	// live on the entries themselves (computed once, shared by every
+	// snapshot holding the entry); sum is the additive multiset
+	// combination of all row digests — see Hash for the construction.
+	// hashed gates sum; hashMu serializes the lazy build between
+	// concurrent readers.
+	sum    tableSum
+	hashed atomic.Bool
+	hashMu sync.Mutex
 	// schemaSum digests the canonical schema encoding (name excluded).
 	schemaSum [32]byte
-	// canon caches the canonical (key-sorted) row order as positions into
-	// rows; nil means it must be recomputed. Atomic because the cache is
-	// filled in by read-only calls, which may run concurrently on a shared
-	// snapshot (e.g. two fetch handlers diffing the same retained view).
-	canon atomic.Pointer[[]int]
-	// cow marks the row storage as shared with at least one clone; any
-	// mutator copies it first. Atomic so concurrent snapshots race-freely
-	// mark a live table as shared.
-	cow atomic.Bool
 	// secondary points to the current set of secondary indexes, keyed by
 	// the joined column names. Built lazily by the first RowsByCols call
 	// over a column set (read-only callers may share one snapshot, so
 	// builds publish copy-on-write under secMu) and maintained
-	// incrementally by every mutator afterwards, like the hash state.
+	// incrementally by every mutator afterwards — each index is itself a
+	// persistent map, so maintenance is O(log n) path copying, never a
+	// rebuild.
 	secondary atomic.Pointer[map[string]*secIndex]
 	secMu     sync.Mutex
+	// secOwned marks the current secondary registry (the map and its
+	// secIndex structs, not the persistent trees inside) as private to
+	// this instance: mutators may update it in place. Clone clears it on
+	// both sides — the registry is then shared, and whichever side
+	// mutates next copies it first (the trees themselves are persistent
+	// and always shared safely). Atomic because concurrent snapshots may
+	// race to clear it on one shared instance.
+	secOwned atomic.Bool
 }
 
-// secIndex maps a canonical encoding of a non-key column tuple to the
-// primary-key encodings of every row carrying that tuple. Primary keys —
-// not row positions — are stored so delete's swap-with-last never
-// invalidates the index.
+// rowEntry is one stored row plus its lazily computed canonical digest.
+// Entries are immutable apart from the idempotent digest cache and are
+// shared structurally between every snapshot containing the row.
+type rowEntry struct {
+	row Row
+	// dig caches rowDigest(row). Atomic because concurrent readers of a
+	// shared snapshot may both run the lazy hash build; the digest is a
+	// pure function of the row, so racing stores write the same value.
+	dig atomic.Pointer[[32]byte]
+}
+
+// digest returns (computing and caching on first use) the row's
+// canonical SHA-256 digest.
+func (e *rowEntry) digest() [32]byte {
+	if p := e.dig.Load(); p != nil {
+		return *p
+	}
+	d := rowDigest(e.row)
+	e.dig.Store(&d)
+	return d
+}
+
+// entryRow projects a stored entry to its row; top-level so the
+// row-accessor hot paths can pass it to pmap.AppendMapped without a
+// closure allocation.
+func entryRow(e *rowEntry) Row { return e.row }
+
+// secIndex maps a composite key — the ordered encoding of a non-key
+// column tuple followed by the ordered primary-key encoding — to
+// presence. A group lookup is a prefix scan (the composite encodings of
+// one secondary tuple are contiguous and ordered by primary key), and
+// index maintenance is O(log n) per touched row through the persistent
+// map, shared structurally across snapshots exactly like the row
+// storage.
 type secIndex struct {
-	cols []int // column positions forming the secondary key
-	m    map[string][]string
+	cols    []int // column positions forming the secondary key
+	entries pmap.Map[struct{}]
 }
 
 // tableSum is a 256-bit little-endian accumulator. Row digests are added
@@ -127,7 +165,6 @@ func NewTable(schema Schema) (*Table, error) {
 	return &Table{
 		schema:    sc,
 		keyIdx:    sc.KeyIndexes(),
-		index:     make(map[string]int),
 		schemaSum: sha256.Sum256(appendSchemaCanonical(buf[:0], sc)),
 	}, nil
 }
@@ -149,68 +186,13 @@ func (t *Table) Schema() Schema { return t.schema.Clone() }
 func (t *Table) Name() string { return t.schema.Name }
 
 // Len returns the number of rows.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int { return t.rows.Len() }
 
-// materialize unshares the row storage before a mutation. Positions are
-// preserved, so indexes held across the call stay valid.
-func (t *Table) materialize() {
-	if !t.cow.Load() {
-		return
-	}
-	rows := make([]Row, len(t.rows))
-	copy(rows, t.rows)
-	t.rows = rows
-	if t.hashed.Load() {
-		digests := make([][32]byte, len(t.digests))
-		copy(digests, t.digests)
-		t.digests = digests
-	}
-	index := make(map[string]int, len(t.index))
-	for k, v := range t.index {
-		index[k] = v
-	}
-	t.index = index
-	if secs := t.secondary.Load(); secs != nil {
-		next := make(map[string]*secIndex, len(*secs))
-		for name, ix := range *secs {
-			m := make(map[string][]string, len(ix.m))
-			for k, pks := range ix.m {
-				m[k] = append([]string(nil), pks...)
-			}
-			next[name] = &secIndex{cols: ix.cols, m: m}
-		}
-		t.secondary.Store(&next)
-	}
-	t.cow.Store(false)
-}
-
-// Grow unshares the storage and preallocates capacity for n more rows,
-// including the key index.
-func (t *Table) Grow(n int) {
-	t.materialize()
-	if cap(t.rows)-len(t.rows) >= n {
-		return
-	}
-	rows := make([]Row, len(t.rows), len(t.rows)+n)
-	copy(rows, t.rows)
-	t.rows = rows
-	if t.hashed.Load() {
-		digests := make([][32]byte, len(t.digests), len(t.digests)+n)
-		copy(digests, t.digests)
-		t.digests = digests
-	}
-	index := make(map[string]int, len(t.index)+n)
-	for k, v := range t.index {
-		index[k] = v
-	}
-	t.index = index
-}
-
-// keyOf extracts the canonical key encoding from a full row.
+// keyOf extracts the ordered (storage) key encoding from a full row.
 func (t *Table) keyOf(r Row) string {
 	var buf []byte
 	for _, i := range t.keyIdx {
-		buf = r[i].AppendCanonical(buf)
+		buf = r[i].AppendOrdered(buf)
 	}
 	return string(buf)
 }
@@ -224,21 +206,23 @@ func (t *Table) KeyValues(r Row) Row {
 	return out
 }
 
-// AppendKeyOf appends the canonical key encoding of a full row to dst,
-// the same encoding GetKeyBytes looks up. Hot paths use it to probe the
-// index without materializing a key tuple.
+// AppendKeyOf appends the ordered key encoding of a full row to dst, the
+// same encoding GetKeyBytes looks up (Value.AppendOrdered over the key
+// columns). Hot paths use it to probe the storage without materializing
+// a key tuple.
 func (t *Table) AppendKeyOf(dst []byte, r Row) []byte {
 	for _, i := range t.keyIdx {
-		dst = r[i].AppendCanonical(dst)
+		dst = r[i].AppendOrdered(dst)
 	}
 	return dst
 }
 
-// encodeKey canonically encodes a key tuple (values in key order).
+// encodeKey encodes a key tuple (values in key order) with the ordered
+// storage encoding.
 func encodeKey(key Row) string {
 	var buf []byte
 	for _, v := range key {
-		buf = v.AppendCanonical(buf)
+		buf = v.AppendOrdered(buf)
 	}
 	return string(buf)
 }
@@ -265,20 +249,22 @@ func (t *Table) InsertOwned(r Row) error {
 
 func (t *Table) insertOwned(r Row) error {
 	k := t.keyOf(r)
-	if _, dup := t.index[k]; dup {
+	if _, dup := t.rows.Get(k); dup {
 		return fmt.Errorf("%w: table %s key %v", ErrDuplicateKey, t.schema.Name, t.KeyValues(r))
 	}
-	t.materialize()
-	t.index[k] = len(t.rows)
-	t.rows = append(t.rows, r)
+	t.insertEntry(k, r)
+	return nil
+}
+
+// insertEntry stores a fresh row under key k (known absent), maintaining
+// the digest sum and secondary indexes.
+func (t *Table) insertEntry(k string, r Row) {
+	e := &rowEntry{row: r}
+	t.rows, _ = t.rows.Set(k, e)
 	if t.hashed.Load() {
-		d := rowDigest(r)
-		t.digests = append(t.digests, d)
-		t.sum.add(d)
+		t.sum.add(e.digest())
 	}
 	t.secAdd(r, k)
-	t.canon.Store(nil)
-	return nil
 }
 
 // MustInsert is Insert that panics on error; for tests and fixtures.
@@ -291,54 +277,53 @@ func (t *Table) MustInsert(r Row) {
 // Get returns the row with the given key tuple. The row is a shared
 // reference and must be treated as read-only.
 func (t *Table) Get(key Row) (Row, bool) {
-	i, ok := t.index[encodeKey(key)]
+	e, ok := t.rows.Get(encodeKey(key))
 	if !ok {
 		return nil, false
 	}
-	return t.rows[i], true
+	return e.row, true
 }
 
-// GetKeyBytes returns the row whose canonical key encoding equals k (as
-// produced by AppendKeyOf or Value.AppendCanonical over the key tuple).
+// GetKeyBytes returns the row whose ordered key encoding equals k (as
+// produced by AppendKeyOf or Value.AppendOrdered over the key tuple).
 // The row is a shared reference and must be treated as read-only.
 func (t *Table) GetKeyBytes(k []byte) (Row, bool) {
-	i, ok := t.index[string(k)]
+	e, ok := t.rows.GetBytes(k)
 	if !ok {
 		return nil, false
 	}
-	return t.rows[i], true
+	return e.row, true
 }
 
 // Has reports whether a row with the given key tuple exists.
 func (t *Table) Has(key Row) bool {
-	_, ok := t.index[encodeKey(key)]
+	_, ok := t.rows.Get(encodeKey(key))
 	return ok
 }
 
-// replaceAt swaps the row at position i for an owned replacement with the
-// same key, updating the digest sum. The canonical order stays valid
-// because neither position nor key changes.
-func (t *Table) replaceAt(i int, r Row) {
-	t.materialize()
+// replaceEntry swaps the stored row under key k (already present, same
+// primary key) for an owned replacement, maintaining the digest sum and
+// secondary indexes.
+func (t *Table) replaceEntry(k string, old *rowEntry, r Row) {
+	e := &rowEntry{row: r}
+	t.rows, _ = t.rows.Set(k, e)
 	if t.hashed.Load() {
-		d := rowDigest(r)
-		t.sum.sub(t.digests[i])
-		t.sum.add(d)
-		t.digests[i] = d
+		t.sum.sub(old.digest())
+		t.sum.add(e.digest())
 	}
-	t.secReplace(t.rows[i], r)
-	t.rows[i] = r
+	t.secReplace(old.row, r, k)
 }
 
 // Update modifies the non-key columns named in set for the row with the
 // given key. Attempting to set a key column is an error (delete and
 // re-insert instead, which models the relational view of key changes).
 func (t *Table) Update(key Row, set map[string]Value) error {
-	i, ok := t.index[encodeKey(key)]
+	k := encodeKey(key)
+	old, ok := t.rows.Get(k)
 	if !ok {
 		return fmt.Errorf("%w: table %s key %v", ErrKeyNotFound, t.schema.Name, key)
 	}
-	updated := t.rows[i].Clone()
+	updated := old.row.Clone()
 	for col, v := range set {
 		ci := t.schema.ColumnIndex(col)
 		if ci < 0 {
@@ -352,7 +337,7 @@ func (t *Table) Update(key Row, set map[string]Value) error {
 	if err := t.schema.checkRow(updated); err != nil {
 		return err
 	}
-	t.replaceAt(i, updated)
+	t.replaceEntry(k, old, updated)
 	return nil
 }
 
@@ -379,31 +364,15 @@ func (t *Table) UpdateWhere(pred Predicate, set map[string]Value) (int, error) {
 // Delete removes the row with the given key tuple.
 func (t *Table) Delete(key Row) error {
 	ks := encodeKey(key)
-	i, ok := t.index[ks]
+	e, ok := t.rows.Get(ks)
 	if !ok {
 		return fmt.Errorf("%w: table %s key %v", ErrKeyNotFound, t.schema.Name, key)
 	}
-	t.materialize()
-	hashed := t.hashed.Load()
-	if hashed {
-		t.sum.sub(t.digests[i])
+	t.rows, _ = t.rows.Delete(ks)
+	if t.hashed.Load() {
+		t.sum.sub(e.digest())
 	}
-	t.secRemove(t.rows[i], ks)
-	last := len(t.rows) - 1
-	if i != last {
-		t.rows[i] = t.rows[last]
-		t.index[t.keyOf(t.rows[i])] = i
-		if hashed {
-			t.digests[i] = t.digests[last]
-		}
-	}
-	t.rows[last] = nil
-	t.rows = t.rows[:last]
-	if hashed {
-		t.digests = t.digests[:last]
-	}
-	delete(t.index, ks)
-	t.canon.Store(nil)
+	t.secRemove(e.row, ks)
 	return nil
 }
 
@@ -446,71 +415,42 @@ func (t *Table) UpsertOwned(r Row) error {
 
 func (t *Table) upsertOwned(r Row) error {
 	k := t.keyOf(r)
-	if i, ok := t.index[k]; ok {
-		t.replaceAt(i, r)
+	if old, ok := t.rows.Get(k); ok {
+		t.replaceEntry(k, old, r)
 		return nil
 	}
-	return t.insertOwned(r)
+	t.insertEntry(k, r)
+	return nil
 }
 
-// Rows returns the rows in insertion order. The slice is fresh, but its
-// rows are shared references that must be treated as read-only; no row
-// data is copied.
-func (t *Table) Rows() []Row {
-	out := make([]Row, len(t.rows))
-	copy(out, t.rows)
-	return out
-}
-
-// canonOrder returns (computing and caching if needed) the row positions
-// in canonical key order.
-func (t *Table) canonOrder() []int {
-	if p := t.canon.Load(); p != nil {
-		return *p
-	}
-	ord := make([]int, len(t.rows))
-	for i := range ord {
-		ord[i] = i
-	}
-	sort.Slice(ord, func(a, b int) bool {
-		ra, rb := t.rows[ord[a]], t.rows[ord[b]]
-		for _, i := range t.keyIdx {
-			if c := ra[i].Compare(rb[i]); c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
-	t.canon.Store(&ord)
-	return ord
-}
+// Rows returns the rows in canonical (key-sorted) order. The slice is
+// fresh, but its rows are shared references that must be treated as
+// read-only; no row data is copied. Canonical order is intrinsic to the
+// persistent storage (an in-order tree walk), so Rows and RowsCanonical
+// coincide.
+func (t *Table) Rows() []Row { return t.RowsCanonical() }
 
 // RowsCanonical returns the rows sorted by primary key. The slice is
 // fresh, but its rows are shared references that must be treated as
-// read-only. The sorted order is cached and reused until the next
-// structural mutation.
+// read-only. The order falls out of the key-ordered storage — no sort,
+// no cache to invalidate.
 func (t *Table) RowsCanonical() []Row {
-	ord := t.canonOrder()
-	out := make([]Row, len(ord))
-	for i, j := range ord {
-		out[i] = t.rows[j]
-	}
-	return out
+	return pmap.AppendMapped(t.rows, make([]Row, 0, t.rows.Len()), entryRow)
 }
 
-// Scan calls fn for each row (a shared reference: fn must not mutate it)
-// until fn returns false or an error.
+// Scan calls fn for each row in canonical key order (a shared reference:
+// fn must not mutate it) until fn returns false or an error.
 func (t *Table) Scan(fn func(Row) (bool, error)) error {
-	for _, r := range t.rows {
-		cont, err := fn(r)
-		if err != nil {
-			return err
+	var err error
+	t.rows.Ascend(func(_ string, e *rowEntry) bool {
+		cont, ferr := fn(e.row)
+		if ferr != nil {
+			err = ferr
+			return false
 		}
-		if !cont {
-			return nil
-		}
-	}
-	return nil
+		return cont
+	})
+	return err
 }
 
 // Value returns the value of the named column for the row with key.
@@ -526,37 +466,36 @@ func (t *Table) Value(key Row, col string) (Value, error) {
 	return r[ci], nil
 }
 
-// Clone returns an independent copy of the table in O(1) row data: the
-// storage is shared copy-on-write and unshared by whichever side mutates
-// first.
+// Clone returns an independent copy of the table in O(1): the persistent
+// row storage and secondary indexes are shared by pointer, and either
+// side's later mutations path-copy only what they touch — no unsharing
+// step ever copies the whole relation.
 func (t *Table) Clone() *Table {
 	out := &Table{
 		schema:    t.schema.Clone(),
 		keyIdx:    t.keyIdx,
 		rows:      t.rows,
-		index:     t.index,
 		schemaSum: t.schemaSum,
 	}
 	// Snapshot the hash state under the lock so a concurrent lazy build
 	// (another reader hashing this table) cannot be observed half-done.
 	t.hashMu.Lock()
 	if t.hashed.Load() {
-		out.digests = t.digests
 		out.sum = t.sum
 		out.hashed.Store(true)
 	}
 	t.hashMu.Unlock()
-	out.canon.Store(t.canon.Load())
+	// The secondary registry is now shared: neither side may mutate it
+	// in place until it re-copies (secOwn). out.secOwned starts false.
+	t.secOwned.Store(false)
 	out.secondary.Store(t.secondary.Load())
-	out.cow.Store(true)
-	t.cow.Store(true)
 	return out
 }
 
 // Equal reports whether two tables have equal schemas (modulo name) and
 // identical row sets.
 func (t *Table) Equal(o *Table) bool {
-	if o == nil || !t.schema.Equal(o.schema) || len(t.rows) != len(o.rows) {
+	if o == nil || !t.schema.Equal(o.schema) || t.rows.Len() != o.rows.Len() {
 		return false
 	}
 	if t.hashed.Load() && o.hashed.Load() && t.sum == o.sum {
@@ -564,14 +503,22 @@ func (t *Table) Equal(o *Table) bool {
 	}
 	// Structural comparison when either side has no hash state yet, or
 	// when the digest sums differ for encodings that nevertheless compare
-	// equal (NaN payload bits).
-	a, b := t.RowsCanonical(), o.RowsCanonical()
-	for i := range a {
-		if !a[i].Equal(b[i]) {
-			return false
-		}
-	}
-	return true
+	// equal (NaN payload bits). Pointer-equal subtrees short-circuit and
+	// the walk aborts at the first difference, so comparing a snapshot
+	// against a lightly edited descendant is O(changed rows) and an
+	// unequal pair stops at its first divergence.
+	equal := true
+	stop := func(string, *rowEntry) bool { equal = false; return false }
+	pmap.Diff(t.rows, o.rows, sameRowEntry, stop, stop,
+		func(string, *rowEntry, *rowEntry) bool { equal = false; return false },
+	)
+	return equal
+}
+
+// sameRowEntry reports whether two stored entries carry the same row —
+// pointer equality first (shared structure), content second.
+func sameRowEntry(a, b *rowEntry) bool {
+	return a == b || a.row.Equal(b.row)
 }
 
 // AppendCanonical appends a deterministic binary encoding of the schema
@@ -580,9 +527,10 @@ func (t *Table) Equal(o *Table) bool {
 // D13 and D31) but must hash identically when their contents agree.
 func (t *Table) AppendCanonical(dst []byte) []byte {
 	dst = appendSchemaCanonical(dst, t.schema)
-	for _, r := range t.RowsCanonical() {
-		dst = r.AppendCanonical(dst)
-	}
+	t.rows.Ascend(func(_ string, e *rowEntry) bool {
+		dst = e.row.AppendCanonical(dst)
+		return true
+	})
 	return dst
 }
 
@@ -596,13 +544,15 @@ func (t *Table) AppendCanonical(dst []byte) []byte {
 // added to (on insert) or subtracted from (on delete) a 256-bit
 // accumulator — so Hash costs O(k) after a k-row update instead of
 // re-encoding the whole relation, and tables that are never hashed pay
-// nothing. The construction is an AdHash-style multiset hash; see
-// PERFORMANCE.md for its guarantees and limits.
+// nothing. Row digests are cached on the shared entries, so snapshots
+// never re-digest rows another snapshot already digested. The
+// construction is an AdHash-style multiset hash; see PERFORMANCE.md for
+// its guarantees and limits.
 func (t *Table) Hash() [32]byte {
 	t.ensureHashed()
 	var buf [72]byte
 	copy(buf[:32], t.schemaSum[:])
-	binary.BigEndian.PutUint64(buf[32:40], uint64(len(t.rows)))
+	binary.BigEndian.PutUint64(buf[32:40], uint64(t.rows.Len()))
 	for i, limb := range t.sum {
 		binary.LittleEndian.PutUint64(buf[40+8*i:], limb)
 	}
@@ -621,9 +571,9 @@ func (t *Table) CachedHash() ([32]byte, bool) {
 	return t.Hash(), true
 }
 
-// ensureHashed builds the per-row digest cache and its additive sum on
-// first use. Safe to call from concurrent readers sharing one snapshot;
-// mutation is still single-writer by the Table contract.
+// ensureHashed builds the digest sum on first use. Safe to call from
+// concurrent readers sharing one snapshot; mutation is still
+// single-writer by the Table contract.
 func (t *Table) ensureHashed() {
 	if t.hashed.Load() {
 		return
@@ -633,27 +583,25 @@ func (t *Table) ensureHashed() {
 	if t.hashed.Load() {
 		return
 	}
-	digests := make([][32]byte, len(t.rows))
 	var sum tableSum
-	for i, r := range t.rows {
-		digests[i] = rowDigest(r)
-		sum.add(digests[i])
-	}
-	t.digests = digests
+	t.rows.Ascend(func(_ string, e *rowEntry) bool {
+		sum.add(e.digest())
+		return true
+	})
 	t.sum = sum
 	t.hashed.Store(true)
 }
 
 // Secondary indexes: RowsByCols answers "which rows carry this value
-// tuple in these columns" in O(group size) instead of a table scan. The
-// delta-aware lens pipeline uses it to address source rows by a re-keyed
-// view key (the paper's D23/D32 shares, keyed on medication rather than
-// patient). An index is built lazily by the first lookup over its column
-// set — an O(n) scan paid once — and maintained incrementally by every
-// mutator afterwards, exactly like the hash state; Clone shares it
-// copy-on-write.
+// tuple in these columns" in O(group size · log n) instead of a table
+// scan. The delta-aware lens pipeline uses it to address source rows by
+// a re-keyed view key (the paper's D23/D32 shares, keyed on medication
+// rather than patient). An index is built lazily by the first lookup
+// over its column set — an O(n log n) build paid once — and maintained
+// incrementally by every mutator afterwards, exactly like the hash
+// state; Clone shares it structurally.
 
-// secName canonically joins a column list into an index key.
+// secName canonically joins a column list into an index-registry key.
 func secName(cols []string) string {
 	var buf []byte
 	for _, c := range cols {
@@ -663,74 +611,81 @@ func secName(cols []string) string {
 	return string(buf)
 }
 
-// secKey encodes the secondary-key tuple of a full row.
+// secKey encodes the secondary-key tuple of a full row with the ordered
+// encoding (the prefix of the index's composite keys).
 func (ix *secIndex) secKey(r Row) string {
 	var buf []byte
 	for _, c := range ix.cols {
-		buf = r[c].AppendCanonical(buf)
+		buf = r[c].AppendOrdered(buf)
 	}
 	return string(buf)
 }
 
-// secAdd registers a newly inserted row (pk is its canonical key
-// encoding) with every built index.
-func (t *Table) secAdd(r Row, pk string) {
+// secOwn returns a secondary registry this instance may mutate in
+// place, or nil when no indexes are built. The first mutation after a
+// Clone copies the shared registry (map and secIndex wrappers — the
+// persistent trees inside stay shared); every later mutation reuses the
+// owned copy, so steady-state index maintenance allocates nothing
+// beyond the trees' own path copies.
+func (t *Table) secOwn() map[string]*secIndex {
 	secs := t.secondary.Load()
 	if secs == nil {
-		return
+		return nil
 	}
-	for _, ix := range *secs {
-		k := ix.secKey(r)
-		ix.m[k] = append(ix.m[k], pk)
+	if t.secOwned.Load() {
+		return *secs
+	}
+	next := make(map[string]*secIndex, len(*secs))
+	for name, ix := range *secs {
+		next[name] = &secIndex{cols: ix.cols, entries: ix.entries}
+	}
+	t.secondary.Store(&next)
+	t.secOwned.Store(true)
+	return next
+}
+
+// secAdd registers a newly inserted row (pk is its ordered key encoding)
+// with every built index.
+func (t *Table) secAdd(r Row, pk string) {
+	for _, ix := range t.secOwn() {
+		ix.entries, _ = ix.entries.Set(ix.secKey(r)+pk, struct{}{})
 	}
 }
 
 // secRemove unregisters a deleted row from every built index.
 func (t *Table) secRemove(r Row, pk string) {
-	secs := t.secondary.Load()
-	if secs == nil {
-		return
-	}
-	for _, ix := range *secs {
-		ix.remove(ix.secKey(r), pk)
+	for _, ix := range t.secOwn() {
+		ix.entries, _ = ix.entries.Delete(ix.secKey(r) + pk)
 	}
 }
 
 // secReplace re-registers a row whose non-key columns changed in place.
-// The primary key is unchanged by contract (replaceAt), so only indexes
-// whose secondary tuple actually changed move the entry.
-func (t *Table) secReplace(old, new Row) {
+// The primary key (pk, ordered encoding) is unchanged by contract
+// (replaceEntry), so only indexes whose secondary tuple actually changed
+// move their entry.
+func (t *Table) secReplace(old, new Row, pk string) {
 	secs := t.secondary.Load()
 	if secs == nil {
 		return
 	}
-	var pk string
+	changed := false
 	for _, ix := range *secs {
+		if ix.secKey(old) != ix.secKey(new) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return
+	}
+	for _, ix := range t.secOwn() {
 		ko, kn := ix.secKey(old), ix.secKey(new)
 		if ko == kn {
 			continue
 		}
-		if pk == "" {
-			pk = t.keyOf(new)
-		}
-		ix.remove(ko, pk)
-		ix.m[kn] = append(ix.m[kn], pk)
-	}
-}
-
-func (ix *secIndex) remove(key, pk string) {
-	pks := ix.m[key]
-	for i, p := range pks {
-		if p == pk {
-			pks[i] = pks[len(pks)-1]
-			pks = pks[:len(pks)-1]
-			break
-		}
-	}
-	if len(pks) == 0 {
-		delete(ix.m, key)
-	} else {
-		ix.m[key] = pks
+		entries, _ := ix.entries.Delete(ko + pk)
+		entries, _ = entries.Set(kn+pk, struct{}{})
+		ix.entries = entries
 	}
 }
 
@@ -759,13 +714,11 @@ func (t *Table) secIndexFor(cols []string) (*secIndex, error) {
 			return ix, nil
 		}
 	}
-	ix := &secIndex{cols: idx, m: make(map[string][]string)}
-	var keyBuf []byte
-	for _, r := range t.rows {
-		k := ix.secKey(r)
-		keyBuf = t.AppendKeyOf(keyBuf[:0], r)
-		ix.m[k] = append(ix.m[k], string(keyBuf))
-	}
+	ix := &secIndex{cols: idx}
+	t.rows.Ascend(func(pk string, e *rowEntry) bool {
+		ix.entries, _ = ix.entries.Set(ix.secKey(e.row)+pk, struct{}{})
+		return true
+	})
 	var next map[string]*secIndex
 	if old := t.secondary.Load(); old != nil {
 		next = make(map[string]*secIndex, len(*old)+1)
@@ -776,6 +729,10 @@ func (t *Table) secIndexFor(cols []string) (*secIndex, error) {
 		next = make(map[string]*secIndex, 1)
 	}
 	next[name] = ix
+	// The lazy build may run on a snapshot shared by concurrent readers,
+	// so the fresh registry is published unowned: the next mutator (a
+	// single writer by contract) copies it before editing in place.
+	t.secOwned.Store(false)
 	t.secondary.Store(&next)
 	return ix, nil
 }
@@ -783,8 +740,8 @@ func (t *Table) secIndexFor(cols []string) (*secIndex, error) {
 // EnsureIndex builds (if absent) the secondary index over cols without
 // performing a lookup. Callers that are about to Clone and then query the
 // clone prime the original first, so the index is shared into the clone
-// (and from there into every later copy-on-write descendant) instead of
-// being rebuilt per clone.
+// (and from there into every later structurally shared descendant)
+// instead of being rebuilt per clone.
 func (t *Table) EnsureIndex(cols []string) error {
 	_, err := t.secIndexFor(cols)
 	return err
@@ -793,40 +750,44 @@ func (t *Table) EnsureIndex(cols []string) error {
 // RowsByCols returns every row whose values in cols equal key (given in
 // the same order), sorted by primary key. The rows are shared references
 // and must be treated as read-only. The first call over a column set
-// scans the table once to build the index; later calls — and every call
-// on tables derived from this one by Clone — are O(matching rows), with
-// the index maintained incrementally across mutations.
+// walks the table once to build the index; later calls — and every call
+// on tables derived from this one by Clone — are O(matching rows ·
+// log n), with the index maintained incrementally across mutations.
 func (t *Table) RowsByCols(cols []string, key Row) ([]Row, error) {
+	if len(key) != len(cols) {
+		// A partial key tuple would prefix-match composite index entries
+		// mid-secondary-key and misread the leftover bytes as a primary
+		// key; reject the arity mismatch explicitly.
+		return nil, fmt.Errorf("%w: RowsByCols on %s wants %d key values, got %d", ErrSchemaInvalid, t.schema.Name, len(cols), len(key))
+	}
 	ix, err := t.secIndexFor(cols)
 	if err != nil {
 		return nil, err
 	}
-	var buf []byte
+	var prefix []byte
 	for _, v := range key {
-		buf = v.AppendCanonical(buf)
+		prefix = v.AppendOrdered(prefix)
 	}
-	pks := ix.m[string(buf)]
-	if len(pks) == 0 {
-		return nil, nil
-	}
-	// Sort the group's primary-key encodings so the result order is
-	// deterministic regardless of insertion history.
-	sorted := append([]string(nil), pks...)
-	sort.Strings(sorted)
-	out := make([]Row, 0, len(sorted))
-	for _, pk := range sorted {
-		i, ok := t.index[pk]
+	var out []Row
+	var ixErr error
+	ix.entries.AscendPrefix(string(prefix), func(k string, _ struct{}) bool {
+		e, ok := t.rows.Get(k[len(prefix):])
 		if !ok {
-			return nil, fmt.Errorf("reldb: secondary index on %s out of sync (missing pk)", t.schema.Name)
+			ixErr = fmt.Errorf("reldb: secondary index on %s out of sync (missing pk)", t.schema.Name)
+			return false
 		}
-		out = append(out, t.rows[i])
+		out = append(out, e.row)
+		return true
+	})
+	if ixErr != nil {
+		return nil, ixErr
 	}
 	return out, nil
 }
 
-// Renamed returns a copy of the table under a different name (O(1) row
-// data, like Clone). Peers use it to store an incoming shared payload
-// under their local view name.
+// Renamed returns a copy of the table under a different name (O(1), like
+// Clone). Peers use it to store an incoming shared payload under their
+// local view name.
 func (t *Table) Renamed(name string) *Table {
 	out := t.Clone()
 	out.schema.Name = name
@@ -835,5 +796,5 @@ func (t *Table) Renamed(name string) *Table {
 
 // String renders a compact single-line description for logs.
 func (t *Table) String() string {
-	return fmt.Sprintf("table %s (%d cols, %d rows)", t.schema.Name, len(t.schema.Columns), len(t.rows))
+	return fmt.Sprintf("table %s (%d cols, %d rows)", t.schema.Name, len(t.schema.Columns), t.rows.Len())
 }

@@ -244,6 +244,61 @@ func (v Value) AppendCanonical(dst []byte) []byte {
 	return dst
 }
 
+// AppendOrdered appends an order-preserving, self-delimiting binary
+// encoding of the value to dst: bytewise lexicographic comparison of two
+// encodings agrees with Value.Compare (kind first, then payload), and no
+// encoding is a proper prefix of another. It is the *storage key*
+// encoding — tables key their persistent row map with it so that
+// in-order tree traversal yields canonical (key-sorted) row order and
+// composite secondary-index keys support prefix scans. It is distinct
+// from AppendCanonical (the hashing/wire encoding): a length-prefixed
+// string encoding cannot be order-preserving ("b" must sort before
+// "aa"), so strings here are escaped and terminated instead, and signed
+// payloads have their sign bit flipped.
+//
+// NaN floats order by their raw bit patterns — sign-clear NaNs above
+// +Inf, sign-set NaNs below -Inf — whereas Compare treats NaN as
+// incomparable; tables never rely on a particular NaN order, only on
+// determinism.
+func (v Value) AppendOrdered(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindString:
+		// 0x00 bytes are escaped as 0x00 0xFF and the string is closed
+		// with 0x00 0x01, so comparisons stop at the right boundary: a
+		// proper prefix sorts first, and an embedded NUL (0x00 0xFF)
+		// sorts after any terminator (0x00 0x01).
+		for i := 0; i < len(v.s); i++ {
+			if c := v.s[i]; c == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, c)
+			}
+		}
+		dst = append(dst, 0x00, 0x01)
+	case KindInt:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(v.i)^(1<<63))
+	case KindFloat:
+		bits := math.Float64bits(v.f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative: flip everything (larger magnitude sorts first)
+		} else {
+			bits |= 1 << 63 // non-negative: set the sign bit above all negatives
+		}
+		dst = binary.BigEndian.AppendUint64(dst, bits)
+	case KindBool:
+		if v.b {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case KindTime:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(v.t.UnixMicro())^(1<<63))
+	}
+	return dst
+}
+
 // valueJSON is the wire representation of a Value.
 type valueJSON struct {
 	Kind string `json:"k"`

@@ -39,7 +39,7 @@ var configFields = map[string]bool{
 // intervals, modeled time) or machine-independent (byte sizes) and is
 // compared raw.
 var cpuBoundExperiments = map[string]bool{
-	"E1": true, "E3": true, "E9": true, "E10": true, "E12": true,
+	"E1": true, "E3": true, "E9": true, "E10": true, "E12": true, "E13": true,
 }
 
 // experimentOf extracts the experiment name from a flattened metric key
@@ -63,7 +63,7 @@ var lowerBetter = []string{
 	"Makespan", "Time", "PerOp", "Bootstrap", "DeriveAll", "PerView",
 	"PerRecord", "SingleHop", "FullCascade", "Get", "Put", "Create",
 	"Read", "Update", "Delete", "Bytes", "Transfer", "IntegrityOK",
-	"Diff", "Commit", "Hash",
+	"Diff", "Commit", "Hash", "Root", "Prove", "Verify",
 }
 
 // leafOf returns the leaf field name of a flattened metric key.
@@ -221,7 +221,9 @@ func compareAgainst(path string, threshold, cpuThreshold, noiseFloor float64) (i
 		newV := curFlat[k]
 		gate := threshold
 		note := ""
-		if normalizing && cpuBoundExperiments[experimentOf(k)] {
+		if normalizing && cpuBoundExperiments[experimentOf(k)] && !isSizeMetric(k) {
+			// Byte counts inside CPU-bound experiments stay raw: transfer
+			// sizes are machine-independent.
 			// Durations shrink on a faster machine (divide by the
 			// calibration scale); throughputs grow (multiply).
 			if dir < 0 {

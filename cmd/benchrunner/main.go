@@ -25,7 +25,7 @@ import (
 
 var (
 	quick        = flag.Bool("quick", false, "reduced parameter sweeps")
-	only         = flag.String("only", "", "run only the named experiment (E1..E12)")
+	only         = flag.String("only", "", "run only the named experiment (E1..E13)")
 	baseline     = flag.String("baseline", "BENCH_baseline.json", "write machine-readable results to this file (empty disables)")
 	compare      = flag.String("compare", "", "diff this run against a committed baseline JSON and exit non-zero on regressions")
 	threshold    = flag.Float64("threshold", 0.25, "relative regression threshold for -compare (0.25 = 25% worse)")
@@ -59,6 +59,7 @@ func main() {
 		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
+		{"E13", runE13},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
@@ -427,6 +428,32 @@ func runE12(context.Context) error {
 					r.ViewDiff.Round(100*time.Nanosecond), r.DeltaPut.Round(100*time.Nanosecond),
 					r.Commit.Round(100*time.Nanosecond), r.HashAfterDelta.Round(100*time.Nanosecond),
 					r.FullPut.Round(time.Microsecond))
+			}
+		})
+	return nil
+}
+
+func runE13(context.Context) error {
+	sizes := []int{1000, 10000, 100000}
+	if *quick {
+		sizes = []int{1000, 10000}
+	}
+	var results []medshare.E13Result
+	for _, n := range sizes {
+		r, err := medshare.RunE13Merkle(n, 1)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	baselineData["E13"] = results
+	table("E13 — Merkle row tree: root update, membership proofs, anti-entropy transfer vs table size",
+		"rows\tcold root\troot update (1 row)\tprove\tverify\tsteps\tsync 16 scattered\tsync 16 contiguous\tfull payload", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%v\t%v\t%v\t%v\t%d\t%d B\t%d B\t%d B\n", r.Rows,
+					r.ColdRoot.Round(time.Microsecond), r.RootUpdate.Round(100*time.Nanosecond),
+					r.Prove.Round(100*time.Nanosecond), r.Verify.Round(100*time.Nanosecond),
+					r.ProofSteps, r.SyncScatteredBytes, r.SyncContiguousBytes, r.FullBytes)
 			}
 		})
 	return nil

@@ -451,9 +451,47 @@ func (p *Peer) resyncFinalized(ctx context.Context, s *Share, meta *sharereg.Met
 	if err != nil {
 		return err
 	}
-	newView, cs, hasDelta, seq, err := p.fetchFrom(ctx, meta.LastFrom, s.ID, meta.Seq, applied, curView)
-	if err != nil {
-		return fmt.Errorf("core: resync %s: %w", s.ID, err)
+	var (
+		newView  *reldb.Table
+		cs       reldb.Changeset
+		hasDelta bool
+		seq      uint64
+	)
+	// A gap of more than one version means the updater cannot hold our
+	// exact previous version for a row-level delta — the long-diverged
+	// case. Walk its Merkle row tree instead of fetching the whole view:
+	// only divergent subtrees cross the wire, and the minimal changeset
+	// falls out of a local structural diff so the put still takes the
+	// delta path. An *empty* local replica is excluded (nothing to
+	// graft, so one full fetch is strictly cheaper than the walk), and
+	// any failure falls back to the plain fetch. The sync result is only
+	// accepted at exactly the version whose hash the chain metadata
+	// vouches for — a provider serving any other seq (newer included)
+	// cannot get unverified contents installed.
+	if meta.Seq > applied+1 && curView.Len() > 0 {
+		switch synced, syncSeq, stats, serr := p.syncFrom(ctx, meta.LastFrom, s.ID, meta.Seq, curView); {
+		case serr != nil:
+			p.logf("structural sync on %s failed (%v); falling back to fetch", s.ID, serr)
+		case syncSeq != meta.Seq:
+			p.logf("structural sync on %s served seq %d, want %d; falling back to fetch", s.ID, syncSeq, meta.Seq)
+		case hashHex(synced) != meta.LastPayloadHash:
+			// The walk completed but assembled the wrong contents (e.g.
+			// the provider served a racing install) — fall back to the
+			// plain fetch instead of failing the whole resync.
+			p.logf("structural sync on %s: payload hash mismatch; falling back to fetch", s.ID)
+		default:
+			if diffCs, derr := curView.Diff(synced); derr == nil {
+				newView, cs, hasDelta, seq = synced, diffCs, true, syncSeq
+				p.logf("structural sync on %s: %d rounds, %d nodes, %d rows inline, %d grafted, %d B received",
+					s.ID, stats.Rounds, stats.NodesFetched, stats.RowsInline, stats.RowsGrafted, stats.BytesReceived)
+			}
+		}
+	}
+	if newView == nil {
+		newView, cs, hasDelta, seq, err = p.fetchFrom(ctx, meta.LastFrom, s.ID, meta.Seq, applied, curView)
+		if err != nil {
+			return fmt.Errorf("core: resync %s: %w", s.ID, err)
+		}
 	}
 	if got := hashHex(newView); seq == meta.Seq && got != meta.LastPayloadHash {
 		return fmt.Errorf("%w: resync %s seq %d", ErrPayloadHash, s.ID, seq)

@@ -73,6 +73,40 @@ type FetchResponse struct {
 	Changeset json.RawMessage `json:"changeset,omitempty"`
 }
 
+// authorizeShareRequest is the shared gate of the data-channel RPCs
+// (payload fetch and structural sync): verify the signature over the
+// request's canonical bytes, check contract membership, resolve the
+// local share binding, and enforce the minimum served version. Serving
+// reads only the share's own state (per-share mutex) and chain
+// metadata — a request on one share never waits behind operations on
+// the peer's other shares.
+func (p *Peer) authorizeShareRequest(shareID string, requester identity.Address, pubKey, signed, sig []byte, minSeq uint64) (*Share, uint64, error) {
+	if len(pubKey) != ed25519.PublicKeySize {
+		return nil, 0, ErrNotAuthorized
+	}
+	if err := identity.Verify(requester, ed25519.PublicKey(pubKey), signed, sig); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrNotAuthorized, err)
+	}
+	meta, err := p.Meta(shareID)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !metaHasPeer(meta, requester) {
+		return nil, 0, fmt.Errorf("%w: %s on %s", ErrNotAuthorized, requester, shareID)
+	}
+	s, err := p.share(shareID)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.stMu.Lock()
+	seq := s.AppliedSeq
+	s.stMu.Unlock()
+	if seq < minSeq {
+		return nil, 0, fmt.Errorf("%w: have seq %d, want %d", ErrStaleData, seq, minSeq)
+	}
+	return s, seq, nil
+}
+
 // serveDataFetch is the request handler on the peer's transport endpoint.
 func (p *Peer) serveDataFetch(msg p2p.Message) (p2p.Message, error) {
 	if msg.Kind != p2p.KindDataFetch {
@@ -82,36 +116,16 @@ func (p *Peer) serveDataFetch(msg p2p.Message) (p2p.Message, error) {
 	if err := json.Unmarshal(msg.Payload, &req); err != nil {
 		return p2p.Message{}, fmt.Errorf("core: bad fetch request: %w", err)
 	}
-	if len(req.PubKey) != ed25519.PublicKeySize {
-		return p2p.Message{}, ErrNotAuthorized
-	}
-	if err := identity.Verify(req.Requester, ed25519.PublicKey(req.PubKey), req.signingBytes(), req.Sig); err != nil {
-		return p2p.Message{}, fmt.Errorf("%w: %v", ErrNotAuthorized, err)
-	}
-	meta, err := p.Meta(req.ShareID)
+	s, seq, err := p.authorizeShareRequest(req.ShareID, req.Requester, req.PubKey, req.signingBytes(), req.Sig, req.MinSeq)
 	if err != nil {
 		return p2p.Message{}, err
 	}
-	if !metaHasPeer(meta, req.Requester) {
-		return p2p.Message{}, fmt.Errorf("%w: %s on %s", ErrNotAuthorized, req.Requester, req.ShareID)
-	}
-	s, err := p.share(req.ShareID)
-	if err != nil {
-		return p2p.Message{}, err
-	}
-	// Serving reads only the share's own state (per-share mutex) and an
-	// atomic database snapshot — a fetch on one share never waits behind
-	// operations on the peer's other shares.
-	s.stMu.Lock()
-	seq := s.AppliedSeq
 	var prevView *reldb.Table
+	s.stMu.Lock()
 	if s.prev != nil && req.HaveSeq > 0 && s.prev.seq == req.HaveSeq {
 		prevView = s.prev.view
 	}
 	s.stMu.Unlock()
-	if seq < req.MinSeq {
-		return p2p.Message{}, fmt.Errorf("%w: have seq %d, want %d", ErrStaleData, seq, req.MinSeq)
-	}
 	view, err := p.snapshotTable(s.ViewName)
 	if err != nil {
 		return p2p.Message{}, err

@@ -210,12 +210,25 @@ func NewPeer(cfg Config) (*Peer, error) {
 		p.evSem = make(chan struct{}, cfg.FanoutWorkers)
 	}
 	if cfg.Transport != nil {
-		cfg.Transport.HandleRequest(p.serveDataFetch)
+		cfg.Transport.HandleRequest(p.serveRequest)
 		if cfg.Directory != nil {
 			cfg.Directory.Set(cfg.Identity.Address(), cfg.Transport.Name())
 		}
 	}
 	return p, nil
+}
+
+// serveRequest routes data-channel requests by kind: payload fetches
+// (full or delta) and structural anti-entropy sync rounds.
+func (p *Peer) serveRequest(msg p2p.Message) (p2p.Message, error) {
+	switch msg.Kind {
+	case p2p.KindDataFetch:
+		return p.serveDataFetch(msg)
+	case p2p.KindSync:
+		return p.serveSync(msg)
+	default:
+		return p2p.Message{}, fmt.Errorf("core: unexpected message kind %q", msg.Kind)
+	}
 }
 
 // Address returns the peer's on-chain address.

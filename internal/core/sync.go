@@ -1,0 +1,444 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"medshare/internal/identity"
+	"medshare/internal/p2p"
+	"medshare/internal/reldb"
+)
+
+// Structural anti-entropy: a replica that missed several updates (or
+// holds nothing at all) converges by walking the updater's canonical
+// Merkle row tree top-down. Each round the requester names the subtree
+// roots it cannot match locally; the provider answers with those nodes'
+// rows and child summaries (key, subtree digest, size), inlining whole
+// small subtrees. Because the row tree's shape is a pure function of
+// the key set, a digest match proves the requester already holds an
+// identical subtree and can graft its own copy — so a d-row divergence
+// on an n-row view transfers O(d log n) summaries plus the d rows,
+// instead of the whole view. The reconstructed table is verified
+// against the on-chain payload hash exactly like a full fetch, so a
+// corrupt or malicious sync stream cannot install bad data.
+
+// syncInlineRows is the subtree size at or below which the provider
+// ships rows directly instead of a further summary round.
+const syncInlineRows = 16
+
+// syncBaseRounds bounds the top-down walk before the provider's tree
+// size is known; after the first round the bound grows with the
+// provider-reported size (the walk needs one round per tree level, and
+// a random treap's max depth is ~3·log2 n), so structural sync never
+// silently hits the cliff on very large views while a malicious
+// provider still cannot keep a requester walking forever.
+const syncBaseRounds = 64
+
+// ErrSyncAborted marks a structural sync that could not complete (the
+// provider's view changed mid-walk, the round bound was hit, or the
+// stream was malformed); callers fall back to a full fetch.
+var ErrSyncAborted = errors.New("core: structural sync aborted")
+
+// SyncRequest asks a counterparty for row-tree nodes of a share's
+// current view. Authentication mirrors FetchRequest: the request is
+// signed and only sharing peers are served.
+type SyncRequest struct {
+	ShareID string `json:"shareId"`
+	// MinSeq is the lowest acceptable version.
+	MinSeq uint64 `json:"minSeq"`
+	// Keys are the storage-key encodings of the wanted subtree roots;
+	// empty means the tree root (the first round).
+	Keys      [][]byte         `json:"keys,omitempty"`
+	Requester identity.Address `json:"requester"`
+	PubKey    []byte           `json:"pubKey"`
+	TsMicro   int64            `json:"ts"`
+	Sig       []byte           `json:"sig"`
+}
+
+// signingBytes is the canonical byte string covered by Sig. The wanted
+// keys are committed through a digest so rounds cannot be replayed with
+// altered walk targets.
+func (r *SyncRequest) signingBytes() []byte {
+	h := sha256.New()
+	for _, k := range r.Keys {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(k)))
+		h.Write(n[:])
+		h.Write(k)
+	}
+	out := make([]byte, 0, len(r.ShareID)+len(r.Requester)+64)
+	out = append(out, "medshare-sync:"...)
+	out = append(out, r.ShareID...)
+	out = binary.BigEndian.AppendUint64(out, r.MinSeq)
+	out = h.Sum(out)
+	out = append(out, r.Requester[:]...)
+	out = binary.BigEndian.AppendUint64(out, uint64(r.TsMicro))
+	return out
+}
+
+// SyncChild summarizes one child subtree of a served node. Small
+// subtrees carry their rows inline (Rows non-nil) alongside the digest,
+// so the requester can still graft a local match instead of decoding.
+type SyncChild struct {
+	Key    []byte      `json:"key"`
+	Digest []byte      `json:"dig"`
+	Size   int         `json:"size"`
+	Rows   []reldb.Row `json:"rows,omitempty"`
+}
+
+// SyncNode is one served row-tree node: its row plus child summaries.
+type SyncNode struct {
+	Key   []byte     `json:"key"`
+	Row   reldb.Row  `json:"row"`
+	Left  *SyncChild `json:"left,omitempty"`
+	Right *SyncChild `json:"right,omitempty"`
+}
+
+// SyncResponse answers one round of the walk.
+type SyncResponse struct {
+	ShareID string `json:"shareId"`
+	// Seq is the version of the served view.
+	Seq uint64 `json:"seq"`
+	// Root is the row-tree root of the snapshot this round was served
+	// from. It is the walk's consistency anchor: the root is canonical,
+	// so equal roots across rounds prove every served node belongs to
+	// identical view contents even if the provider applied updates (or
+	// its seq label raced its view install) mid-walk.
+	Root  []byte     `json:"root"`
+	Nodes []SyncNode `json:"nodes,omitempty"`
+	// Empty marks a view with no rows (the walk ends immediately).
+	Empty bool `json:"empty,omitempty"`
+}
+
+// SyncStats reports what one structural sync transferred — the
+// experiment and test substrate for the "divergent subtrees only" claim.
+type SyncStats struct {
+	// Rounds is the number of request/response exchanges.
+	Rounds int
+	// NodesFetched counts served tree nodes (divergent-path interiors).
+	NodesFetched int
+	// RowsInline counts rows shipped inside small-subtree summaries.
+	RowsInline int
+	// RowsGrafted counts rows the requester reused from its own replica
+	// after a digest match — rows that did NOT cross the wire.
+	RowsGrafted int
+	// BytesSent and BytesReceived measure the marshaled request and
+	// response payloads.
+	BytesSent     int
+	BytesReceived int
+}
+
+// syncNodesFor serves one round against a view snapshot: the nodes
+// stored under the wanted keys (nil key = tree root), with small child
+// subtrees inlined. Unknown keys are skipped — the requester's final
+// payload-hash check arbitrates.
+func syncNodesFor(view *reldb.Table, keys [][]byte) []SyncNode {
+	if len(keys) == 0 {
+		keys = [][]byte{nil}
+	}
+	out := make([]SyncNode, 0, len(keys))
+	for _, k := range keys {
+		n, ok := view.MerkleNodeAt(k)
+		if !ok {
+			continue
+		}
+		out = append(out, SyncNode{
+			Key:   n.Key,
+			Row:   n.Row,
+			Left:  wireChild(view, n.Left),
+			Right: wireChild(view, n.Right),
+		})
+	}
+	return out
+}
+
+func wireChild(view *reldb.Table, c *reldb.MerkleChild) *SyncChild {
+	if c == nil {
+		return nil
+	}
+	out := &SyncChild{Key: c.Key, Digest: c.Digest[:], Size: c.Size}
+	if c.Size <= syncInlineRows {
+		if rows, ok := view.SubtreeRows(c.Key); ok {
+			out.Rows = rows
+		}
+	}
+	return out
+}
+
+// serveSync is the provider side of the anti-entropy RPC.
+func (p *Peer) serveSync(msg p2p.Message) (p2p.Message, error) {
+	var req SyncRequest
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		return p2p.Message{}, fmt.Errorf("core: bad sync request: %w", err)
+	}
+	s, seq, err := p.authorizeShareRequest(req.ShareID, req.Requester, req.PubKey, req.signingBytes(), req.Sig, req.MinSeq)
+	if err != nil {
+		return p2p.Message{}, err
+	}
+	view, err := p.snapshotTable(s.ViewName)
+	if err != nil {
+		return p2p.Message{}, err
+	}
+	// Seq and the view snapshot are read without a common lock, so the
+	// label can race an install; the per-round Root (computed from THIS
+	// snapshot) is what the requester anchors consistency on.
+	root := view.RowsRoot()
+	resp := SyncResponse{ShareID: req.ShareID, Seq: seq, Root: root[:], Empty: view.Len() == 0}
+	if !resp.Empty {
+		resp.Nodes = syncNodesFor(view, req.Keys)
+	}
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		return p2p.Message{}, err
+	}
+	return p2p.Message{Kind: p2p.KindSync, Payload: raw}, nil
+}
+
+// syncFetchFn performs one round of the walk: wanted subtree-root keys
+// in, served nodes out.
+type syncFetchFn func(keys [][]byte) (SyncResponse, error)
+
+// assembleSync drives the top-down walk against fetch and reconstructs
+// the provider's view over base (the local replica supplying grafts and
+// the schema). It returns the rebuilt table and the provider's version.
+// The caller MUST verify the result against an authoritative hash
+// before installing it.
+func assembleSync(base *reldb.Table, fetch syncFetchFn, stats *SyncStats) (*reldb.Table, uint64, error) {
+	asm := reldb.NewMerkleAssembler(base)
+	nodes := make(map[string]SyncNode)
+	var rootKey []byte
+	var root []byte
+	var seq uint64
+
+	maxRounds := syncBaseRounds
+	wanted := [][]byte(nil) // first round: the tree root
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, 0, fmt.Errorf("%w: round bound exceeded", ErrSyncAborted)
+		}
+		resp, err := fetch(wanted)
+		if err != nil {
+			return nil, 0, err
+		}
+		stats.Rounds++
+		if round == 0 {
+			seq = resp.Seq
+			root = resp.Root
+			if resp.Empty {
+				t, err := asm.Table()
+				return t, seq, err
+			}
+			if len(resp.Nodes) == 0 {
+				return nil, 0, fmt.Errorf("%w: empty first round", ErrSyncAborted)
+			}
+			rn := resp.Nodes[0]
+			rootKey = rn.Key
+			// One round per tree level: scale the bound with the
+			// provider-reported size (root children cover all but one
+			// row; a random treap's max depth is ~3·log2 n, allow 4).
+			n := 1
+			for _, c := range []*SyncChild{rn.Left, rn.Right} {
+				if c != nil {
+					n += c.Size
+				}
+			}
+			maxRounds = syncBaseRounds + 4*bits.Len(uint(n))
+		} else if !bytes.Equal(resp.Root, root) {
+			// The provider's view changed mid-walk; already-fetched
+			// digests no longer fit together. The root — canonical for
+			// the contents — is the exact detector, immune to the
+			// seq-label/view-install race on the provider.
+			return nil, 0, fmt.Errorf("%w: provider view changed mid-walk", ErrSyncAborted)
+		}
+		var next [][]byte
+		for _, n := range resp.Nodes {
+			if _, dup := nodes[string(n.Key)]; dup {
+				continue
+			}
+			nodes[string(n.Key)] = n
+			stats.NodesFetched++
+			for _, c := range []*SyncChild{n.Left, n.Right} {
+				if c == nil || c.Rows != nil {
+					continue
+				}
+				if d, ok := childDigest(c); ok && asm.HasLocal(d) {
+					continue // grafted during assembly
+				}
+				if _, have := nodes[string(c.Key)]; !have {
+					next = append(next, c.Key)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		wanted = next
+	}
+
+	// In-order assembly over the fetched structure.
+	var build func(key []byte) error
+	appendChild := func(c *SyncChild) error {
+		if c == nil {
+			return nil
+		}
+		if d, ok := childDigest(c); ok && asm.HasLocal(d) {
+			// Graft the local copy (reusing entries and their cached
+			// digests). Stats stay honest: rows the provider inlined
+			// anyway DID cross the wire and count as inline, and the
+			// graft count comes from the local assembler, never from
+			// the provider-claimed size.
+			before := asm.Len()
+			if err := asm.AppendLocal(d); err != nil {
+				return err
+			}
+			if c.Rows != nil {
+				stats.RowsInline += len(c.Rows)
+			} else {
+				stats.RowsGrafted += asm.Len() - before
+			}
+			return nil
+		}
+		if c.Rows != nil {
+			stats.RowsInline += len(c.Rows)
+			for _, r := range c.Rows {
+				if err := asm.AppendRow(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return build(c.Key)
+	}
+	build = func(key []byte) error {
+		n, ok := nodes[string(key)]
+		if !ok {
+			return fmt.Errorf("%w: missing node", ErrSyncAborted)
+		}
+		if err := appendChild(n.Left); err != nil {
+			return err
+		}
+		if err := asm.AppendRow(n.Row); err != nil {
+			return err
+		}
+		return appendChild(n.Right)
+	}
+	if err := build(rootKey); err != nil {
+		return nil, 0, err
+	}
+	t, err := asm.Table()
+	return t, seq, err
+}
+
+func childDigest(c *SyncChild) ([32]byte, bool) {
+	var d [32]byte
+	if len(c.Digest) != len(d) {
+		return d, false
+	}
+	copy(d[:], c.Digest)
+	return d, true
+}
+
+// syncFrom runs the structural sync against the peer with the given
+// address and returns the reconstructed view (named like base), the
+// provider's version, and transfer stats. The caller verifies the
+// result against the on-chain payload hash.
+func (p *Peer) syncFrom(ctx context.Context, from identity.Address, shareID string, minSeq uint64, base *reldb.Table) (*reldb.Table, uint64, SyncStats, error) {
+	var stats SyncStats
+	if p.cfg.Transport == nil || p.cfg.Directory == nil {
+		return nil, 0, stats, fmt.Errorf("core: peer %s has no data channel", p.Name())
+	}
+	endpoint, ok := p.cfg.Directory.Lookup(from)
+	if !ok {
+		return nil, 0, stats, fmt.Errorf("core: no endpoint known for %s", from)
+	}
+	fetch := func(keys [][]byte) (SyncResponse, error) {
+		req := SyncRequest{
+			ShareID:   shareID,
+			MinSeq:    minSeq,
+			Keys:      keys,
+			Requester: p.Address(),
+			PubKey:    append([]byte(nil), p.cfg.Identity.PublicKey()...),
+			TsMicro:   p.cfg.Clock.Now().UnixMicro(),
+		}
+		req.Sig = p.cfg.Identity.Sign(req.signingBytes())
+		payload, err := json.Marshal(req)
+		if err != nil {
+			return SyncResponse{}, err
+		}
+		stats.BytesSent += len(payload)
+		msg, err := p.cfg.Transport.Request(ctx, endpoint, p2p.Message{Kind: p2p.KindSync, Payload: payload})
+		if err != nil {
+			return SyncResponse{}, fmt.Errorf("core: syncing %s from %s: %w", shareID, from, err)
+		}
+		stats.BytesReceived += len(msg.Payload)
+		var resp SyncResponse
+		if err := json.Unmarshal(msg.Payload, &resp); err != nil {
+			return SyncResponse{}, fmt.Errorf("core: bad sync response: %w", err)
+		}
+		return resp, nil
+	}
+	t, seq, err := assembleSync(base, fetch, &stats)
+	if err != nil {
+		return nil, 0, stats, err
+	}
+	return t, seq, stats, nil
+}
+
+// StructuralSync fetches the current payload of a share from the named
+// counterparty via the anti-entropy walk, using the local replica for
+// grafting, and reports what was transferred. The returned table is
+// reconstructed but NOT installed; like Fetch, this supports ad-hoc
+// reads, tests, and measurements — the resync path installs through the
+// usual verify+put pipeline.
+func (p *Peer) StructuralSync(ctx context.Context, from identity.Address, shareID string, minSeq uint64) (*reldb.Table, uint64, SyncStats, error) {
+	s, err := p.share(shareID)
+	if err != nil {
+		return nil, 0, SyncStats{}, err
+	}
+	base, err := p.snapshotTable(s.ViewName)
+	if err != nil {
+		return nil, 0, SyncStats{}, err
+	}
+	return p.syncFrom(ctx, from, shareID, minSeq, base)
+}
+
+// SimulateStructuralSync runs the anti-entropy exchange between two
+// in-memory tables through the real wire encoding (JSON both ways, no
+// transport or chain) — the measurement harness behind E13 and the
+// byte-count assertions. provider plays the updater's view, base the
+// stale local replica; the returned stats count exactly the bytes the
+// TCP path would carry in message payloads.
+func SimulateStructuralSync(provider, base *reldb.Table) (*reldb.Table, SyncStats, error) {
+	var stats SyncStats
+	fetch := func(keys [][]byte) (SyncResponse, error) {
+		req := SyncRequest{Keys: keys}
+		rawReq, err := json.Marshal(req)
+		if err != nil {
+			return SyncResponse{}, err
+		}
+		stats.BytesSent += len(rawReq)
+		root := provider.RowsRoot()
+		resp := SyncResponse{Seq: 1, Root: root[:], Empty: provider.Len() == 0}
+		if !resp.Empty {
+			resp.Nodes = syncNodesFor(provider, keys)
+		}
+		rawResp, err := json.Marshal(resp)
+		if err != nil {
+			return SyncResponse{}, err
+		}
+		stats.BytesReceived += len(rawResp)
+		var decoded SyncResponse
+		if err := json.Unmarshal(rawResp, &decoded); err != nil {
+			return SyncResponse{}, err
+		}
+		return decoded, nil
+	}
+	t, _, err := assembleSync(base, fetch, &stats)
+	return t, stats, err
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"medshare/internal/bx"
+	"medshare/internal/consensus"
+	"medshare/internal/contract"
+	"medshare/internal/contract/sharereg"
+	"medshare/internal/identity"
+	"medshare/internal/node"
+	"medshare/internal/p2p"
+	"medshare/internal/reldb"
+)
+
+func syncTestSchema() reldb.Schema {
+	return reldb.Schema{
+		Name: "T",
+		Columns: []reldb.Column{
+			{Name: "k", Type: reldb.KindInt},
+			{Name: "v", Type: reldb.KindString},
+		},
+		Key: []string{"k"},
+	}
+}
+
+func syncTestTable(rows int) *reldb.Table {
+	tbl := reldb.MustNewTable(syncTestSchema())
+	for i := int64(0); i < int64(rows); i++ {
+		tbl.MustInsert(reldb.Row{reldb.I(i), reldb.S(fmt.Sprintf("v%d", i))})
+	}
+	return tbl
+}
+
+// syncHarness wires two peers (sharing one PoA node) whose data channel
+// runs on caller-supplied transports — memnet or real TCP.
+type syncHarness struct {
+	ctx  context.Context
+	node *node.Node
+	a, b *Peer
+}
+
+func newSyncHarness(t *testing.T, rows int, ta, tb p2p.Transport) *syncHarness {
+	t.Helper()
+	nid := identity.MustNew("node")
+	n, err := node.New(node.Config{
+		NetworkName:   "sync-test",
+		Identity:      nid,
+		Engine:        consensus.NewPoA(false, nid.Address()),
+		Registry:      contract.NewRegistry(sharereg.New()),
+		BlockInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	n.Start(ctx)
+	t.Cleanup(n.Stop)
+
+	dir := NewDirectory()
+	mk := func(name string, tr p2p.Transport) *Peer {
+		id := identity.MustNew(name)
+		db := reldb.NewDatabase(name)
+		db.PutTable(syncTestTable(rows))
+		p, err := NewPeer(Config{
+			Identity: id, DB: db, Node: n,
+			Transport: tr, Directory: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		t.Cleanup(p.Stop)
+		return p
+	}
+	h := &syncHarness{ctx: ctx, node: n, a: mk("A", ta), b: mk("B", tb)}
+
+	lens := func(view string) bx.Lens {
+		// Inserts and deletes allowed: the cold-replica path re-embeds a
+		// full view into an empty source.
+		return bx.Project(view, []string{"k", "v"}, nil).
+			WithInsert(bx.PolicyApply, nil).
+			WithDelete(bx.PolicyApply)
+	}
+	err = h.a.RegisterShare(ctx, RegisterShareArgs{
+		ID: "S", SourceTable: "T", Lens: lens("Sa"), ViewName: "Sa",
+		Peers: []identity.Address{h.a.Address(), h.b.Address()},
+		WritePerm: map[string][]identity.Address{
+			"v": {h.a.Address(), h.b.Address()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.b.AttachShare("S", "T", lens("Sb"), "Sb"); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// finalizedUpdate drives one A-side update through to finality (B acks
+// via its event loop).
+func (h *syncHarness) finalizedUpdate(t *testing.T, key int64, val string) uint64 {
+	t.Helper()
+	err := h.a.UpdateSource("T", func(tbl *reldb.Table) error {
+		return tbl.Update(reldb.Row{reldb.I(key)}, map[string]reldb.Value{"v": reldb.S(val)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.a.ProposeUpdate(h.ctx, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.a.WaitFinal(h.ctx, "S", res.Seq); err != nil {
+		t.Fatal(err)
+	}
+	return res.Seq
+}
+
+// rollback restores peer b's share state to an earlier snapshot — the
+// white-box stand-in for a replica restored from an old backup (the
+// cold/long-diverged case the structural sync exists for).
+func (h *syncHarness) rollback(t *testing.T, seq uint64, src, view *reldb.Table) {
+	t.Helper()
+	s, err := h.b.share("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.stMu.Lock()
+	s.AppliedSeq = seq
+	s.prev = nil
+	s.backup = nil
+	s.stMu.Unlock()
+	h.b.cfg.DB.PutTable(src.Renamed(s.SourceTable))
+	h.b.cfg.DB.PutTable(view.Renamed(s.ViewName))
+}
+
+// waitApplied polls until b's applied sequence reaches seq.
+func (h *syncHarness) waitApplied(t *testing.T, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := h.b.ShareInfo("S")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.AppliedSeq >= seq {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("peer B never reached seq %d", seq)
+}
+
+// testSyncConvergence is the transport-parameterized body: a diverged
+// and then a cold replica must converge to the updater's Merkle root
+// through the structural sync path, grafting what they already hold.
+func testSyncConvergence(t *testing.T, rows int, ta, tb p2p.Transport) {
+	h := newSyncHarness(t, rows, ta, tb)
+
+	// Snapshot B's state at seq 0.
+	src0, err := h.b.Source("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view0, err := h.b.View("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three finalized updates (B applies and acks each live).
+	var last uint64
+	for i := 0; i < 3; i++ {
+		last = h.finalizedUpdate(t, int64(i*7+1), fmt.Sprintf("upd%d", i))
+	}
+	h.waitApplied(t, last)
+
+	aView, err := h.a.View("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Long-diverged: roll B back to its seq-0 snapshot, then probe the
+	// structural sync directly for stats.
+	h.rollback(t, 0, src0, view0)
+	synced, seq, stats, err := h.b.StructuralSync(h.ctx, h.a.Address(), "S", last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != last {
+		t.Fatalf("sync served seq %d, want %d", seq, last)
+	}
+	if synced.RowsRoot() != aView.RowsRoot() {
+		t.Fatal("structural sync did not reproduce the updater's Merkle root")
+	}
+	if stats.RowsGrafted < rows/2 {
+		t.Fatalf("diverged sync grafted only %d of %d rows (should reuse the overlap)", stats.RowsGrafted, rows)
+	}
+	transferred := stats.RowsInline + stats.NodesFetched
+	if transferred >= rows/4 {
+		t.Fatalf("diverged sync transferred %d row-bearing units for a 3-row divergence on %d rows", transferred, rows)
+	}
+
+	// Now converge for real through Resync (verify + put + state).
+	if err := h.b.Resync(h.ctx); err != nil {
+		t.Fatal(err)
+	}
+	bView, err := h.b.View("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bView.RowsRoot() != aView.RowsRoot() {
+		t.Fatal("replicas did not converge after resync")
+	}
+	info, err := h.b.ShareInfo("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.AppliedSeq != last {
+		t.Fatalf("B applied seq %d, want %d", info.AppliedSeq, last)
+	}
+	// The put must have re-embedded the updates into B's source.
+	bSrc, err := h.b.Source("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := bSrc.Value(reldb.Row{reldb.I(1)}, "v"); err != nil || v.String() != "upd0" {
+		t.Fatalf("source not realigned after sync: %v %v", v, err)
+	}
+
+	// Cold: empty source and view, applied 0 — everything transfers,
+	// and the replica still converges.
+	h.rollback(t, 0, reldb.MustNewTable(syncTestSchema()), reldb.MustNewTable(syncTestSchema()))
+	_, _, coldStats, err := h.b.StructuralSync(h.ctx, h.a.Address(), "S", last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.RowsGrafted != 0 {
+		t.Fatalf("cold sync grafted %d rows from an empty replica", coldStats.RowsGrafted)
+	}
+	if err := h.b.Resync(h.ctx); err != nil {
+		t.Fatal(err)
+	}
+	bView, err = h.b.View("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bView.RowsRoot() != aView.RowsRoot() {
+		t.Fatal("cold replica did not converge after resync")
+	}
+}
+
+func TestStructuralSyncConvergenceMemnet(t *testing.T) {
+	mem := p2p.NewMemNetwork()
+	testSyncConvergence(t, 512, mem.Endpoint("A"), mem.Endpoint("B"))
+}
+
+func TestStructuralSyncConvergenceTCP(t *testing.T) {
+	ta, err := p2p.NewTCPTransport("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ta.Close() })
+	tb, err := p2p.NewTCPTransport("B", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tb.Close() })
+	ta.AddPeer("B", tb.Addr())
+	tb.AddPeer("A", ta.Addr())
+	testSyncConvergence(t, 256, ta, tb)
+}
+
+// TestSimulatedSyncBytes pins the headline claim: a d-row divergence on
+// a 10k-row view syncs with a small fraction of the full-view payload.
+func TestSimulatedSyncBytes(t *testing.T) {
+	const rows, d = 10000, 16
+	provider := syncTestTable(rows)
+	base := provider.Clone()
+	for i := 0; i < d; i++ {
+		if err := base.Update(reldb.Row{reldb.I(int64(i * 613))}, map[string]reldb.Value{"v": reldb.S("stale")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, stats, err := SimulateStructuralSync(provider, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RowsRoot() != provider.RowsRoot() {
+		t.Fatal("simulated sync did not converge")
+	}
+	full, err := reldb.MarshalTable(provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scattered divergence: d independent O(log n) paths.
+	syncBytes := stats.BytesSent + stats.BytesReceived
+	if syncBytes*5 >= len(full) {
+		t.Fatalf("sync moved %d bytes for a scattered %d-row divergence; full payload is %d (want <20%%)", syncBytes, d, len(full))
+	}
+	// Most rows never cross the wire. RowsGrafted counts only true
+	// zero-transfer grafts; rows the provider inlined (the small
+	// subtrees flanking each divergent path) count as inline even when
+	// the requester grafts its local copy instead.
+	if stats.RowsGrafted < rows*9/10 {
+		t.Fatalf("grafted only %d of %d rows", stats.RowsGrafted, rows)
+	}
+
+	// Contiguous divergence (the one-subtree case): the paths share all
+	// but their last hops, so even 4d changed rows cost a tiny fraction.
+	contig := provider.Clone()
+	for i := 0; i < 4*d; i++ {
+		if err := contig.Update(reldb.Row{reldb.I(int64(5000 + i))}, map[string]reldb.Value{"v": reldb.S("stale")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out3, cStats, err := SimulateStructuralSync(provider, contig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3.RowsRoot() != provider.RowsRoot() {
+		t.Fatal("contiguous-divergence sync did not converge")
+	}
+	cBytes := cStats.BytesSent + cStats.BytesReceived
+	if cBytes*20 >= len(full) {
+		t.Fatalf("one-subtree divergence moved %d bytes of a %d-byte view (want <5%%)", cBytes, len(full))
+	}
+
+	// Cold start converges too (bytes necessarily ~full size).
+	empty := reldb.MustNewTable(syncTestSchema())
+	out2, _, err := SimulateStructuralSync(provider, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.RowsRoot() != provider.RowsRoot() {
+		t.Fatal("cold simulated sync did not converge")
+	}
+	// And syncing two identical tables moves one round and zero rows.
+	same, sStats, err := SimulateStructuralSync(provider, provider.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.RowsRoot() != provider.RowsRoot() || sStats.RowsInline != 0 {
+		t.Fatal("identical-table sync transferred rows")
+	}
+}
+
+// TestServeSyncRejectsUnauthorized: the sync RPC applies the same
+// signature and membership gates as the fetch RPC.
+func TestServeSyncRejectsUnauthorized(t *testing.T) {
+	mem := p2p.NewMemNetwork()
+	h := newSyncHarness(t, 32, mem.Endpoint("A"), mem.Endpoint("B"))
+	outsider := identity.MustNew("Mallory")
+	req := SyncRequest{
+		ShareID:   "S",
+		Requester: outsider.Address(),
+		PubKey:    append([]byte(nil), outsider.PublicKey()...),
+		TsMicro:   time.Now().UnixMicro(),
+	}
+	req.Sig = outsider.Sign(req.signingBytes())
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ep := mem.Endpoint("M")
+	if _, err := ep.Request(ctx, "A", p2p.Message{Kind: p2p.KindSync, Payload: payload}); err == nil {
+		t.Fatal("outsider sync request served")
+	}
+	// A member with a bad signature is rejected too.
+	req.Requester = h.b.Address()
+	req.PubKey = append([]byte(nil), h.b.cfg.Identity.PublicKey()...)
+	req.Sig = []byte("bogus")
+	payload, _ = json.Marshal(req)
+	if _, err := ep.Request(ctx, "A", p2p.Message{Kind: p2p.KindSync, Payload: payload}); err == nil {
+		t.Fatal("bad signature served")
+	}
+}

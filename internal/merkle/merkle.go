@@ -13,12 +13,15 @@ import (
 // Hash is a SHA-256 digest.
 type Hash = [32]byte
 
-// leafPrefix and nodePrefix domain-separate leaf and interior hashes,
-// preventing second-preimage attacks that splice interior nodes in as
-// leaves.
+// leafPrefix, nodePrefix, and treePrefix domain-separate the three hash
+// roles — leaf payloads, binary interior nodes, and search-tree interior
+// nodes (which carry an entry of their own between two children) —
+// preventing second-preimage attacks that splice one construction's
+// digests into another's positions.
 const (
 	leafPrefix = 0x00
 	nodePrefix = 0x01
+	treePrefix = 0x02
 )
 
 // HashLeaf hashes a leaf payload.
@@ -36,6 +39,23 @@ func HashNode(left, right Hash) Hash {
 	h := sha256.New()
 	h.Write([]byte{nodePrefix})
 	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// HashTreeNode hashes one interior node of a Merkle *search* tree — a
+// node that carries its own entry digest between two child subtree
+// digests (the shape of reldb's row tree, where every node stores a
+// row). The entry digest is expected to be a HashLeaf output and the
+// child digests HashTreeNode outputs (or the all-zero hash for an empty
+// subtree); the distinct treePrefix keeps all three roles unspliceable.
+func HashTreeNode(left, entry, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{treePrefix})
+	h.Write(left[:])
+	h.Write(entry[:])
 	h.Write(right[:])
 	var out Hash
 	h.Sum(out[:0])

@@ -137,3 +137,34 @@ func TestProveVerifyQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHashTreeNodeDomainSeparation: the three hash roles (leaf, binary
+// interior, search-tree interior) must never collide on identical input
+// bytes — the property that blocks cross-construction splicing between
+// block trees and the table row tree.
+func TestHashTreeNodeDomainSeparation(t *testing.T) {
+	var l, e, r Hash
+	copy(l[:], []byte("left-digest-left-digest-left-dig"))
+	copy(e[:], []byte("entry-digest-entry-digest-entry-"))
+	copy(r[:], []byte("right-digest-right-digest-right-"))
+	tn := HashTreeNode(l, e, r)
+	// Same 96 bytes hashed as a leaf payload must differ.
+	var payload []byte
+	payload = append(payload, l[:]...)
+	payload = append(payload, e[:]...)
+	payload = append(payload, r[:]...)
+	if tn == HashLeaf(payload) {
+		t.Fatal("tree-node hash collides with leaf hash of the same bytes")
+	}
+	// And must differ from binary-node combinations over the same parts.
+	if tn == HashNode(HashNode(l, e), r) || tn == HashNode(l, HashNode(e, r)) {
+		t.Fatal("tree-node hash collides with binary-node composition")
+	}
+	// Argument order matters (left/entry/right are positional).
+	if HashTreeNode(l, e, r) == HashTreeNode(r, e, l) {
+		t.Fatal("tree-node hash ignores child order")
+	}
+	if HashTreeNode(l, e, r) == HashTreeNode(e, l, r) {
+		t.Fatal("tree-node hash ignores entry position")
+	}
+}

@@ -20,6 +20,11 @@ const (
 	KindTx        = "tx"
 	KindBlock     = "block"
 	KindDataFetch = "data.fetch"
+	// KindSync carries the structural anti-entropy exchange: peers walk
+	// each other's Merkle row trees top-down and transfer only divergent
+	// subtrees (cold or long-diverged replicas catching up without a
+	// whole-view fetch).
+	KindSync = "data.sync"
 )
 
 // Message is an addressed, typed payload.

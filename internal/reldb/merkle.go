@@ -1,0 +1,201 @@
+package reldb
+
+import (
+	"fmt"
+
+	"medshare/internal/merkle"
+	"medshare/internal/reldb/pmap"
+)
+
+// The Merkle face of a table: membership proofs against RowsRoot, and
+// the structural accessors the anti-entropy sync protocol is built on.
+// Everything here rides on the row tree's canonical shape — two tables
+// with equal contents have byte-identical trees, so subtree digests are
+// comparable across independently built replicas.
+
+// ProveRow builds a membership proof for the row with the given primary
+// key tuple. The proof verifies against RowsRoot (VerifyRowProof); the
+// proven row is returned alongside so callers can ship both.
+func (t *Table) ProveRow(key Row) (Row, pmap.Proof, error) {
+	k := encodeKey(key)
+	e, ok := t.rows.Get(k)
+	if !ok {
+		return nil, pmap.Proof{}, fmt.Errorf("%w: table %s key %v", ErrKeyNotFound, t.schema.Name, key)
+	}
+	p, ok := t.rows.Prove(k, rowEntryLeaf)
+	if !ok {
+		return nil, pmap.Proof{}, fmt.Errorf("%w: table %s key %v", ErrKeyNotFound, t.schema.Name, key)
+	}
+	return e.row, p, nil
+}
+
+// VerifyRowProof checks that row is committed to by the row-tree root
+// according to the proof. The row's canonical encoding is hashed as a
+// domain-separated Merkle leaf, so an interior-node digest can never be
+// passed off as a row (and vice versa).
+func VerifyRowProof(rowsRoot [32]byte, row Row, p pmap.Proof) bool {
+	var buf [192]byte
+	return pmap.VerifyProof(rowsRoot, merkle.HashLeaf(row.AppendCanonical(buf[:0])), p)
+}
+
+// MerkleChild summarizes one child subtree of a row-tree node for the
+// sync protocol: the storage key of the child's root row, the subtree
+// digest, and the entry count. A nil *MerkleChild means an empty child.
+type MerkleChild struct {
+	Key    []byte
+	Digest [32]byte
+	Size   int
+}
+
+// MerkleNode describes one node of the row tree: the row it stores (a
+// shared reference — read-only) plus both child summaries. The sync
+// provider serves these to a peer walking its tree top-down.
+type MerkleNode struct {
+	Key         []byte
+	Row         Row
+	Left, Right *MerkleChild
+}
+
+func childOf(c pmap.ChildRef) *MerkleChild {
+	if c.Size == 0 {
+		return nil
+	}
+	return &MerkleChild{Key: []byte(c.Key), Digest: c.Digest, Size: c.Size}
+}
+
+// MerkleNodeAt returns the row-tree node whose row is stored under the
+// given storage key encoding; a nil or empty key selects the root. ok is
+// false when the key is absent (or the table is empty).
+func (t *Table) MerkleNodeAt(key []byte) (MerkleNode, bool) {
+	k := string(key)
+	if len(key) == 0 {
+		rk, ok := t.rows.RootKey()
+		if !ok {
+			return MerkleNode{}, false
+		}
+		k = rk
+	}
+	sum, e, ok := t.rows.SummaryAt(k, rowEntryLeaf)
+	if !ok {
+		return MerkleNode{}, false
+	}
+	return MerkleNode{
+		Key:   []byte(sum.Key),
+		Row:   e.row,
+		Left:  childOf(sum.Left),
+		Right: childOf(sum.Right),
+	}, true
+}
+
+// SubtreeRows returns, in canonical order, the rows of the subtree
+// rooted at the node stored under the given storage key. The rows are
+// shared references and must be treated as read-only. ok is false when
+// the key is absent.
+func (t *Table) SubtreeRows(key []byte) ([]Row, bool) {
+	var out []Row
+	ok := t.rows.AscendSubtree(string(key), func(_ string, e *rowEntry) bool {
+		out = append(out, e.row)
+		return true
+	})
+	return out, ok
+}
+
+// MerkleIndex indexes every subtree digest of a table snapshot; the
+// anti-entropy receiver uses it to recognize remote subtrees it already
+// holds. Building it forces the digest cache (O(n) hashing the first
+// time, shared with every snapshot of the same storage thereafter).
+type MerkleIndex struct {
+	ix *pmap.DigestIndex[*rowEntry]
+}
+
+// MerkleIndex builds the subtree-digest index for the table's current
+// rows.
+func (t *Table) MerkleIndex() *MerkleIndex {
+	return &MerkleIndex{ix: pmap.NewDigestIndex(t.rows, rowEntryLeaf)}
+}
+
+// Has reports whether some subtree of the indexed snapshot digests to d.
+func (m *MerkleIndex) Has(d [32]byte) bool { return m.ix.Has(d) }
+
+// MerkleAssembler rebuilds a table's contents from an in-order stream of
+// parts — locally matched subtrees (grafted by digest from a base
+// snapshot, reusing its row entries and their cached digests) and
+// explicitly transferred rows. The anti-entropy receiver drives it while
+// walking the provider's tree; Table() finalizes in O(n) via the sorted
+// bulk build.
+//
+// Appends must arrive in strictly ascending storage-key order — the
+// in-order walk of the remote tree yields exactly that, so a violation
+// means a corrupt or malicious stream and is rejected immediately (the
+// final payload-hash check would catch it too, but failing early beats
+// building the table first).
+type MerkleAssembler struct {
+	base    *Table
+	index   *MerkleIndex
+	keys    []string
+	entries []*rowEntry
+	keyBuf  []byte
+}
+
+// NewMerkleAssembler creates an assembler grafting from base (the
+// receiver's current replica; its schema also types the transferred
+// rows).
+func NewMerkleAssembler(base *Table) *MerkleAssembler {
+	return &MerkleAssembler{base: base, index: base.MerkleIndex()}
+}
+
+// HasLocal reports whether the base snapshot holds a subtree with the
+// given digest — if so, AppendLocal can graft it without any transfer.
+func (a *MerkleAssembler) HasLocal(d [32]byte) bool { return a.index.Has(d) }
+
+// ErrSyncStream marks a malformed anti-entropy stream (out-of-order or
+// duplicate keys, rows not matching their subtree digest position).
+var ErrSyncStream = fmt.Errorf("reldb: malformed sync stream")
+
+func (a *MerkleAssembler) push(k string, e *rowEntry) error {
+	if n := len(a.keys); n > 0 && k <= a.keys[n-1] {
+		return fmt.Errorf("%w: key out of order", ErrSyncStream)
+	}
+	a.keys = append(a.keys, k)
+	a.entries = append(a.entries, e)
+	return nil
+}
+
+// AppendLocal grafts the base subtree with the given digest: its entries
+// (and their cached row digests) are appended in order.
+func (a *MerkleAssembler) AppendLocal(d [32]byte) error {
+	var err error
+	ok := a.index.ix.Ascend(d, func(k string, e *rowEntry) bool {
+		err = a.push(k, e)
+		return err == nil
+	})
+	if !ok {
+		return fmt.Errorf("%w: unknown local digest", ErrSyncStream)
+	}
+	return err
+}
+
+// AppendRow appends one transferred row, validating it against the
+// schema. The assembler takes ownership of the row.
+func (a *MerkleAssembler) AppendRow(r Row) error {
+	if err := a.base.schema.checkRow(r); err != nil {
+		return err
+	}
+	a.keyBuf = a.base.AppendKeyOf(a.keyBuf[:0], r)
+	return a.push(string(a.keyBuf), &rowEntry{row: r})
+}
+
+// Len returns the number of rows assembled so far.
+func (a *MerkleAssembler) Len() int { return len(a.keys) }
+
+// Table finalizes the assembly into a fresh table named like the base.
+// The caller is expected to verify the result against an authoritative
+// hash (the on-chain payload hash) before installing it.
+func (a *MerkleAssembler) Table() (*Table, error) {
+	t, err := NewTable(a.base.schema)
+	if err != nil {
+		return nil, err
+	}
+	t.rows = pmap.FromSorted(a.keys, a.entries)
+	return t, nil
+}

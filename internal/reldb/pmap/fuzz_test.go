@@ -1,0 +1,102 @@
+package pmap
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// FuzzPmapOps drives an arbitrary operation sequence decoded from the
+// fuzz input against the treap and a plain-map reference model, checking
+// full agreement after every step plus — after the whole sequence — the
+// structural invariants, iteration order, persistence of a mid-sequence
+// snapshot, and the cached Merkle root against a from-scratch recompute
+// over the reference contents (which doubles as a canonicity check: the
+// rebuild arrives at the same root through FromSorted).
+//
+// Input encoding: ops are consumed three bytes at a time as
+// (opcode, key, value); the key space is deliberately small (64 keys) so
+// random inputs collide often and exercise replace/delete paths.
+func FuzzPmapOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 0, 1, 3, 2, 1, 0})
+	f.Add([]byte{
+		0, 10, 1, 0, 20, 2, 0, 30, 3, 0, 40, 4,
+		2, 20, 0, 3, 30, 0, 0, 20, 9, 1, 50, 5,
+	})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var m Map[int]
+		ref := make(map[string]int)
+		var snap Map[int]
+		snapRef := make(map[string]int)
+		snapAt := len(ops) / 2
+
+		for i := 0; i+2 < len(ops); i += 3 {
+			if i >= snapAt && snap.Len() == 0 && len(snapRef) == 0 && m.Len() > 0 {
+				snap = m // O(1) snapshot; must stay frozen below
+				for k, v := range ref {
+					snapRef[k] = v
+				}
+			}
+			k := fmt.Sprintf("k%02d", int(ops[i+1])%64)
+			v := int(ops[i+2])
+			switch ops[i] % 4 {
+			case 0, 1:
+				var existed bool
+				m, existed = m.Set(k, v)
+				if _, refEx := ref[k]; existed != refEx {
+					t.Fatalf("op %d: Set(%q) existed=%v want %v", i, k, existed, refEx)
+				}
+				ref[k] = v
+			case 2:
+				var existed bool
+				m, existed = m.Delete(k)
+				if _, refEx := ref[k]; existed != refEx {
+					t.Fatalf("op %d: Delete(%q) existed=%v want %v", i, k, existed, refEx)
+				}
+				delete(ref, k)
+			case 3:
+				got, ok := m.Get(k)
+				want, refOK := ref[k]
+				if ok != refOK || (ok && got != want) {
+					t.Fatalf("op %d: Get(%q)=%d,%v want %d,%v", i, k, got, ok, want, refOK)
+				}
+			}
+		}
+
+		if m.Len() != len(ref) {
+			t.Fatalf("Len=%d want %d", m.Len(), len(ref))
+		}
+		var keys []string
+		var vals []int
+		m.Ascend(func(k string, v int) bool { keys = append(keys, k); vals = append(vals, v); return true })
+		if !sort.StringsAreSorted(keys) {
+			t.Fatal("iteration out of order")
+		}
+		for i, k := range keys {
+			if ref[k] != vals[i] {
+				t.Fatalf("content mismatch at %q", k)
+			}
+		}
+		// Structural invariants (BST + heap + sizes + stored priorities).
+		checkInvariants(t, m)
+
+		// The cached Merkle root must equal a from-scratch recompute over
+		// the reference contents — built by the *other* construction path.
+		rebuilt := FromSorted(keys, vals)
+		if m.MerkleRoot(testLeaf) != rebuilt.MerkleRoot(testLeaf) {
+			t.Fatal("Merkle root diverges from a from-scratch rebuild of the same contents")
+		}
+
+		// The mid-sequence snapshot must be exactly as it was.
+		if snap.Len() != len(snapRef) {
+			t.Fatalf("snapshot len changed: %d want %d", snap.Len(), len(snapRef))
+		}
+		snap.Ascend(func(k string, v int) bool {
+			if snapRef[k] != v {
+				t.Fatalf("snapshot entry %q mutated", k)
+			}
+			return true
+		})
+	})
+}

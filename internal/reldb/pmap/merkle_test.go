@@ -1,0 +1,201 @@
+package pmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"medshare/internal/merkle"
+)
+
+// testLeaf digests an entry as a domain-separated leaf over "key=value".
+func testLeaf(k string, v int) Hash {
+	return merkle.HashLeaf([]byte(fmt.Sprintf("%s=%d", k, v)))
+}
+
+// TestMerkleRootCanonical: the root digest must be a pure function of
+// the contents — identical across build histories, different for
+// different contents.
+func TestMerkleRootCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := make(map[string]int)
+		var m Map[int]
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("k%03d", rng.Intn(90))
+			if rng.Intn(4) == 0 {
+				m, _ = m.Delete(k)
+				delete(ref, k)
+			} else {
+				v := rng.Intn(50)
+				m, _ = m.Set(k, v)
+				ref[k] = v
+			}
+		}
+		// Rebuild the same contents from scratch via FromSorted.
+		var keys []string
+		var vals []int
+		var rebuilt Map[int]
+		m.Ascend(func(k string, v int) bool { keys = append(keys, k); vals = append(vals, v); return true })
+		rebuilt = FromSorted(keys, vals)
+		if m.MerkleRoot(testLeaf) != rebuilt.MerkleRoot(testLeaf) {
+			t.Logf("seed %d: root depends on build history", seed)
+			return false
+		}
+		// Any single-entry perturbation must change the root.
+		if len(keys) > 0 {
+			i := rng.Intn(len(keys))
+			changed, _ := m.Set(keys[i], vals[i]+1)
+			if changed.MerkleRoot(testLeaf) == m.MerkleRoot(testLeaf) {
+				t.Logf("seed %d: value change did not change root", seed)
+				return false
+			}
+			removed, _ := m.Delete(keys[i])
+			if removed.MerkleRoot(testLeaf) == m.MerkleRoot(testLeaf) {
+				t.Logf("seed %d: deletion did not change root", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMerkleRootIncrementalCost: after one edit of a large hashed map,
+// recomputing the root must touch only the fresh O(log n) path —
+// observed through the leaf-function call count.
+func TestMerkleRootIncrementalCost(t *testing.T) {
+	var m Map[int]
+	const n = 4096
+	for i := 0; i < n; i++ {
+		m, _ = m.Set(fmt.Sprintf("k%05d", i), i)
+	}
+	m.MerkleRoot(testLeaf) // warm the cache
+	m2, _ := m.Set("k02048", -1)
+	calls := 0
+	counting := func(k string, v int) Hash { calls++; return testLeaf(k, v) }
+	root2 := m2.MerkleRoot(counting)
+	// Only the path-copied nodes lack digests; each calls leaf once.
+	if calls > 64 {
+		t.Fatalf("root update after one edit invoked leaf %d times (want O(log n))", calls)
+	}
+	// And the incremental result must agree with a cold recompute.
+	var keys []string
+	var vals []int
+	m2.Ascend(func(k string, v int) bool { keys = append(keys, k); vals = append(vals, v); return true })
+	if root2 != FromSorted(keys, vals).MerkleRoot(testLeaf) {
+		t.Fatal("incrementally updated root diverges from cold recompute")
+	}
+	if cached, ok := m2.CachedRoot(); !ok || cached != root2 {
+		t.Fatal("CachedRoot does not report the computed root")
+	}
+	if _, ok := (Map[int]{}).CachedRoot(); !ok {
+		t.Fatal("empty map root should always be available")
+	}
+}
+
+// TestProveVerify: proofs for every entry round-trip against the root;
+// wrong entry digests, wrong keys, and tampered steps are rejected.
+func TestProveVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var m Map[int]
+	const n = 257
+	for i := 0; i < n; i++ {
+		m, _ = m.Set(fmt.Sprintf("k%04d", i), rng.Intn(1000))
+	}
+	root := m.MerkleRoot(testLeaf)
+	m.Ascend(func(k string, v int) bool {
+		p, ok := m.Prove(k, testLeaf)
+		if !ok {
+			t.Fatalf("Prove(%q) failed", k)
+		}
+		if !VerifyProof(root, testLeaf(k, v), p) {
+			t.Fatalf("valid proof for %q rejected", k)
+		}
+		if VerifyProof(root, testLeaf(k, v+1), p) {
+			t.Fatalf("tampered value accepted for %q", k)
+		}
+		if VerifyProof(root, testLeaf(k+"x", v), p) {
+			t.Fatalf("tampered key accepted for %q", k)
+		}
+		return true
+	})
+	if _, ok := m.Prove("absent", testLeaf); ok {
+		t.Fatal("proof produced for absent key")
+	}
+	// Tampering with the proof itself must be rejected.
+	p, _ := m.Prove("k0100", testLeaf)
+	v, _ := m.Get("k0100")
+	leaf := testLeaf("k0100", v)
+	if len(p.Steps) == 0 {
+		t.Fatal("expected a non-root entry for tamper tests")
+	}
+	flip := p
+	flip.Steps = append([]ProofStep(nil), p.Steps...)
+	flip.Steps[0].PathLeft = !flip.Steps[0].PathLeft
+	if VerifyProof(root, leaf, flip) {
+		t.Fatal("direction-flipped proof accepted")
+	}
+	trunc := p
+	trunc.Steps = p.Steps[:len(p.Steps)-1]
+	if VerifyProof(root, leaf, trunc) {
+		t.Fatal("truncated proof accepted")
+	}
+	spliced := p
+	spliced.Left, spliced.Right = p.Right, p.Left
+	if p.Left != p.Right && VerifyProof(root, leaf, spliced) {
+		t.Fatal("child-swapped proof accepted")
+	}
+}
+
+// TestSummaryAndDigestIndex: the anti-entropy accessors must agree with
+// each other — a child ref's digest resolves through a DigestIndex to
+// exactly the entries AscendSubtree yields for the child's key.
+func TestSummaryAndDigestIndex(t *testing.T) {
+	var m Map[int]
+	for i := 0; i < 500; i++ {
+		m, _ = m.Set(fmt.Sprintf("k%04d", i), i*7)
+	}
+	ix := NewDigestIndex(m, testLeaf)
+	rootKey, ok := m.RootKey()
+	if !ok {
+		t.Fatal("no root key")
+	}
+	var walk func(k string)
+	walk = func(k string) {
+		sum, v, ok := m.SummaryAt(k, testLeaf)
+		if !ok {
+			t.Fatalf("SummaryAt(%q) missing", k)
+		}
+		if got, _ := m.Get(k); got != v {
+			t.Fatalf("SummaryAt(%q) value mismatch", k)
+		}
+		for _, c := range []ChildRef{sum.Left, sum.Right} {
+			if c.Size == 0 {
+				continue
+			}
+			if n, ok := ix.Size(c.Digest); !ok || n != c.Size {
+				t.Fatalf("digest index size mismatch for child %q", c.Key)
+			}
+			var fromIx, fromWalk []string
+			ix.Ascend(c.Digest, func(k string, _ int) bool { fromIx = append(fromIx, k); return true })
+			m.AscendSubtree(c.Key, func(k string, _ int) bool { fromWalk = append(fromWalk, k); return true })
+			if len(fromIx) != len(fromWalk) {
+				t.Fatalf("index/subtree walk length mismatch at %q", c.Key)
+			}
+			for i := range fromIx {
+				if fromIx[i] != fromWalk[i] {
+					t.Fatalf("index/subtree walk mismatch at %q", c.Key)
+				}
+			}
+			walk(c.Key)
+		}
+	}
+	walk(rootKey)
+	if ix.Has(Hash{1}) {
+		t.Fatal("index matched a bogus digest")
+	}
+}

@@ -10,20 +10,65 @@
 //     O(k log n) nodes, which Diff exploits to compare them in
 //     O(k log n) instead of O(n).
 //
-// The implementation is a weight-balanced binary search tree (the
-// delta=3 / ratio=2 scheme of Haskell's Data.Map, whose balance
-// conditions are machine-checked in the literature) rather than a
-// hash-array-mapped trie: the table layer needs *ordered* iteration
-// (canonical key-sorted row order falls out of an in-order walk for
-// free, with no cached sort to invalidate) and prefix range scans (the
-// secondary index stores composite secondary-key‖primary-key entries and
-// answers group lookups with a prefix walk). A HAMT offers neither; the
-// structural-sharing and O(log n) path-copy properties are the same.
+// The implementation is a *hash-ordered treap*: a binary search tree on
+// the keys that is simultaneously a max-heap on per-key priorities
+// derived by SHA-256 from the key bytes. Because the priority is a pure
+// function of the key, the tree shape is a pure function of the key set
+// — two maps holding the same entries have byte-for-byte identical
+// structure no matter how they were built (incremental inserts, bulk
+// FromSorted, deletes and re-inserts, different machines). That
+// history-independence is what makes the cached subtree digests below a
+// *canonical* Merkle commitment: equal content ⇔ equal root, and two
+// replicas that agree on a subtree's digest hold identical copies of
+// that subtree, which the anti-entropy sync layer exploits to ship only
+// divergent subtrees. A weight-balanced tree (the previous
+// implementation) cannot offer this: its shape depends on the mutation
+// history, so independently built replicas would share no digests.
+//
+// The table layer needs *ordered* iteration (canonical key-sorted row
+// order falls out of an in-order walk for free) and prefix range scans
+// (the secondary index stores composite secondary-key‖primary-key
+// entries and answers group lookups with a prefix walk); the treap keeps
+// both. Balance is probabilistic rather than worst-case: expected depth
+// is O(log n) because SHA-256-derived priorities are computationally
+// indistinguishable from random. An adversary who can choose keys can in
+// principle grind for priority patterns that skew the tree (a
+// performance degradation, not a correctness or integrity loss — the
+// digests commit to content regardless of shape); rows here are typed
+// medical records keyed by short primary keys, where that grinding buys
+// little.
+//
+// Every node lazily caches the SHA-256 Merkle digest of its subtree,
+// domain-separated through internal/merkle (leaf entries and interior
+// nodes hash under distinct prefixes, blocking second-preimage splicing).
+// Mutations never invalidate anything: path copying replaces exactly the
+// nodes whose digests change, and fresh nodes start uncached, so the
+// first root digest after a k-edit delta recomputes only the O(k log n)
+// fresh nodes. MerkleRoot, Prove/VerifyProof (membership proofs), and
+// the SummaryAt/AscendSubtree/DigestIndex accessors used by structural
+// anti-entropy all build on that cache.
 //
 // The zero Map is the empty map. Maps are safe for concurrent readers
-// without synchronization (they are immutable); a *variable* holding a
-// map needs the caller's usual synchronization when rebound.
+// without synchronization (nodes are immutable apart from the idempotent
+// digest cache, which racing readers store identical values into); a
+// *variable* holding a map needs the caller's usual synchronization when
+// rebound.
 package pmap
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// Hash is a SHA-256 digest (the merkle package's Hash).
+type Hash = [32]byte
+
+// LeafFunc computes the digest of one entry for the Merkle layer. Every
+// caller computing digests over structurally shared maps must supply the
+// same function for the same value type — the per-node cache stores the
+// result of whichever function ran first.
+type LeafFunc[V any] func(k string, v V) Hash
 
 // Map is an immutable ordered map from string keys to values of type V.
 // The zero value is the empty map.
@@ -32,22 +77,40 @@ type Map[V any] struct {
 }
 
 // node is an immutable tree node. Nodes are never mutated after
-// construction; all "mutation" builds new nodes along the root path.
+// construction (all "mutation" builds new nodes along the root path)
+// except for dig, the idempotent lazily cached subtree digest.
 type node[V any] struct {
 	key   string
 	val   V
-	size  int // nodes in this subtree, including this one
+	pri   uint64 // heap priority: first 8 bytes of SHA-256(key)
+	size  int    // nodes in this subtree, including this one
 	left  *node[V]
 	right *node[V]
+	// dig caches the Merkle digest of this subtree. Atomic because
+	// concurrent readers of a shared snapshot may race the lazy
+	// computation; the digest is a pure function of the subtree, so
+	// racing stores write the same value.
+	dig atomic.Pointer[Hash]
 }
 
-// Balance parameters, exactly Data.Map's: a subtree may be at most
-// delta times the size of its sibling; ratio picks single vs double
-// rotation.
-const (
-	delta = 3
-	ratio = 2
-)
+// prio derives a node's heap priority from its key. SHA-256 keeps the
+// tree shape unpredictable without a secret and consistent across
+// machines and process restarts — both replicas of a shared table build
+// byte-identical trees.
+func prio(k string) uint64 {
+	d := sha256.Sum256([]byte(k))
+	return binary.BigEndian.Uint64(d[:8])
+}
+
+// higher reports whether entry (p1,k1) outranks (p2,k2) in heap order.
+// The key tie-break makes the order strict and total, so the treap shape
+// is unique even if two distinct keys collide on priority.
+func higher(p1 uint64, k1 string, p2 uint64, k2 string) bool {
+	if p1 != p2 {
+		return p1 > p2
+	}
+	return k1 > k2
+}
 
 func size[V any](n *node[V]) int {
 	if n == nil {
@@ -56,39 +119,8 @@ func size[V any](n *node[V]) int {
 	return n.size
 }
 
-func mk[V any](l *node[V], k string, v V, r *node[V]) *node[V] {
-	return &node[V]{key: k, val: v, size: size(l) + size(r) + 1, left: l, right: r}
-}
-
-// balanceL rebuilds a node whose LEFT subtree may have become too heavy
-// (after an insert on the left or a delete on the right), rotating right
-// when the weight invariant is violated.
-func balanceL[V any](k string, v V, l, r *node[V]) *node[V] {
-	if size(l) > delta*size(r) && size(l) >= 2 {
-		// l is non-nil with at least two nodes; rotate right.
-		if size(l.right) < ratio*size(l.left) {
-			// Single right rotation.
-			return mk(l.left, l.key, l.val, mk(l.right, k, v, r))
-		}
-		// Double rotation: l.right is non-nil here (its size exceeds
-		// ratio*size(l.left) >= 0 and the subtree has >= 2 nodes).
-		lr := l.right
-		return mk(mk(l.left, l.key, l.val, lr.left), lr.key, lr.val, mk(lr.right, k, v, r))
-	}
-	return mk(l, k, v, r)
-}
-
-// balanceR is the mirror image: the RIGHT subtree may be too heavy.
-func balanceR[V any](k string, v V, l, r *node[V]) *node[V] {
-	if size(r) > delta*size(l) && size(r) >= 2 {
-		if size(r.left) < ratio*size(r.right) {
-			// Single left rotation.
-			return mk(mk(l, k, v, r.left), r.key, r.val, r.right)
-		}
-		rl := r.left
-		return mk(mk(l, k, v, rl.left), rl.key, rl.val, mk(rl.right, r.key, r.val, r.right))
-	}
-	return mk(l, k, v, r)
+func mk[V any](l *node[V], k string, p uint64, v V, r *node[V]) *node[V] {
+	return &node[V]{key: k, val: v, pri: p, size: size(l) + size(r) + 1, left: l, right: r}
 }
 
 // Len returns the number of entries.
@@ -164,30 +196,32 @@ func (m Map[V]) Has(k string) bool {
 // Set returns a map with k bound to v (replacing any existing binding)
 // plus whether a binding existed. The receiver is unchanged.
 func (m Map[V]) Set(k string, v V) (Map[V], bool) {
-	root, existed := set(m.root, k, v)
+	root, existed := set(m.root, k, prio(k), v)
 	return Map[V]{root: root}, existed
 }
 
-func set[V any](n *node[V], k string, v V) (*node[V], bool) {
+func set[V any](n *node[V], k string, p uint64, v V) (*node[V], bool) {
 	if n == nil {
-		return mk[V](nil, k, v, nil), false
+		return mk[V](nil, k, p, v, nil), false
 	}
-	switch {
-	case k < n.key:
-		l, existed := set(n.left, k, v)
-		if existed {
-			return mk(l, n.key, n.val, n.right), true
-		}
-		return balanceL(n.key, n.val, l, n.right), false
-	case k > n.key:
-		r, existed := set(n.right, k, v)
-		if existed {
-			return mk(n.left, n.key, n.val, r), true
-		}
-		return balanceR(n.key, n.val, n.left, r), false
-	default:
-		return &node[V]{key: k, val: v, size: n.size, left: n.left, right: n.right}, true
+	if k == n.key {
+		// Same key, same priority, same position: replace in place.
+		return mk(n.left, k, p, v, n.right), true
 	}
+	if higher(p, k, n.pri, n.key) {
+		// The new entry outranks this subtree's root, so it becomes the
+		// root here and n splits around it. k cannot already be present
+		// below n: an equal key would carry this same priority and could
+		// not sit under the lower-ranked n.
+		l, _, _, r := split(n, k)
+		return mk(l, k, p, v, r), false
+	}
+	if k < n.key {
+		l, existed := set(n.left, k, p, v)
+		return mk(l, n.key, n.pri, n.val, n.right), existed
+	}
+	r, existed := set(n.right, k, p, v)
+	return mk(n.left, n.key, n.pri, n.val, r), existed
 }
 
 // Delete returns a map without k, plus whether k was present. When k is
@@ -210,49 +244,32 @@ func del[V any](n *node[V], k string) (*node[V], bool) {
 		if !existed {
 			return n, false
 		}
-		return balanceR(n.key, n.val, l, n.right), true
+		return mk(l, n.key, n.pri, n.val, n.right), true
 	case k > n.key:
 		r, existed := del(n.right, k)
 		if !existed {
 			return n, false
 		}
-		return balanceL(n.key, n.val, n.left, r), true
+		return mk(n.left, n.key, n.pri, n.val, r), true
 	default:
-		return glue(n.left, n.right), true
+		return join(n.left, n.right), true
 	}
 }
 
-// glue merges two balanced sibling subtrees (all keys of l < all keys
-// of r, sizes within the balance bound of each other).
-func glue[V any](l, r *node[V]) *node[V] {
+// join merges two sibling subtrees (all keys of l < all keys of r) by
+// descending the lower-ranked side, preserving heap order — the treap's
+// replacement for rebalancing rotations.
+func join[V any](l, r *node[V]) *node[V] {
 	switch {
 	case l == nil:
 		return r
 	case r == nil:
 		return l
-	case size(l) > size(r):
-		k, v, nl := popMax(l)
-		return balanceR(k, v, nl, r)
+	case higher(l.pri, l.key, r.pri, r.key):
+		return mk(l.left, l.key, l.pri, l.val, join(l.right, r))
 	default:
-		k, v, nr := popMin(r)
-		return balanceL(k, v, l, nr)
+		return mk(join(l, r.left), r.key, r.pri, r.val, r.right)
 	}
-}
-
-func popMin[V any](n *node[V]) (string, V, *node[V]) {
-	if n.left == nil {
-		return n.key, n.val, n.right
-	}
-	k, v, l := popMin(n.left)
-	return k, v, balanceR(n.key, n.val, l, n.right)
-}
-
-func popMax[V any](n *node[V]) (string, V, *node[V]) {
-	if n.right == nil {
-		return n.key, n.val, n.left
-	}
-	k, v, r := popMax(n.right)
-	return k, v, balanceL(n.key, n.val, n.left, r)
 }
 
 // Ascend calls fn for every entry in ascending key order until fn
@@ -310,8 +327,9 @@ func appendMapped[V, U any](n *node[V], dst []U, f func(V) U) []U {
 // FromSorted builds a map from keys and parallel vals in one O(n) pass.
 // keys MUST be in strictly ascending order — the precondition is the
 // caller's to guarantee (table builders append rows in canonical scan
-// order) and is not rechecked here. The result is a perfectly balanced
-// tree, which trivially satisfies the weight invariant.
+// order) and is not rechecked here. The result is the canonical treap of
+// the key set — identical in shape to the same entries inserted one by
+// one — built with the classic right-spine Cartesian-tree construction.
 func FromSorted[V any](keys []string, vals []V) Map[V] {
 	return Map[V]{root: buildSorted(keys, vals)}
 }
@@ -320,53 +338,50 @@ func buildSorted[V any](keys []string, vals []V) *node[V] {
 	if len(keys) == 0 {
 		return nil
 	}
-	mid := len(keys) / 2
-	return &node[V]{
-		key:   keys[mid],
-		val:   vals[mid],
-		size:  len(keys),
-		left:  buildSorted(keys[:mid], vals[:mid]),
-		right: buildSorted(keys[mid+1:], vals[mid+1:]),
+	var root *node[V]
+	// spine holds the right spine of the tree built so far, root first.
+	spine := make([]*node[V], 0, 48)
+	for i, k := range keys {
+		n := &node[V]{key: k, val: vals[i], pri: prio(k)}
+		// Pop spine entries the new (rightmost) node outranks; the last
+		// popped becomes its left subtree.
+		var last *node[V]
+		for len(spine) > 0 {
+			top := spine[len(spine)-1]
+			if !higher(n.pri, n.key, top.pri, top.key) {
+				break
+			}
+			last = top
+			spine = spine[:len(spine)-1]
+		}
+		n.left = last
+		if len(spine) == 0 {
+			root = n
+		} else {
+			spine[len(spine)-1].right = n
+		}
+		spine = append(spine, n)
 	}
+	fixSizes(root)
+	return root
 }
 
-// link joins l, k/v, r where every key of l < k < every key of r and l
-// and r are each balanced but may differ arbitrarily in size. It is
-// Data.Map's link: descend the spine of the heavier side until the
-// remainder balances against the lighter side, then rebalance upward.
-func link[V any](k string, v V, l, r *node[V]) *node[V] {
-	switch {
-	case l == nil:
-		return insertMin(k, v, r)
-	case r == nil:
-		return insertMax(k, v, l)
-	case delta*l.size < r.size:
-		return balanceL(r.key, r.val, link(k, v, l, r.left), r.right)
-	case delta*r.size < l.size:
-		return balanceR(l.key, l.val, l.left, link(k, v, l.right, r))
-	default:
-		return mk(l, k, v, r)
-	}
-}
-
-func insertMin[V any](k string, v V, n *node[V]) *node[V] {
+// fixSizes fills subtree sizes after buildSorted's in-place construction
+// (the nodes are fresh and unpublished, so mutation is safe).
+func fixSizes[V any](n *node[V]) int {
 	if n == nil {
-		return mk[V](nil, k, v, nil)
+		return 0
 	}
-	return balanceL(n.key, n.val, insertMin(k, v, n.left), n.right)
-}
-
-func insertMax[V any](k string, v V, n *node[V]) *node[V] {
-	if n == nil {
-		return mk[V](nil, k, v, nil)
-	}
-	return balanceR(n.key, n.val, n.left, insertMax(k, v, n.right))
+	n.size = fixSizes(n.left) + fixSizes(n.right) + 1
+	return n.size
 }
 
 // split partitions n around k into the entries below k, the value at k
 // (if present), and the entries above k. Subtrees entirely on one side
 // are reused by pointer, which is what lets Diff keep pruning
-// pointer-equal structure after a split.
+// pointer-equal structure after a split. Reassembly with mk preserves
+// heap order (children of the reused nodes only lose entries), so both
+// halves are themselves canonical treaps of their key sets.
 func split[V any](n *node[V], k string) (l *node[V], v V, found bool, r *node[V]) {
 	if n == nil {
 		var zero V
@@ -375,10 +390,10 @@ func split[V any](n *node[V], k string) (l *node[V], v V, found bool, r *node[V]
 	switch {
 	case k < n.key:
 		ll, v, found, lr := split(n.left, k)
-		return ll, v, found, link(n.key, n.val, lr, n.right)
+		return ll, v, found, mk(lr, n.key, n.pri, n.val, n.right)
 	case k > n.key:
 		rl, v, found, rr := split(n.right, k)
-		return link(n.key, n.val, n.left, rl), v, found, rr
+		return mk(n.left, n.key, n.pri, n.val, rl), v, found, rr
 	default:
 		return n.left, n.val, true, n.right
 	}

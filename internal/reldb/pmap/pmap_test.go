@@ -10,9 +10,9 @@ import (
 	"testing/quick"
 )
 
-// checkInvariants walks the tree verifying the three structural
-// invariants everything else rests on: key order, correct sizes, and
-// the delta weight balance.
+// checkInvariants walks the tree verifying the structural invariants
+// everything else rests on: key order, correct sizes, correct stored
+// priorities, and the treap heap order that makes the shape canonical.
 func checkInvariants[V any](t *testing.T, m Map[V]) {
 	t.Helper()
 	var walk func(n *node[V], lo, hi string, hasLo, hasHi bool) int
@@ -26,20 +26,31 @@ func checkInvariants[V any](t *testing.T, m Map[V]) {
 		if hasHi && n.key >= hi {
 			t.Fatalf("order violated: %q >= upper bound %q", n.key, hi)
 		}
+		if n.pri != prio(n.key) {
+			t.Fatalf("stored priority at %q does not match prio(key)", n.key)
+		}
+		for _, c := range []*node[V]{n.left, n.right} {
+			if c != nil && higher(c.pri, c.key, n.pri, n.key) {
+				t.Fatalf("heap order violated: child %q outranks parent %q", c.key, n.key)
+			}
+		}
 		ls := walk(n.left, lo, n.key, hasLo, true)
 		rs := walk(n.right, n.key, hi, true, hasHi)
 		if n.size != ls+rs+1 {
 			t.Fatalf("size wrong at %q: have %d want %d", n.key, n.size, ls+rs+1)
 		}
-		// The weight invariant: neither subtree more than delta times
-		// the other (sizes >= 2 per the rotation guard — single-node
-		// imbalance like (1,0) is inherently fine).
-		if ls+rs >= 2 && (ls > delta*rs || rs > delta*ls) {
-			t.Fatalf("imbalance at %q: left %d right %d", n.key, ls, rs)
-		}
 		return n.size
 	}
 	walk(m.root, "", "", false, false)
+}
+
+// sameShape reports whether two trees are structurally identical
+// (same keys at the same positions).
+func sameShape[V any](a, b *node[V]) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.key == b.key && sameShape(a.left, b.left) && sameShape(a.right, b.right)
 }
 
 // collect returns the map contents as sorted key/value pairs.
@@ -194,8 +205,8 @@ func TestStructuralSharing(t *testing.T) {
 			fresh++
 		}
 	}
-	// A 4096-entry weight-balanced tree is at most ~2·log2(n) deep;
-	// allow generous slack while still catching any O(n) copying.
+	// A 4096-entry treap has expected depth ~2·ln(n) ≈ 17; allow
+	// generous slack while still catching any O(n) copying.
 	if fresh > 40 {
 		t.Fatalf("one-key edit created %d fresh nodes (want O(log n))", fresh)
 	}
@@ -208,7 +219,8 @@ func TestStructuralSharing(t *testing.T) {
 }
 
 // TestFromSortedMatchesIncremental: the O(n) bulk build must produce the
-// same contents as n incremental sets, with valid invariants.
+// same contents as n incremental sets, with valid invariants — and,
+// because the treap shape is canonical, the *identical tree structure*.
 func TestFromSortedMatchesIncremental(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
 		keys := make([]string, n)
@@ -233,6 +245,48 @@ func TestFromSortedMatchesIncremental(t *testing.T) {
 				t.Fatalf("n=%d: mismatch at %d", n, i)
 			}
 		}
+		if !sameShape(bulk.root, inc.root) {
+			t.Fatalf("n=%d: bulk and incremental builds disagree on shape (canonicity broken)", n)
+		}
+	}
+}
+
+// TestShapeHistoryIndependence: the defining treap property — any
+// sequence of operations arriving at the same contents yields the same
+// tree shape. Random shuffled inserts plus delete/re-insert churn must
+// converge to the shape of the plain ascending build.
+func TestShapeHistoryIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 200
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%04d", i)
+		}
+		var canon Map[int]
+		for i, k := range keys {
+			canon, _ = canon.Set(k, i)
+		}
+		// Shuffled insert order, with churn: a third of the keys are
+		// inserted with a throwaway value, deleted, and re-inserted.
+		perm := rng.Perm(n)
+		var m Map[int]
+		for _, i := range perm {
+			if i%3 == 0 {
+				m, _ = m.Set(keys[i], -1)
+				m, _ = m.Delete(keys[i])
+			}
+			m, _ = m.Set(keys[i], i)
+		}
+		checkInvariants(t, m)
+		if !sameShape(canon.root, m.root) {
+			t.Logf("seed %d: shuffled build diverged in shape", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
 	}
 }
 

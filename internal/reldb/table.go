@@ -4,10 +4,10 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
-	"math/bits"
 	"sync"
 	"sync/atomic"
 
+	"medshare/internal/merkle"
 	"medshare/internal/reldb/pmap"
 )
 
@@ -36,19 +36,14 @@ type Table struct {
 	// keyIdx caches schema.KeyIndexes(); the schema is immutable after
 	// construction (Renamed changes only the name).
 	keyIdx []int
-	// rows maps the ordered primary-key encoding to the row entry.
+	// rows maps the ordered primary-key encoding to the row entry. The
+	// map's canonical (history-independent) treap shape plus per-node
+	// cached subtree digests make Table.Hash a Merkle root: no hash
+	// state lives on the Table itself — digests ride on the shared tree
+	// nodes, are built lazily by the first Hash() call, and a k-row
+	// delta leaves exactly the O(k log n) path-copied nodes uncached for
+	// the next Hash() to fill in. See Hash, RowsRoot, ProveRow.
 	rows pmap.Map[*rowEntry]
-	// Incremental hash state, built lazily by the first Hash() call and
-	// maintained incrementally afterwards, so tables that are never
-	// hashed (derived views, intermediates) pay nothing. Per-row digests
-	// live on the entries themselves (computed once, shared by every
-	// snapshot holding the entry); sum is the additive multiset
-	// combination of all row digests — see Hash for the construction.
-	// hashed gates sum; hashMu serializes the lazy build between
-	// concurrent readers.
-	sum    tableSum
-	hashed atomic.Bool
-	hashMu sync.Mutex
 	// schemaSum digests the canonical schema encoding (name excluded).
 	schemaSum [32]byte
 	// secondary points to the current set of secondary indexes, keyed by
@@ -82,7 +77,10 @@ type rowEntry struct {
 }
 
 // digest returns (computing and caching on first use) the row's
-// canonical SHA-256 digest.
+// canonical leaf digest — merkle.HashLeaf over the canonical row
+// encoding, the same domain-separated leaf construction the block-level
+// Merkle trees use, so table-row and block hashing cannot be spliced
+// into each other.
 func (e *rowEntry) digest() [32]byte {
 	if p := e.dig.Load(); p != nil {
 		return *p
@@ -109,30 +107,17 @@ type secIndex struct {
 	entries pmap.Map[struct{}]
 }
 
-// tableSum is a 256-bit little-endian accumulator. Row digests are added
-// on insert and subtracted on delete (mod 2^256), giving an
-// order-independent multiset hash that costs O(1) per row change.
-type tableSum [4]uint64
-
-func (s *tableSum) add(d [32]byte) {
-	var c uint64
-	for i := 0; i < 4; i++ {
-		s[i], c = bits.Add64(s[i], binary.LittleEndian.Uint64(d[i*8:]), c)
-	}
-}
-
-func (s *tableSum) sub(d [32]byte) {
-	var b uint64
-	for i := 0; i < 4; i++ {
-		s[i], b = bits.Sub64(s[i], binary.LittleEndian.Uint64(d[i*8:]), b)
-	}
-}
-
-// rowDigest hashes a row's canonical encoding.
+// rowDigest hashes a row's canonical encoding as a Merkle leaf.
 func rowDigest(r Row) [32]byte {
 	var buf [192]byte
-	return sha256.Sum256(r.AppendCanonical(buf[:0]))
+	return merkle.HashLeaf(r.AppendCanonical(buf[:0]))
 }
+
+// rowEntryLeaf adapts rowEntry.digest to pmap's Merkle leaf signature.
+// The storage key is not hashed separately: it is a pure function of the
+// row's primary-key columns, which the canonical row encoding commits
+// to. Top-level so digest walks pass it without a closure allocation.
+func rowEntryLeaf(_ string, e *rowEntry) pmap.Hash { return e.digest() }
 
 // appendSchemaCanonical appends the deterministic schema encoding (columns
 // and key; the table name is deliberately excluded — see AppendCanonical).
@@ -257,13 +242,12 @@ func (t *Table) insertOwned(r Row) error {
 }
 
 // insertEntry stores a fresh row under key k (known absent), maintaining
-// the digest sum and secondary indexes.
+// the secondary indexes. No hash bookkeeping is needed: the Merkle
+// digests live on the tree nodes, and the path copy leaves exactly the
+// changed nodes uncached.
 func (t *Table) insertEntry(k string, r Row) {
 	e := &rowEntry{row: r}
 	t.rows, _ = t.rows.Set(k, e)
-	if t.hashed.Load() {
-		t.sum.add(e.digest())
-	}
 	t.secAdd(r, k)
 }
 
@@ -302,15 +286,11 @@ func (t *Table) Has(key Row) bool {
 }
 
 // replaceEntry swaps the stored row under key k (already present, same
-// primary key) for an owned replacement, maintaining the digest sum and
-// secondary indexes.
+// primary key) for an owned replacement, maintaining the secondary
+// indexes.
 func (t *Table) replaceEntry(k string, old *rowEntry, r Row) {
 	e := &rowEntry{row: r}
 	t.rows, _ = t.rows.Set(k, e)
-	if t.hashed.Load() {
-		t.sum.sub(old.digest())
-		t.sum.add(e.digest())
-	}
 	t.secReplace(old.row, r, k)
 }
 
@@ -369,9 +349,6 @@ func (t *Table) Delete(key Row) error {
 		return fmt.Errorf("%w: table %s key %v", ErrKeyNotFound, t.schema.Name, key)
 	}
 	t.rows, _ = t.rows.Delete(ks)
-	if t.hashed.Load() {
-		t.sum.sub(e.digest())
-	}
 	t.secRemove(e.row, ks)
 	return nil
 }
@@ -477,14 +454,8 @@ func (t *Table) Clone() *Table {
 		rows:      t.rows,
 		schemaSum: t.schemaSum,
 	}
-	// Snapshot the hash state under the lock so a concurrent lazy build
-	// (another reader hashing this table) cannot be observed half-done.
-	t.hashMu.Lock()
-	if t.hashed.Load() {
-		out.sum = t.sum
-		out.hashed.Store(true)
-	}
-	t.hashMu.Unlock()
+	// No hash state to copy: Merkle digests live on the shared tree
+	// nodes and follow the rows pointer into the clone.
 	// The secondary registry is now shared: neither side may mutate it
 	// in place until it re-copies (secOwn). out.secOwned starts false.
 	t.secOwned.Store(false)
@@ -498,11 +469,16 @@ func (t *Table) Equal(o *Table) bool {
 	if o == nil || !t.schema.Equal(o.schema) || t.rows.Len() != o.rows.Len() {
 		return false
 	}
-	if t.hashed.Load() && o.hashed.Load() && t.sum == o.sum {
-		return true
+	// Equal cached Merkle roots prove equal contents (the root is a
+	// canonical commitment); nothing is hashed here — the fast path only
+	// fires when both sides were hashed already.
+	if ra, ok := t.rows.CachedRoot(); ok {
+		if rb, ok2 := o.rows.CachedRoot(); ok2 && ra == rb {
+			return true
+		}
 	}
-	// Structural comparison when either side has no hash state yet, or
-	// when the digest sums differ for encodings that nevertheless compare
+	// Structural comparison when either side has no cached root yet, or
+	// when the roots differ for encodings that nevertheless compare
 	// equal (NaN payload bits). Pointer-equal subtrees short-circuit and
 	// the walk aborts at the first difference, so comparing a snapshot
 	// against a lightly edited descendant is O(changed rows) and an
@@ -534,62 +510,51 @@ func (t *Table) AppendCanonical(dst []byte) []byte {
 	return dst
 }
 
-// Hash returns a SHA-256 digest committing to the schema and the multiset
-// of rows. Two tables with the same schema and contents hash identically —
-// regardless of insertion order or table name — which is what the
-// sharing layer uses to confirm that peers converged after an update.
+// RowsRoot returns the Merkle root of the row tree: a canonical SHA-256
+// commitment to the table's contents (equal contents ⇔ equal root,
+// independent of mutation history, because the underlying treap's shape
+// is a pure function of the key set). The empty table's root is the
+// all-zero hash. Membership proofs produced by ProveRow verify against
+// this root.
 //
-// The digest is maintained incrementally: the first Hash call digests
-// every row once, and from then on each row's canonical SHA-256 digest is
-// added to (on insert) or subtracted from (on delete) a 256-bit
-// accumulator — so Hash costs O(k) after a k-row update instead of
-// re-encoding the whole relation, and tables that are never hashed pay
-// nothing. Row digests are cached on the shared entries, so snapshots
-// never re-digest rows another snapshot already digested. The
-// construction is an AdHash-style multiset hash; see PERFORMANCE.md for
-// its guarantees and limits.
+// The root is cached per tree node and shared structurally: the first
+// call digests every row once, and after a k-row delta only the
+// O(k log n) path-copied nodes are re-hashed — so the root update after
+// a one-row edit costs O(log n) regardless of table size. Safe for
+// concurrent readers of one shared snapshot (racing digest computations
+// store identical values).
+func (t *Table) RowsRoot() [32]byte {
+	return t.rows.MerkleRoot(rowEntryLeaf)
+}
+
+// Hash returns a SHA-256 digest committing to the schema and the rows
+// via the Merkle row root. Two tables with the same schema and contents
+// hash identically — regardless of insertion order or table name —
+// which is what the sharing layer uses to confirm that peers converged
+// after an update; unlike the additive multiset hash it replaced, the
+// Merkle construction is collision-resistant even against adversarially
+// chosen rows and supports per-row membership proofs (ProveRow). Cost
+// follows RowsRoot: O(n) once, O(k log n) after a k-row delta, nothing
+// for tables that are never hashed.
 func (t *Table) Hash() [32]byte {
-	t.ensureHashed()
+	root := t.RowsRoot()
 	var buf [72]byte
 	copy(buf[:32], t.schemaSum[:])
 	binary.BigEndian.PutUint64(buf[32:40], uint64(t.rows.Len()))
-	for i, limb := range t.sum {
-		binary.LittleEndian.PutUint64(buf[40+8*i:], limb)
-	}
+	copy(buf[40:], root[:])
 	return sha256.Sum256(buf[:])
 }
 
-// CachedHash returns the table hash and true when the incremental hash
-// state is already built, without forcing the O(n) first build. Callers
-// that merely want to reuse a hash-keyed cache (the composed-lens
+// CachedHash returns the table hash and true when the Merkle root is
+// already cached, without forcing the O(n) first build. Callers that
+// merely want to reuse a hash-keyed cache (the composed-lens
 // intermediate view memo) use it so cold tables don't pay for hashing
 // they never asked for.
 func (t *Table) CachedHash() ([32]byte, bool) {
-	if !t.hashed.Load() {
+	if _, ok := t.rows.CachedRoot(); !ok {
 		return [32]byte{}, false
 	}
 	return t.Hash(), true
-}
-
-// ensureHashed builds the digest sum on first use. Safe to call from
-// concurrent readers sharing one snapshot; mutation is still
-// single-writer by the Table contract.
-func (t *Table) ensureHashed() {
-	if t.hashed.Load() {
-		return
-	}
-	t.hashMu.Lock()
-	defer t.hashMu.Unlock()
-	if t.hashed.Load() {
-		return
-	}
-	var sum tableSum
-	t.rows.Ascend(func(_ string, e *rowEntry) bool {
-		sum.add(e.digest())
-		return true
-	})
-	t.sum = sum
-	t.hashed.Store(true)
 }
 
 // Secondary indexes: RowsByCols answers "which rows carry this value

@@ -258,8 +258,9 @@ func (v Value) AppendCanonical(dst []byte) []byte {
 //
 // NaN floats order by their raw bit patterns — sign-clear NaNs above
 // +Inf, sign-set NaNs below -Inf — whereas Compare treats NaN as
-// incomparable; tables never rely on a particular NaN order, only on
-// determinism.
+// incomparable; and negative zero keeps its sign bit (encoding below
+// +0.0) whereas Compare and Equal treat -0 == +0. Tables never rely on
+// a particular order for either, only on determinism.
 func (v Value) AppendOrdered(dst []byte) []byte {
 	dst = append(dst, byte(v.kind))
 	switch v.kind {

@@ -215,35 +215,47 @@ func BenchmarkE9_BX_Put(b *testing.B) {
 	}
 }
 
+// benchPutDeltaOneRow is the shared harness of the E9 delta benches: a
+// one-row edit of col on the lens's view of an n-row source, propagated
+// as a changeset. The first PutDelta outside the timed region warms
+// whatever the lens warms (secondary view-key index, compose memo,
+// reference index), so the loop measures the steady state a cascade
+// pays per update.
+func benchPutDeltaOneRow(b *testing.B, src *reldb.Table, lens bx.Lens, col string) {
+	b.Helper()
+	view, err := lens.Get(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edited := view.Clone()
+	keys := edited.RowsCanonical()
+	if err := edited.Update(edited.KeyValues(keys[0]),
+		map[string]reldb.Value{col: reldb.S("bench")}); err != nil {
+		b.Fatal(err)
+	}
+	cs, err := view.Diff(edited)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := bx.PutDelta(lens, src, edited, cs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bx.PutDelta(lens, src, edited, cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkE9_BX_PutDelta measures the delta path: a one-row view edit
 // propagated as a changeset instead of a full put, the hot path of the
-// Fig. 5 cascade after this repo's copy-on-write overhaul.
+// Fig. 5 cascade.
 func BenchmarkE9_BX_PutDelta(b *testing.B) {
 	for _, rows := range []int{100, 1000} {
 		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
-			full := workload.Generate("full", rows, 1)
-			lens := LensD31()
-			view, err := lens.Get(full)
-			if err != nil {
-				b.Fatal(err)
-			}
-			edited := view.Clone()
-			keys := edited.RowsCanonical()
-			if err := edited.Update(edited.KeyValues(keys[0]),
-				map[string]reldb.Value{workload.ColDosage: reldb.S("bench")}); err != nil {
-				b.Fatal(err)
-			}
-			cs, err := view.Diff(edited)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := bx.PutDelta(lens, full, edited, cs); err != nil {
-					b.Fatal(err)
-				}
-			}
+			benchPutDeltaOneRow(b, workload.Generate("full", rows, 1), LensD31(), workload.ColDosage)
 		})
 	}
 }
@@ -618,80 +630,125 @@ func BenchmarkDB_SnapshotManyTables(b *testing.B) {
 
 // BenchmarkE9_BX_PutDeltaRekeyed measures the delta path through a
 // re-keyed projection (the paper's D23/D32: view keyed on medication,
-// source keyed on patient) — previously an O(n) full-put fallback, now
-// O(changed rows) through the source's secondary view-key index. The
-// first iteration builds the index; the steady state is what a cascade
-// pays per update.
+// source keyed on patient): O(changed rows) through the source's
+// secondary view-key index, warmed the way a live share is warm after
+// its first delta.
 func BenchmarkE9_BX_PutDeltaRekeyed(b *testing.B) {
 	for _, rows := range []int{100, 1000} {
 		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			benchPutDeltaOneRow(b, workload.Generate("full", rows, 1), LensD32(), workload.ColMechanism)
+		})
+	}
+}
+
+// BenchmarkE9_BX_PutDeltaCompose measures the delta path through a
+// composed lens (Select ∘ Project): the intermediate view comes from the
+// lens's hash-keyed memo, warmed like a steady cascade.
+func BenchmarkE9_BX_PutDeltaCompose(b *testing.B) {
+	for _, rows := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
 			full := workload.Generate("full", rows, 1)
-			lens := LensD32()
-			view, err := lens.Get(full)
+			full.Hash() // warm the memo key's hash state
+			lens := bx.Compose(
+				bx.Select("sel", reldb.True()),
+				bx.Project("proj", workload.ShareD13Cols, nil),
+			)
+			benchPutDeltaOneRow(b, full, lens, workload.ColDosage)
+		})
+	}
+}
+
+// BenchmarkJoinDelta measures a one-row view edit embedded through
+// JoinLens's native PutDelta (per-changed-row re-join against the
+// reference's prefix-scan index) — the last lens on the update path
+// that used to pay an O(table) full put + diff.
+func BenchmarkJoinDelta(b *testing.B) {
+	for _, rows := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			full := workload.Generate("full", rows, 1)
+			rx, err := full.Project("RX", workload.PrescriptionCols, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
-			edited := view.Clone()
-			keys := edited.RowsCanonical()
-			if err := edited.Update(edited.KeyValues(keys[0]),
-				map[string]reldb.Value{workload.ColMechanism: reldb.S("bench")}); err != nil {
-				b.Fatal(err)
-			}
-			cs, err := view.Diff(edited)
-			if err != nil {
-				b.Fatal(err)
-			}
-			// Warm the secondary index the way a live share is warm after
-			// its first delta.
-			if _, _, err := bx.PutDelta(lens, full, edited, cs); err != nil {
-				b.Fatal(err)
-			}
+			lens := bx.Join("RXF", workload.Formulary("formulary", 1))
+			benchPutDeltaOneRow(b, rx, lens, workload.ColDosage)
+		})
+	}
+}
+
+// BenchmarkBuilder_TableRebuild measures rebuilding an n-row table from
+// a canonical scan through the transient TableBuilder — the bulk path
+// under every out-of-shape lens rebuild — against the per-row insert
+// baseline it replaces.
+func BenchmarkBuilder_TableRebuild(b *testing.B) {
+	for _, rows := range []int{1000, 10000} {
+		full := workload.Generate("full", rows, 1)
+		all := full.RowsCanonical()
+		schema := full.Schema()
+		b.Run(fmt.Sprintf("builder/rows=%d", rows), func(b *testing.B) {
 			b.ReportAllocs()
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := bx.PutDelta(lens, full, edited, cs); err != nil {
+				bld, err := reldb.NewTableBuilder(schema)
+				if err != nil {
 					b.Fatal(err)
+				}
+				for _, r := range all {
+					if err := bld.Append(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if bld.Table().Len() != rows {
+					b.Fatal("short build")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("insert/rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t := reldb.MustNewTable(schema)
+				for _, r := range all {
+					if err := t.InsertOwned(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if t.Len() != rows {
+					b.Fatal("short build")
 				}
 			}
 		})
 	}
 }
 
-// BenchmarkE9_BX_PutDeltaCompose measures the delta path through a
-// composed lens (Select ∘ Project) — previously one O(n) get per put to
-// materialize the intermediate view, now served from the lens's
-// hash-keyed memo.
-func BenchmarkE9_BX_PutDeltaCompose(b *testing.B) {
-	for _, rows := range []int{100, 1000} {
-		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
-			full := workload.Generate("full", rows, 1)
-			lens := bx.Compose(
-				bx.Select("sel", reldb.True()),
-				bx.Project("proj", workload.ShareD13Cols, nil),
-			)
-			view, err := lens.Get(full)
-			if err != nil {
-				b.Fatal(err)
-			}
-			edited := view.Clone()
-			keys := edited.RowsCanonical()
-			if err := edited.Update(edited.KeyValues(keys[0]),
-				map[string]reldb.Value{workload.ColDosage: reldb.S("bench")}); err != nil {
-				b.Fatal(err)
-			}
-			cs, err := view.Diff(edited)
-			if err != nil {
-				b.Fatal(err)
-			}
-			// Warm the memo and the source hash state (steady cascade
-			// state).
-			if _, _, err := bx.PutDelta(lens, full, edited, cs); err != nil {
-				b.Fatal(err)
-			}
+// BenchmarkBuilder_LensRebuild measures the whole-view lens paths (the
+// O(n)-by-nature operations, once per proposal): get and put of a
+// D31-style projection, now rebuilt on the source's tree shape with
+// unchanged rows' subtrees shared.
+func BenchmarkBuilder_LensRebuild(b *testing.B) {
+	for _, rows := range []int{1000, 10000} {
+		full := workload.Generate("full", rows, 1)
+		lens := LensD31()
+		view, err := lens.Get(full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edited := view.Clone()
+		keys := view.RowsCanonical()
+		if err := edited.Update(view.KeyValues(keys[0]),
+			map[string]reldb.Value{workload.ColDosage: reldb.S("bench")}); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("get/rows=%d", rows), func(b *testing.B) {
 			b.ReportAllocs()
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := bx.PutDelta(lens, full, edited, cs); err != nil {
+				if _, err := lens.Get(full); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("put/rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lens.Put(full, edited); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -40,6 +40,7 @@ var configFields = map[string]bool{
 // compared raw.
 var cpuBoundExperiments = map[string]bool{
 	"E1": true, "E3": true, "E9": true, "E10": true, "E12": true, "E13": true,
+	"E14": true,
 }
 
 // experimentOf extracts the experiment name from a flattened metric key
@@ -155,44 +156,68 @@ func flattenExperiments(v any) map[string]float64 {
 // compareAgainst diffs the current run (baselineData) against the
 // committed baseline at path and reports the number of regressions
 // beyond the thresholds (cpuThreshold for calibration-normalized
-// CPU-bound metrics, threshold for everything else). Duration metrics
-// whose absolute increase stays under noiseFloor nanoseconds are never
-// flagged: a 3µs→7µs jitter on a shared CI box is scheduling noise,
-// while the regressions the micro-metrics exist to catch (an O(n) step
-// reappearing on the delta path) overshoot the floor by orders of
-// magnitude at the measured table sizes.
-func compareAgainst(path string, threshold, cpuThreshold, noiseFloor float64) (int, error) {
+// CPU-bound metrics, threshold for everything else), plus the set of
+// experiments a regression was flagged in (so the caller can
+// re-measure exactly those once before failing — shared hardware
+// suffers multi-second load storms that no per-process normalization
+// removes, and an independent re-measurement discriminates them from
+// real regressions). Duration metrics whose absolute increase stays
+// under noiseFloor nanoseconds are never flagged: a 3µs→7µs jitter on
+// a shared CI box is scheduling noise, while the regressions the
+// micro-metrics exist to catch (an O(n) step reappearing on the delta
+// path) overshoot the floor by orders of magnitude at the measured
+// table sizes.
+func compareAgainst(path string, threshold, cpuThreshold, noiseFloor float64) (int, map[string]bool, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	var oldDoc any
 	if err := json.Unmarshal(raw, &oldDoc); err != nil {
-		return 0, fmt.Errorf("parsing %s: %w", path, err)
+		return 0, nil, fmt.Errorf("parsing %s: %w", path, err)
 	}
 	// Round-trip the in-memory results through JSON so both sides have
 	// identical generic shapes.
 	curRaw, err := json.Marshal(baselineData)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	var curDoc any
 	if err := json.Unmarshal(curRaw, &curDoc); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	oldFlat := flattenExperiments(oldDoc)
 	curFlat := flattenExperiments(curDoc)
 
 	// calScale converts a current-run duration to the baseline machine's
 	// scale (duration ÷ calScale compares against oldV... see below);
-	// 1 disables normalization.
+	// 1 disables normalization. scaleFor prefers the per-experiment
+	// calibration pair (taken right before each experiment on both
+	// sides) over the process-start score, so within-run machine drift
+	// on shared hardware normalizes out alongside cross-machine speed.
 	calScale := 1.0
 	normalizing := false
+	oldExpCal := map[string]float64{}
 	if m, ok := oldDoc.(map[string]any); ok {
 		if oldCal, ok := m["cpuCalibrationNs"].(float64); ok && oldCal > 0 && cpuCalibration > 0 {
 			calScale = float64(cpuCalibration) / oldCal
 			normalizing = true
 		}
+		if ec, ok := m["experimentCalibrationNs"].(map[string]any); ok {
+			for id, v := range ec {
+				if f, ok := v.(float64); ok && f > 0 {
+					oldExpCal[id] = f
+				}
+			}
+		}
+	}
+	scaleFor := func(exp string) float64 {
+		if oldCal, ok := oldExpCal[exp]; ok {
+			if curCal, ok := experimentCal[exp]; ok && curCal > 0 {
+				return float64(curCal) / oldCal
+			}
+		}
+		return calScale
 	}
 
 	keys := make([]string, 0, len(curFlat))
@@ -209,6 +234,7 @@ func compareAgainst(path string, threshold, cpuThreshold, noiseFloor float64) (i
 		fmt.Printf("no calibration in baseline; all metrics gated at %.0f%% unnormalized\n", threshold*100)
 	}
 	regressions, compared := 0, 0
+	flagged := map[string]bool{}
 	for _, k := range keys {
 		dir := direction(k)
 		if dir == 0 {
@@ -226,10 +252,11 @@ func compareAgainst(path string, threshold, cpuThreshold, noiseFloor float64) (i
 			// sizes are machine-independent.
 			// Durations shrink on a faster machine (divide by the
 			// calibration scale); throughputs grow (multiply).
+			scale := scaleFor(experimentOf(k))
 			if dir < 0 {
-				newV /= calScale
+				newV /= scale
 			} else {
-				newV *= calScale
+				newV *= scale
 			}
 			gate = cpuThreshold
 			note = " (normalized)"
@@ -246,9 +273,10 @@ func compareAgainst(path string, threshold, cpuThreshold, noiseFloor float64) (i
 		}
 		if ratio > gate {
 			regressions++
+			flagged[experimentOf(k)] = true
 			fmt.Printf("REGRESSION %-60s old %.4g new %.4g (%.0f%% worse)%s\n", k, oldV, newV, ratio*100, note)
 		}
 	}
 	fmt.Printf("compared %d metrics, %d regression(s)\n", compared, regressions)
-	return regressions, nil
+	return regressions, flagged, nil
 }

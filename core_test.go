@@ -412,7 +412,9 @@ func TestLensSpecOnChainRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	d32, _ := sc.Doctor.View(ShareIDD23)
-	if rebuilt.Hash() != d32.Hash() {
+	// Content comparison: the stored replica carries the share's priority
+	// seed, the ad-hoc rebuild does not, so their Merkle roots differ.
+	if !rebuilt.Equal(d32) {
 		t.Fatal("rebuilt lens derives a different view")
 	}
 }

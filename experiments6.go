@@ -1,0 +1,156 @@
+package medshare
+
+import (
+	"fmt"
+	"time"
+
+	"medshare/internal/bx"
+	"medshare/internal/reldb"
+	"medshare/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// E14 — delta-first lens pipeline on the transient builder. Two claims:
+//
+//   - the whole-view lens paths (get, put) — O(n) by nature, paid once
+//     per proposal — rebuild the output table through pmap's transient
+//     builder (slab-allocated nodes, in-place spine construction)
+//     instead of one heap allocation per row entry and tree node, which
+//     claws back the documented ~1.8x bulk-rebuild regression of the
+//     persistent-storage switch;
+//   - JoinLens has a native PutDelta (per-changed-row re-join against a
+//     prefix-scan index on the reference), so the last O(table)
+//     consumer on the update path is gone: a one-row delta through a
+//     join costs the same order as through a plain projection,
+//     independent of table size.
+
+// E14Result reports the rebuild and join-delta costs at one table size.
+type E14Result struct {
+	Rows int
+	// GetRebuild is the whole-view projection get (D31, O(n) rebuild).
+	GetRebuild time.Duration
+	// PutRebuild is the whole-view projection put (D31, O(n) rebuild).
+	PutRebuild time.Duration
+	// JoinGet is the whole-view join materialization (prescriptions ⋈
+	// formulary: O(n) rebuild plus an O(log m) reference probe per row).
+	JoinGet time.Duration
+	// JoinDeltaPut is a one-row view edit embedded through the join
+	// lens's native PutDelta (steady state, reference index warm).
+	JoinDeltaPut time.Duration
+	// ProjectDeltaPut is the same one-row edit through the projection
+	// lens — the acceptance yardstick: the join delta must stay within a
+	// small constant of it at every size.
+	ProjectDeltaPut time.Duration
+}
+
+// RunE14BuilderRebuild measures the rebuild paths and the join delta at
+// the given table size.
+func RunE14BuilderRebuild(rows int, seed int64) (E14Result, error) {
+	res := E14Result{Rows: rows}
+	full := workload.Generate("full", rows, seed)
+	rx, err := full.Project("RX", workload.PrescriptionCols, nil)
+	if err != nil {
+		return res, err
+	}
+	projLens := LensD31()
+	joinLens := bx.Join("RXF", workload.Formulary("formulary", seed))
+
+	reps := 16
+	if rows >= 100000 {
+		reps = 4
+	}
+	const blocks = 5
+	bestOf := func(stage func() error) (time.Duration, error) {
+		best := time.Duration(1<<63 - 1)
+		for b := 0; b < blocks; b++ {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				if err := stage(); err != nil {
+					return 0, err
+				}
+			}
+			if d := time.Since(start) / time.Duration(reps); d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	// Whole-view projection get and put (the O(n) rebuild paths).
+	projView, err := projLens.Get(full)
+	if err != nil {
+		return res, err
+	}
+	if res.GetRebuild, err = bestOf(func() error {
+		_, err := projLens.Get(full)
+		return err
+	}); err != nil {
+		return res, err
+	}
+	editedProj := projView.Clone()
+	projKeys := projView.RowsCanonical()
+	if err := editedProj.Update(projView.KeyValues(projKeys[0]),
+		map[string]reldb.Value{workload.ColDosage: reldb.S("e14")}); err != nil {
+		return res, err
+	}
+	if res.PutRebuild, err = bestOf(func() error {
+		_, err := projLens.Put(full, editedProj)
+		return err
+	}); err != nil {
+		return res, err
+	}
+
+	// Whole-view join materialization.
+	joinView, err := joinLens.Get(rx)
+	if err != nil {
+		return res, err
+	}
+	if res.JoinGet, err = bestOf(func() error {
+		_, err := joinLens.Get(rx)
+		return err
+	}); err != nil {
+		return res, err
+	}
+
+	// One-row deltas: join vs projection, steady state.
+	joinKeys := joinView.RowsCanonical()
+	i := 0
+	oneRowDelta := func(view *reldb.Table, keys []reldb.Row, col string) (*reldb.Table, reldb.Changeset, error) {
+		i++
+		edited := view.Clone()
+		if err := edited.Update(view.KeyValues(keys[i%len(keys)]),
+			map[string]reldb.Value{col: reldb.S(fmt.Sprintf("e14-%d", i))}); err != nil {
+			return nil, reldb.Changeset{}, err
+		}
+		cs, err := view.Diff(edited)
+		return edited, cs, err
+	}
+	// Warm the reference index once (a live share is warm after its
+	// first delta).
+	if edited, cs, err := oneRowDelta(joinView, joinKeys, workload.ColDosage); err != nil {
+		return res, err
+	} else if _, _, err := bx.PutDelta(joinLens, rx, edited, cs); err != nil {
+		return res, err
+	}
+	if res.JoinDeltaPut, err = bestOf(func() error {
+		edited, cs, err := oneRowDelta(joinView, joinKeys, workload.ColDosage)
+		if err != nil {
+			return err
+		}
+		_, _, err = bx.PutDelta(joinLens, rx, edited, cs)
+		return err
+	}); err != nil {
+		return res, err
+	}
+	if res.ProjectDeltaPut, err = bestOf(func() error {
+		edited, cs, err := oneRowDelta(projView, projKeys, workload.ColDosage)
+		if err != nil {
+			return err
+		}
+		_, _, err = bx.PutDelta(projLens, full, edited, cs)
+		return err
+	}); err != nil {
+		return res, err
+	}
+	return res, nil
+}

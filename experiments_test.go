@@ -168,3 +168,31 @@ func TestRunE10(t *testing.T) {
 		t.Fatalf("history %d too small for %d updates", r.HistoryCount, r.Updates)
 	}
 }
+
+func TestRunE14(t *testing.T) {
+	r, err := RunE14BuilderRebuild(10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GetRebuild <= 0 || r.PutRebuild <= 0 || r.JoinGet <= 0 ||
+		r.JoinDeltaPut <= 0 || r.ProjectDeltaPut <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	// The join delta must stay within a small constant of the projection
+	// delta (the 100k acceptance bound is 3x; allow 4x here for µs-scale
+	// scheduler noise, re-measuring once before failing) — and orders of
+	// magnitude under the whole-view put it replaces.
+	ok := func(r E14Result) bool {
+		return r.JoinDeltaPut < 4*r.ProjectDeltaPut && 20*r.JoinDeltaPut < r.PutRebuild
+	}
+	if !ok(r) {
+		r2, err := RunE14BuilderRebuild(10000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok(r2) {
+			t.Fatalf("join delta not O(changed rows): join %v vs project %v (put rebuild %v), twice",
+				r2.JoinDeltaPut, r2.ProjectDeltaPut, r2.PutRebuild)
+		}
+	}
+}

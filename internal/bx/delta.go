@@ -11,59 +11,29 @@ import (
 // changed rows and the data channel ships a changeset), put does not need
 // to rematerialize the whole source. PutDelta starts from a copy-on-write
 // clone of the source and touches only the changed rows, so a one-row
-// view edit costs O(changed rows), not O(table).
+// view edit costs O(changed rows), not O(table). Every lens implements
+// it natively — PutDelta is part of the Lens interface — so no caller on
+// the update path ever pays an O(table) put.
 //
 // The changeset must be the difference between the lens's current view of
 // src (i.e. Get(src)) and the supplied view, as produced by
 // reldb.Table.Diff. Changesets are immutable transfer objects: the
 // returned table may share rows with them.
 
-// DeltaLens is implemented by lenses that can embed a view changeset
-// without rematerializing the source.
-type DeltaLens interface {
-	Lens
-	// PutDelta embeds the edited view into src given the changeset from
-	// the current view to view. It returns the updated source and the
-	// changeset applied to the source (for cascading the delta through
-	// composed lenses and into overlapping shares). Like Put, it never
-	// mutates src or view and enforces the same policies; the result
-	// always equals Put(src, view) on a consistent changeset.
-	PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error)
-}
-
-// PutDelta embeds view into src along the delta path when the lens
-// supports it, falling back to a full Put plus diff otherwise. An empty
-// changeset short-circuits to a clone of src. Callers that do not need
-// the source changeset should use PutDeltaTable, which skips the
-// fallback's O(n) diff.
+// PutDelta embeds view into src along the lens's delta path. An empty
+// changeset short-circuits to a clone of src (the identity edit).
 func PutDelta(l Lens, src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error) {
 	if cs.Empty() {
 		return src.Clone(), reldb.Changeset{}, nil
 	}
-	if dl, ok := l.(DeltaLens); ok {
-		return dl.PutDelta(src, view, cs)
-	}
-	return putDeltaFallback(l, src, view)
+	return l.PutDelta(src, view, cs)
 }
 
-// PutDeltaTable is PutDelta for callers that only need the updated
-// source table: lenses without a native delta path run a plain full put,
-// never the fallback's full-table diff.
-func PutDeltaTable(l Lens, src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, error) {
-	if cs.Empty() {
-		return src.Clone(), nil
-	}
-	if dl, ok := l.(DeltaLens); ok {
-		newSrc, _, err := dl.PutDelta(src, view, cs)
-		return newSrc, err
-	}
-	return l.Put(src, view)
-}
-
-// putDeltaFallback is the O(table) path for lenses without native delta
-// support (e.g. JoinLens): full put, then diff to recover the source
-// changeset.
-func putDeltaFallback(l Lens, src, view *reldb.Table) (*reldb.Table, reldb.Changeset, error) {
+// FullPut is the O(table) reference path: a whole-view Put followed by a
+// full source diff to recover the changeset. It exists for the lens-law
+// checkers and the delta-vs-full ablation tests, which cross-validate
+// PutDelta against it; nothing on the update path calls it.
+func FullPut(l Lens, src, view *reldb.Table) (*reldb.Table, reldb.Changeset, error) {
 	newSrc, err := l.Put(src, view)
 	if err != nil {
 		return nil, reldb.Changeset{}, err
@@ -101,7 +71,7 @@ func sameKey(srcKey, viewKey []string) bool {
 	return true
 }
 
-// PutDelta implements DeltaLens. When the view key coincides with the
+// PutDelta implements Lens. When the view key coincides with the
 // source key (the paper's D13/D31 shares) every changeset row addresses
 // its source row directly through the primary index; re-keyed projections
 // (D23/D32, view key ≠ source key) address the *group* of source rows
@@ -239,7 +209,7 @@ func (l *ProjectLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*rel
 	return out, srcCs, nil
 }
 
-// PutDelta implements DeltaLens: a selection view shares the source
+// PutDelta implements Lens: a selection view shares the source
 // schema and key, so every changeset row addresses its source row
 // directly.
 func (l *SelectLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error) {
@@ -302,7 +272,7 @@ func (l *SelectLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reld
 	return out, srcCs, nil
 }
 
-// PutDelta implements DeltaLens: renaming changes column names only, so
+// PutDelta implements Lens: renaming changes column names only, so
 // the view changeset applies to the source verbatim.
 func (l *RenameLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error) {
 	want, err := l.ViewSchema(src.Schema())
@@ -319,7 +289,7 @@ func (l *RenameLens) PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reld
 	return out, cs, nil
 }
 
-// PutDelta implements DeltaLens: the outer delta is embedded into the
+// PutDelta implements Lens: the outer delta is embedded into the
 // intermediate view, and the changeset it induces there propagates to the
 // inner lens — so a one-row edit stays one row through the whole chain.
 // The intermediate view comes from the lens's memo when the source hash

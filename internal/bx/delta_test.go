@@ -444,37 +444,148 @@ func TestComposePutDeltaMemo(t *testing.T) {
 	}
 }
 
-// TestPutDeltaTableMatchesPut: the table-only entry point (used by the
-// sharing layer, which discards the source changeset) must agree with
-// the full put for native-delta, fallback-projection, and non-delta
-// lenses alike.
-func TestPutDeltaTableMatchesPut(t *testing.T) {
+// TestFullPutMatchesPutDelta: the guarded O(table) reference path
+// (bx.FullPut, kept for the law checkers and ablations — never on the
+// update path) must agree with the native delta path on result table
+// AND reported source changeset, for every lens kind including the
+// join.
+func TestFullPutMatchesPutDelta(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	src := genRecords(rng, 10)
 	lenses := []Lens{
 		Project("d", []string{"pid", "dose"}, nil).WithDelete(PolicyApply).
 			WithInsert(PolicyApply, map[string]reldb.Value{
 				"med": reldb.S("dmed"), "mech": reldb.S("dmech"),
-			}), // native delta (view key = source key)
-		Project("r", []string{"med", "mech"}, []string{"med"}), // rekeyed: full-put path
-		Rename("n", map[string]string{"dose": "dosage"}),       // native delta
+			}), // view key = source key
+		Project("r", []string{"med", "mech"}, []string{"med"}), // rekeyed
+		Rename("n", map[string]string{"dose": "dosage"}),
+		Join("j", formulary()),
 	}
 	for i, l := range lenses {
 		view := mustGet(t, l, src)
 		edited := view.Clone()
 		randomViewEdit(rng, edited, false)
 		cs := deltaFor(t, view, edited)
-		want, err := l.Put(src, edited)
+		want, wantCs, err := FullPut(l, src, edited)
 		if err != nil {
-			t.Fatalf("lens %d: put: %v", i, err)
+			t.Fatalf("lens %d: full put: %v", i, err)
 		}
-		got, err := PutDeltaTable(l, src, edited, cs)
+		got, gotCs, err := PutDelta(l, src, edited, cs)
 		if err != nil {
 			t.Fatalf("lens %d: delta: %v", i, err)
 		}
 		if !want.Equal(got) {
-			t.Fatalf("lens %d: PutDeltaTable diverges from Put", i)
+			t.Fatalf("lens %d: PutDelta diverges from FullPut", i)
 		}
+		// Both changesets must replay src into the same table.
+		for j, scs := range []reldb.Changeset{wantCs, gotCs} {
+			replayed := src.Clone()
+			if err := replayed.Apply(scs); err != nil {
+				t.Fatalf("lens %d cs %d: replay: %v", i, j, err)
+			}
+			if !replayed.Equal(got) {
+				t.Fatalf("lens %d cs %d: source changeset does not replay", i, j)
+			}
+		}
+	}
+}
+
+// TestJoinPutDeltaEquivalenceQuick is the join lens's delta property
+// test: PutDelta(l, src, view, cs) ≡ Put(src, view) over randomized
+// changesets. Admissible edits (source columns, and join-column
+// re-points that carry the new reference values) agree on the result
+// table, the reported source changeset, and PutGet; inadmissible edits
+// — reference-column forgeries, join keys with no reference match,
+// view-side inserts and deletes — are rejected by BOTH paths.
+func TestJoinPutDeltaEquivalenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genRecords(rng, 3+rng.Intn(20))
+		l := Join("v", formulary())
+		view, err := l.Get(src)
+		if err != nil {
+			t.Logf("seed %d: get: %v", seed, err)
+			return false
+		}
+		edited := view.Clone()
+		rows := edited.RowsCanonical()
+		for e := 0; e < 1+rng.Intn(4); e++ {
+			if len(rows) == 0 {
+				break
+			}
+			key := edited.KeyValues(rows[rng.Intn(len(rows))])
+			if !edited.Has(key) {
+				continue
+			}
+			var err error
+			switch rng.Intn(7) {
+			case 0: // source-column edit: admissible
+				err = edited.Update(key, map[string]reldb.Value{"dose": reldb.S(fmt.Sprintf("d%d", rng.Intn(50)))})
+			case 1: // source-column edit: admissible
+				err = edited.Update(key, map[string]reldb.Value{"mech": reldb.S(fmt.Sprintf("m%d", rng.Intn(50)))})
+			case 2: // reference-column forgery: rejected
+				err = edited.Update(key, map[string]reldb.Value{"class": reldb.S("forged")})
+			case 3: // join-column re-point WITH the new reference values: admissible
+				med := medName(rng.Intn(6))
+				err = edited.Update(key, map[string]reldb.Value{
+					"med": reldb.S(med), "class": reldb.S("class" + med),
+				})
+			case 4: // join-column edit with a stale reference value: rejected
+				// (unless the draw happens to keep the row's own med).
+				err = edited.Update(key, map[string]reldb.Value{"med": reldb.S(medName(rng.Intn(6)))})
+			case 5: // join key with no reference match: rejected
+				err = edited.Update(key, map[string]reldb.Value{"med": reldb.S("ghost-med")})
+			case 6: // structural edits: rejected
+				if rng.Intn(2) == 0 {
+					err = edited.Delete(key)
+				} else {
+					err = edited.Insert(reldb.Row{
+						reldb.I(int64(1000 + e)), reldb.S("med1"), reldb.S("d"),
+						reldb.S("m"), reldb.S("classmed1"),
+					})
+				}
+			}
+			if err != nil {
+				t.Logf("seed %d: edit: %v", seed, err)
+				return false
+			}
+		}
+		cs := deltaFor(t, view, edited)
+		want, wantErr := l.Put(src, edited)
+		got, srcCs, gotErr := PutDelta(l, src, edited, cs)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Logf("seed %d: put err %v vs delta err %v", seed, wantErr, gotErr)
+			return false
+		}
+		if wantErr != nil {
+			return true // both rejected
+		}
+		if !want.Equal(got) {
+			t.Logf("seed %d: join delta result diverges from put", seed)
+			return false
+		}
+		replayed := src.Clone()
+		if err := replayed.Apply(srcCs); err != nil {
+			t.Logf("seed %d: replay: %v", seed, err)
+			return false
+		}
+		if !replayed.Equal(got) {
+			t.Logf("seed %d: join source changeset does not replay", seed)
+			return false
+		}
+		round, err := l.Get(got)
+		if err != nil {
+			t.Logf("seed %d: get after delta put: %v", seed, err)
+			return false
+		}
+		if !round.Equal(edited) {
+			t.Logf("seed %d: PutGet fails along the join delta path", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
 	}
 }
 

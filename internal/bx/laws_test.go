@@ -34,6 +34,11 @@ func lensesUnderTest() []Lens {
 			Project("c2a", []string{"pid", "med", "dose"}, nil),
 			Rename("c2b", map[string]string{"med": "medication"}),
 		),
+		Join("j1", formulary()),
+		Compose(
+			Join("j2a", formulary()),
+			Project("j2b", []string{"pid", "med", "dose", "class"}, nil),
+		),
 	}
 }
 

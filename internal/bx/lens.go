@@ -32,14 +32,31 @@ var (
 )
 
 // Lens is an asymmetric lens between a source table and a view table.
-// Implementations must be pure: neither Get nor Put may mutate their
-// arguments, and both must be deterministic.
+// Implementations must be pure: no method may mutate its arguments, and
+// all must be deterministic.
+//
+// The delta path (PutDelta) is part of the required surface: every lens
+// must embed a row-level view changeset in O(changed rows) work, because
+// the sharing layer's whole update pipeline — entry-level edits,
+// incoming-update application, cascades, resync — runs on changesets and
+// never falls back to an O(table) put. Put remains for whole-view
+// embedding where no changeset exists (share bootstrap, divergence
+// recovery, the lens laws).
 type Lens interface {
 	// Get computes the view of src (the forward transformation).
 	Get(src *reldb.Table) (*reldb.Table, error)
 	// Put embeds view into src, producing an updated source (the backward
 	// transformation). Put never mutates src or view.
 	Put(src, view *reldb.Table) (*reldb.Table, error)
+	// PutDelta embeds the edited view into src given the changeset from
+	// the lens's current view of src (i.e. Get(src)) to view, as produced
+	// by reldb.Table.Diff. It returns the updated source and the
+	// changeset applied to the source (for cascading the delta through
+	// composed lenses and into overlapping shares). Like Put, it never
+	// mutates src or view and enforces the same policies; on a consistent
+	// changeset the result always equals Put(src, view), in O(changed
+	// rows) instead of O(table).
+	PutDelta(src, view *reldb.Table, cs reldb.Changeset) (*reldb.Table, reldb.Changeset, error)
 	// ViewSchema returns the schema of the view produced from a source
 	// with the given schema.
 	ViewSchema(src reldb.Schema) (reldb.Schema, error)

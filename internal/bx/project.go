@@ -73,7 +73,15 @@ func (l *ProjectLens) Get(src *reldb.Table) (*reldb.Table, error) {
 	return src.Project(l.ViewName, l.Cols, l.ViewKey)
 }
 
-// Put implements Lens.
+// Put implements Lens. Source rows align with view rows by the view
+// key in one in-order pass over the source storage: rows whose
+// projected columns are unchanged pass through as shared references
+// (the rebuilt table shares their subtrees — and cached digests — with
+// the source), rows with view edits are copied once. The common case
+// rebuilds on the source's tree shape (reldb.Table.RebuildAs: no key
+// re-encoding, no priority hashing); only a re-keyed projection that
+// also projects a source-key column — where a view edit can move a
+// source row's primary key — takes the generic builder.
 func (l *ProjectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 	srcSchema := src.Schema()
 	wantView, err := l.ViewSchema(srcSchema)
@@ -98,19 +106,18 @@ func (l *ProjectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 		colIdxInSrc[i] = srcIdxOfCol[c]
 	}
 
-	bld, err := reldb.NewTableBuilder(srcSchema)
-	if err != nil {
-		return nil, err
+	keyEditPossible := false
+	if !sameKey(srcSchema.Key, wantView.Key) {
+		for _, c := range l.Cols {
+			if srcSchema.IsKeyColumn(c) {
+				keyEditPossible = true
+			}
+		}
 	}
-	matched := make(map[string]bool, view.Len())
 
-	// Align source rows with view rows by the view key, streaming over the
-	// source storage: rows whose projected columns are unchanged are
-	// inserted as shared references (zero row copies), rows with view
-	// edits are copied once. The stream ascends the source's key order, so
-	// the builder assembles the result in one O(n) pass.
+	matched := make(map[string]bool, view.Len())
 	var keyBuf []byte
-	err = src.Scan(func(sr reldb.Row) (bool, error) {
+	transform := func(sr reldb.Row) (reldb.Row, error) {
 		keyBuf = keyBuf[:0]
 		for _, j := range viewKeyIdxInSrc {
 			keyBuf = sr[j].AppendOrdered(keyBuf)
@@ -123,9 +130,9 @@ func (l *ProjectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 				for i, j := range viewKeyIdxInSrc {
 					vkey[i] = sr[j]
 				}
-				return false, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, vkey)
+				return nil, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, vkey)
 			}
-			return true, nil
+			return nil, nil
 		}
 		matched[string(keyBuf)] = true
 		updated, cloned := sr, false
@@ -137,11 +144,32 @@ func (l *ProjectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 				updated[si] = vr[vi]
 			}
 		}
-		if err := bld.Append(updated); err != nil {
-			return false, fmt.Errorf("%w: %v", ErrPutViolation, err)
+		return updated, nil
+	}
+
+	var out *reldb.Table
+	if !keyEditPossible {
+		out, err = src.RebuildAs(srcSchema, transform)
+	} else {
+		var bld *reldb.TableBuilder
+		bld, err = reldb.NewTableBuilder(srcSchema)
+		if err != nil {
+			return nil, err
 		}
-		return true, nil
-	})
+		err = src.Scan(func(sr reldb.Row) (bool, error) {
+			nr, terr := transform(sr)
+			if terr != nil || nr == nil {
+				return terr == nil, terr
+			}
+			if aerr := bld.Append(nr); aerr != nil {
+				return false, fmt.Errorf("%w: %v", ErrPutViolation, aerr)
+			}
+			return true, nil
+		})
+		if err == nil {
+			out = bld.Table()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -156,12 +184,12 @@ func (l *ProjectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 			if l.OnInsert != PolicyApply {
 				return nil, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, vkey)
 			}
-			if err := bld.Append(l.newSourceRow(srcSchema, colIdxInSrc, vr)); err != nil {
+			if err := out.InsertOwned(l.newSourceRow(srcSchema, colIdxInSrc, vr)); err != nil {
 				return nil, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
 			}
 		}
 	}
-	return bld.Table(), nil
+	return out, nil
 }
 
 // newSourceRow builds a fresh source row for a view-side insert: hidden

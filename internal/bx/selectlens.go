@@ -62,13 +62,9 @@ func (l *SelectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 	if !srcSchema.Equal(view.Schema()) {
 		return nil, fmt.Errorf("%w: selection view schema must equal source schema", ErrPutViolation)
 	}
-	bld, err := reldb.NewTableBuilder(srcSchema)
-	if err != nil {
-		return nil, err
-	}
 	// Every view row must satisfy the predicate, or it would escape its
 	// own view and PutGet would fail.
-	err = view.Scan(func(vr reldb.Row) (bool, error) {
+	err := view.Scan(func(vr reldb.Row) (bool, error) {
 		ok, err := l.Pred.Eval(srcSchema, vr)
 		if err != nil {
 			return false, err
@@ -81,32 +77,31 @@ func (l *SelectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Stream over the source, aligning selected rows with view rows by
-	// key. Rows are inserted as shared references — the selection lens
-	// never rewrites row contents, only membership — and arrive in
-	// ascending key order, so the builder assembles the result in one
-	// O(n) pass.
+	// Align selected rows with view rows by key in one in-order pass on
+	// the source's tree shape: the selection lens never rewrites row
+	// contents, only membership, so invisible rows — and visible rows the
+	// view left untouched — pass through as shared subtrees.
 	matched := 0
 	var keyBuf []byte
-	err = src.Scan(func(sr reldb.Row) (bool, error) {
+	out, err := src.RebuildAs(srcSchema, func(sr reldb.Row) (reldb.Row, error) {
 		ok, err := l.Pred.Eval(srcSchema, sr)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		if !ok {
 			// Invisible to the view: passes through.
-			return true, bld.Append(sr)
+			return sr, nil
 		}
 		keyBuf = src.AppendKeyOf(keyBuf[:0], sr)
 		vr, found := view.GetKeyBytes(keyBuf)
 		if !found {
 			if l.OnDelete != PolicyApply {
-				return false, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, src.KeyValues(sr))
+				return nil, fmt.Errorf("%w: view %s deleted row with key %v but lens forbids deletes", ErrPutViolation, l.ViewName, src.KeyValues(sr))
 			}
-			return true, nil
+			return nil, nil
 		}
 		matched++
-		return true, bld.Append(vr)
+		return vr, nil
 	})
 	if err != nil {
 		return nil, err
@@ -131,12 +126,12 @@ func (l *SelectLens) Put(src, view *reldb.Table) (*reldb.Table, error) {
 			if l.OnInsert != PolicyApply {
 				return nil, fmt.Errorf("%w: view %s inserted row with key %v but lens forbids inserts", ErrPutViolation, l.ViewName, key)
 			}
-			if err := bld.Append(vr); err != nil {
+			if err := out.InsertOwned(vr); err != nil {
 				return nil, fmt.Errorf("%w: inserting through view %s: %v", ErrPutViolation, l.ViewName, err)
 			}
 		}
 	}
-	return bld.Table(), nil
+	return out, nil
 }
 
 // Spec implements Lens.

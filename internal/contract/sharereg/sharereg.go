@@ -89,6 +89,13 @@ type Meta struct {
 	// view; registering it on-chain is how peers agree "on the structure
 	// of the shared table" (Section III-C2).
 	LensSpec json.RawMessage `json:"lensSpec,omitempty"`
+	// PrioSeed is the share's storage-priority secret: every replica of
+	// the shared view derives its row-tree treap priorities from it
+	// (HMAC-SHA-256), so the replicas converge to identical — and, to
+	// anyone without the secret, unpredictable — tree shapes. Chosen by
+	// the registering peer; empty on shares registered before keyed
+	// priorities existed (replicas then fall back to unkeyed shapes).
+	PrioSeed []byte `json:"prioSeed,omitempty"`
 	// CreatedAtMicro and UpdatedAtMicro are block timestamps; the latter
 	// is the "Last Update Time" of Fig. 3.
 	CreatedAtMicro int64 `json:"createdAt"`
@@ -230,6 +237,7 @@ type RegisterArgs struct {
 	Columns   []string                      `json:"columns"`
 	WritePerm map[string][]identity.Address `json:"writePerm"`
 	LensSpec  json.RawMessage               `json:"lensSpec,omitempty"`
+	PrioSeed  []byte                        `json:"prioSeed,omitempty"`
 }
 
 func (c *Contract) register(stub contract.Stub, args [][]byte) ([]byte, error) {
@@ -255,6 +263,7 @@ func (c *Contract) register(stub contract.Stub, args [][]byte) ([]byte, error) {
 		Columns:        append([]string(nil), ra.Columns...),
 		WritePerm:      ra.WritePerm,
 		LensSpec:       ra.LensSpec,
+		PrioSeed:       append([]byte(nil), ra.PrioSeed...),
 		CreatedAtMicro: stub.BlockTimeMicro(),
 		UpdatedAtMicro: stub.BlockTimeMicro(),
 	}

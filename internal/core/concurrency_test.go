@@ -289,7 +289,10 @@ func TestConcurrentPeerStress(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if hv.Hash() != wantView.Hash() {
+		// Content comparison, not hash: the stored replicas carry the
+		// share's priority seed, so their Merkle roots differ from an
+		// unseeded rebuild of the same contents by design.
+		if !hv.Equal(wantView) {
 			t.Fatalf("share %s converged to a non-sequential state", id)
 		}
 		// The counterpart's own source must equal its view (its lens is
@@ -298,7 +301,7 @@ func TestConcurrentPeerStress(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if psrc.Hash() != pv.Hash() {
+		if !psrc.Equal(pv) {
 			t.Fatalf("share %s counterpart source/view misaligned", id)
 		}
 	}

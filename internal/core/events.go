@@ -209,6 +209,11 @@ func (p *Peer) applyIncomingLocked(ctx context.Context, s *Share, seq uint64, fr
 	if err != nil {
 		return err
 	}
+	// A delta fetch applied onto our (seeded) replica already carries the
+	// share's priority seed; a full fetch arrives unseeded and is rebuilt
+	// here, before the hash check — the on-chain hash commits to the
+	// seeded shape.
+	newView = s.seedView(newView)
 	if got := hashHex(newView); got != payloadHash {
 		return fmt.Errorf("%w: share %s seq %d", ErrPayloadHash, shareID, seq)
 	}
@@ -268,14 +273,15 @@ func (p *Peer) applyIncomingLocked(ctx context.Context, s *Share, seq uint64, fr
 }
 
 // putViaDelta embeds an incoming view into the source along the delta
-// path when the fetch produced a (validated, minimal) changeset, and via
-// the full put otherwise. If the delta path fails where the full put
-// would succeed — possible only when the changeset disagrees with our
-// replica — the authoritative full put decides before anything is
-// rejected.
+// path when the fetch produced a (validated, minimal) changeset — every
+// lens embeds it natively in O(changed rows); there is no O(table)
+// fallback behind the delta anymore. The whole-view put remains for
+// exactly two cases: no changeset exists (full fetch, diverged replica),
+// or the changeset disagrees with our replica (stale delta base) — there
+// the authoritative full put decides before anything is rejected.
 func putViaDelta(l bx.Lens, src, local *reldb.Table, cs reldb.Changeset, hasDelta bool) (*reldb.Table, error) {
 	if hasDelta {
-		newSrc, err := bx.PutDeltaTable(l, src, local, cs)
+		newSrc, _, err := bx.PutDelta(l, src, local, cs)
 		if err == nil {
 			return newSrc, nil
 		}
@@ -493,6 +499,9 @@ func (p *Peer) resyncFinalized(ctx context.Context, s *Share, meta *sharereg.Met
 			return fmt.Errorf("core: resync %s: %w", s.ID, err)
 		}
 	}
+	// Structural-sync results inherit the seed from the local base; full
+	// fetches are rebuilt under it here, before the hash check.
+	newView = s.seedView(newView)
 	if got := hashHex(newView); seq == meta.Seq && got != meta.LastPayloadHash {
 		return fmt.Errorf("%w: resync %s seq %d", ErrPayloadHash, s.ID, seq)
 	}

@@ -126,6 +126,14 @@ type Share struct {
 	// gives the two replicas different names, D13 vs D31).
 	ViewName string
 
+	// prioSeed is the share's storage-priority secret from the on-chain
+	// metadata (empty on pre-seed shares): every replica of the view is
+	// stored under treap priorities derived from it by HMAC-SHA-256, so
+	// the replicas — which must agree on the Merkle row root — converge
+	// to identical tree shapes that nobody without the secret can grind
+	// row keys against. Immutable after binding.
+	prioSeed []byte
+
 	// opMu serializes share-level operations (ProposeUpdate,
 	// applyIncoming, Resync) against each other. Without it, a peer's
 	// optimistic replica refresh during its own proposal can race the
@@ -163,6 +171,18 @@ type Share struct {
 	// whole view and realigns the pair) instead of the delta path (which
 	// would silently preserve the divergence).
 	diverged bool
+}
+
+// seedView returns the table reseeded under the share's priority secret.
+// O(1) when the table already carries it — the steady state: clones and
+// delta-applied descendants of a seeded replica inherit the seed through
+// the shared storage, so only freshly materialized views (lens get, full
+// fetch) pay the O(n) rebuild, which they precede with O(n) work anyway.
+func (s *Share) seedView(t *reldb.Table) *reldb.Table {
+	if len(s.prioSeed) == 0 {
+		return t
+	}
+	return t.Reseeded(s.prioSeed)
 }
 
 // shareBackup is a (sequence, view snapshot) pair.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"crypto/rand"
 	"fmt"
 	"sort"
 	"sync"
@@ -49,6 +50,16 @@ func (p *Peer) RegisterShare(ctx context.Context, a RegisterShareArgs) error {
 	if err != nil {
 		return fmt.Errorf("core: encoding lens spec for %s: %w", a.ID, err)
 	}
+	// The share's priority secret: every replica stores the view under
+	// treap priorities keyed by it, closing the shape-grinding window for
+	// anyone outside the share. It rides in the on-chain metadata, which
+	// only the consortium sees — the threat model is a row-key-choosing
+	// outsider, not an authorized peer.
+	prioSeed := make([]byte, 32)
+	if _, err := rand.Read(prioSeed); err != nil {
+		return fmt.Errorf("core: generating priority seed for %s: %w", a.ID, err)
+	}
+	view = view.Reseeded(prioSeed)
 	cols := view.Schema().ColumnNames()
 	ra := sharereg.RegisterArgs{
 		ID:        a.ID,
@@ -57,6 +68,7 @@ func (p *Peer) RegisterShare(ctx context.Context, a RegisterShareArgs) error {
 		Columns:   cols,
 		WritePerm: a.WritePerm,
 		LensSpec:  spec,
+		PrioSeed:  prioSeed,
 	}
 	tx, err := p.buildTx(sharereg.FnRegister, a.ID, ra)
 	if err != nil {
@@ -76,6 +88,7 @@ func (p *Peer) RegisterShare(ctx context.Context, a RegisterShareArgs) error {
 		SourceTable: a.SourceTable,
 		Lens:        a.Lens,
 		ViewName:    viewName,
+		prioSeed:    prioSeed,
 	}
 	p.mu.Unlock()
 	p.record(HistoryEntry{ShareID: a.ID, Kind: "register", Note: "registered on-chain"})
@@ -107,6 +120,9 @@ func (p *Peer) AttachShare(id, sourceTable string, lens bx.Lens, viewName string
 	if viewName == "" {
 		viewName = id
 	}
+	// Store the replica under the share's priority secret so both sides'
+	// row trees — and hence their Merkle roots — agree.
+	view = view.Reseeded(meta.PrioSeed)
 	p.mu.Lock()
 	if _, dup := p.shares[id]; dup {
 		p.mu.Unlock()
@@ -118,6 +134,7 @@ func (p *Peer) AttachShare(id, sourceTable string, lens bx.Lens, viewName string
 		Lens:        lens,
 		ViewName:    viewName,
 		AppliedSeq:  meta.Seq,
+		prioSeed:    meta.PrioSeed,
 	}
 	p.mu.Unlock()
 	p.cfg.DB.PutTable(view.Renamed(viewName))
@@ -184,6 +201,10 @@ func (p *Peer) ProposeUpdate(ctx context.Context, shareID string) (ProposalResul
 	if err != nil {
 		return ProposalResult{}, fmt.Errorf("core: get on %s: %w", shareID, err)
 	}
+	// The freshly materialized view is rebuilt under the share's priority
+	// secret before it is hashed, diffed, or stored: the payload hash the
+	// counterparties verify commits to the seeded tree shape.
+	newView = s.seedView(newView)
 	oldView, err := p.snapshotTable(s.ViewName)
 	if err != nil {
 		return ProposalResult{}, err
@@ -332,7 +353,7 @@ func (p *Peer) UpdateView(ctx context.Context, shareID string, mutate func(*reld
 		if diverged {
 			newSrc, perr = s.Lens.Put(src, edited)
 		} else {
-			newSrc, perr = bx.PutDeltaTable(s.Lens, src, edited, cs)
+			newSrc, _, perr = bx.PutDelta(s.Lens, src, edited, cs)
 		}
 		if perr != nil {
 			return nil, perr

@@ -18,18 +18,24 @@ import (
 // Structural anti-entropy: a replica that missed several updates (or
 // holds nothing at all) converges by walking the updater's canonical
 // Merkle row tree top-down. Each round the requester names the subtree
-// roots it cannot match locally; the provider answers with those nodes'
-// rows and child summaries (key, subtree digest, size), inlining whole
-// small subtrees. Because the row tree's shape is a pure function of
-// the key set, a digest match proves the requester already holds an
-// identical subtree and can graft its own copy — so a d-row divergence
-// on an n-row view transfers O(d log n) summaries plus the d rows,
-// instead of the whole view. The reconstructed table is verified
-// against the on-chain payload hash exactly like a full fetch, so a
-// corrupt or malicious sync stream cannot install bad data.
+// roots it cannot match locally — as node requests for large subtrees
+// (answered with the node's row and child summaries: key, raw 32-byte
+// digest, size) and as row requests for small ones (answered with the
+// subtree's rows wholesale). Because the row tree's shape is a pure
+// function of the key set (and the share's priority seed), a digest
+// match proves the requester already holds an identical subtree and can
+// graft its own copy — so a d-row divergence on an n-row view transfers
+// O(d log n) summaries plus the divergent rows, instead of the whole
+// view, and nothing the requester already holds crosses the wire (the
+// provider ships rows only on explicit request, never speculatively).
+// Responses travel in a compact binary frame (raw digests and storage
+// keys, varint sizes) instead of base64-inflated JSON. The
+// reconstructed table is verified against the on-chain payload hash
+// exactly like a full fetch, so a corrupt or malicious sync stream
+// cannot install bad data.
 
-// syncInlineRows is the subtree size at or below which the provider
-// ships rows directly instead of a further summary round.
+// syncInlineRows is the subtree size at or below which the requester
+// asks for rows wholesale instead of descending node by node.
 const syncInlineRows = 16
 
 // syncBaseRounds bounds the top-down walk before the provider's tree
@@ -45,16 +51,19 @@ const syncBaseRounds = 64
 // stream was malformed); callers fall back to a full fetch.
 var ErrSyncAborted = errors.New("core: structural sync aborted")
 
-// SyncRequest asks a counterparty for row-tree nodes of a share's
-// current view. Authentication mirrors FetchRequest: the request is
-// signed and only sharing peers are served.
+// SyncRequest asks a counterparty for row-tree nodes and small-subtree
+// rows of a share's current view. Authentication mirrors FetchRequest:
+// the request is signed and only sharing peers are served.
 type SyncRequest struct {
 	ShareID string `json:"shareId"`
 	// MinSeq is the lowest acceptable version.
 	MinSeq uint64 `json:"minSeq"`
 	// Keys are the storage-key encodings of the wanted subtree roots;
-	// empty means the tree root (the first round).
-	Keys      [][]byte         `json:"keys,omitempty"`
+	// both lists empty means the tree root (the first round).
+	Keys [][]byte `json:"keys,omitempty"`
+	// RowKeys are subtree roots whose rows the requester wants shipped
+	// wholesale (divergent subtrees of ≤ syncInlineRows rows).
+	RowKeys   [][]byte         `json:"rowKeys,omitempty"`
 	Requester identity.Address `json:"requester"`
 	PubKey    []byte           `json:"pubKey"`
 	TsMicro   int64            `json:"ts"`
@@ -62,11 +71,18 @@ type SyncRequest struct {
 }
 
 // signingBytes is the canonical byte string covered by Sig. The wanted
-// keys are committed through a digest so rounds cannot be replayed with
-// altered walk targets.
+// keys (node and row requests, domain-separated) are committed through
+// a digest so rounds cannot be replayed with altered walk targets.
 func (r *SyncRequest) signingBytes() []byte {
 	h := sha256.New()
 	for _, k := range r.Keys {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(k)))
+		h.Write(n[:])
+		h.Write(k)
+	}
+	h.Write([]byte{0xff})
+	for _, k := range r.RowKeys {
 		var n [8]byte
 		binary.BigEndian.PutUint64(n[:], uint64(len(k)))
 		h.Write(n[:])
@@ -82,38 +98,48 @@ func (r *SyncRequest) signingBytes() []byte {
 	return out
 }
 
-// SyncChild summarizes one child subtree of a served node. Small
-// subtrees carry their rows inline (Rows non-nil) alongside the digest,
-// so the requester can still graft a local match instead of decoding.
+// SyncChild summarizes one child subtree of a served node: storage key
+// of its root, raw subtree digest, entry count. The requester compares
+// the digest against its own content and descends (or requests rows)
+// only where they differ.
 type SyncChild struct {
-	Key    []byte      `json:"key"`
-	Digest []byte      `json:"dig"`
-	Size   int         `json:"size"`
-	Rows   []reldb.Row `json:"rows,omitempty"`
+	Key    []byte
+	Digest []byte
+	Size   int
 }
 
 // SyncNode is one served row-tree node: its row plus child summaries.
 type SyncNode struct {
-	Key   []byte     `json:"key"`
-	Row   reldb.Row  `json:"row"`
-	Left  *SyncChild `json:"left,omitempty"`
-	Right *SyncChild `json:"right,omitempty"`
+	Key   []byte
+	Row   reldb.Row
+	Left  *SyncChild
+	Right *SyncChild
 }
 
-// SyncResponse answers one round of the walk.
+// SyncSubtree carries the rows of one explicitly requested small
+// subtree, in ascending key order.
+type SyncSubtree struct {
+	Key  []byte
+	Rows []reldb.Row
+}
+
+// SyncResponse answers one round of the walk. It travels as a binary
+// frame (see syncwire.go), not JSON.
 type SyncResponse struct {
-	ShareID string `json:"shareId"`
+	ShareID string
 	// Seq is the version of the served view.
-	Seq uint64 `json:"seq"`
+	Seq uint64
 	// Root is the row-tree root of the snapshot this round was served
 	// from. It is the walk's consistency anchor: the root is canonical,
 	// so equal roots across rounds prove every served node belongs to
 	// identical view contents even if the provider applied updates (or
 	// its seq label raced its view install) mid-walk.
-	Root  []byte     `json:"root"`
-	Nodes []SyncNode `json:"nodes,omitempty"`
+	Root  []byte
+	Nodes []SyncNode
+	// Subtrees answer the round's RowKeys requests.
+	Subtrees []SyncSubtree
 	// Empty marks a view with no rows (the walk ends immediately).
-	Empty bool `json:"empty,omitempty"`
+	Empty bool
 }
 
 // SyncStats reports what one structural sync transferred — the
@@ -123,7 +149,8 @@ type SyncStats struct {
 	Rounds int
 	// NodesFetched counts served tree nodes (divergent-path interiors).
 	NodesFetched int
-	// RowsInline counts rows shipped inside small-subtree summaries.
+	// RowsInline counts rows shipped as requested subtree batches —
+	// every one belongs to a subtree the requester could not match.
 	RowsInline int
 	// RowsGrafted counts rows the requester reused from its own replica
 	// after a digest match — rows that did NOT cross the wire.
@@ -134,12 +161,11 @@ type SyncStats struct {
 	BytesReceived int
 }
 
-// syncNodesFor serves one round against a view snapshot: the nodes
-// stored under the wanted keys (nil key = tree root), with small child
-// subtrees inlined. Unknown keys are skipped — the requester's final
-// payload-hash check arbitrates.
-func syncNodesFor(view *reldb.Table, keys [][]byte) []SyncNode {
-	if len(keys) == 0 {
+// syncNodesFor serves one round's node requests against a view
+// snapshot; initial selects the tree root. Unknown keys are skipped —
+// the requester's final payload-hash check arbitrates.
+func syncNodesFor(view *reldb.Table, keys [][]byte, initial bool) []SyncNode {
+	if initial {
 		keys = [][]byte{nil}
 	}
 	out := make([]SyncNode, 0, len(keys))
@@ -151,22 +177,31 @@ func syncNodesFor(view *reldb.Table, keys [][]byte) []SyncNode {
 		out = append(out, SyncNode{
 			Key:   n.Key,
 			Row:   n.Row,
-			Left:  wireChild(view, n.Left),
-			Right: wireChild(view, n.Right),
+			Left:  wireChild(n.Left),
+			Right: wireChild(n.Right),
 		})
 	}
 	return out
 }
 
-func wireChild(view *reldb.Table, c *reldb.MerkleChild) *SyncChild {
+func wireChild(c *reldb.MerkleChild) *SyncChild {
 	if c == nil {
 		return nil
 	}
-	out := &SyncChild{Key: c.Key, Digest: c.Digest[:], Size: c.Size}
-	if c.Size <= syncInlineRows {
-		if rows, ok := view.SubtreeRows(c.Key); ok {
-			out.Rows = rows
+	return &SyncChild{Key: c.Key, Digest: c.Digest[:], Size: c.Size}
+}
+
+// syncSubtreesFor serves one round's row requests. Oversized requests
+// (beyond the protocol's inline bound — a well-behaved requester never
+// sends them) and unknown keys are skipped.
+func syncSubtreesFor(view *reldb.Table, rowKeys [][]byte) []SyncSubtree {
+	out := make([]SyncSubtree, 0, len(rowKeys))
+	for _, k := range rowKeys {
+		rows, ok := view.SubtreeRows(k)
+		if !ok || len(rows) > syncInlineRows {
+			continue
 		}
+		out = append(out, SyncSubtree{Key: k, Rows: rows})
 	}
 	return out
 }
@@ -191,9 +226,10 @@ func (p *Peer) serveSync(msg p2p.Message) (p2p.Message, error) {
 	root := view.RowsRoot()
 	resp := SyncResponse{ShareID: req.ShareID, Seq: seq, Root: root[:], Empty: view.Len() == 0}
 	if !resp.Empty {
-		resp.Nodes = syncNodesFor(view, req.Keys)
+		resp.Nodes = syncNodesFor(view, req.Keys, len(req.Keys) == 0 && len(req.RowKeys) == 0)
+		resp.Subtrees = syncSubtreesFor(view, req.RowKeys)
 	}
-	raw, err := json.Marshal(resp)
+	raw, err := appendSyncResponse(nil, &resp)
 	if err != nil {
 		return p2p.Message{}, err
 	}
@@ -201,8 +237,8 @@ func (p *Peer) serveSync(msg p2p.Message) (p2p.Message, error) {
 }
 
 // syncFetchFn performs one round of the walk: wanted subtree-root keys
-// in, served nodes out.
-type syncFetchFn func(keys [][]byte) (SyncResponse, error)
+// (node requests) and row requests in, served nodes and subtrees out.
+type syncFetchFn func(keys, rowKeys [][]byte) (SyncResponse, error)
 
 // assembleSync drives the top-down walk against fetch and reconstructs
 // the provider's view over base (the local replica supplying grafts and
@@ -212,17 +248,18 @@ type syncFetchFn func(keys [][]byte) (SyncResponse, error)
 func assembleSync(base *reldb.Table, fetch syncFetchFn, stats *SyncStats) (*reldb.Table, uint64, error) {
 	asm := reldb.NewMerkleAssembler(base)
 	nodes := make(map[string]SyncNode)
+	subtrees := make(map[string][]reldb.Row)
 	var rootKey []byte
 	var root []byte
 	var seq uint64
 
 	maxRounds := syncBaseRounds
-	wanted := [][]byte(nil) // first round: the tree root
+	var wantNodes, wantRows [][]byte // both nil first round: the tree root
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return nil, 0, fmt.Errorf("%w: round bound exceeded", ErrSyncAborted)
 		}
-		resp, err := fetch(wanted)
+		resp, err := fetch(wantNodes, wantRows)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -256,7 +293,14 @@ func assembleSync(base *reldb.Table, fetch syncFetchFn, stats *SyncStats) (*reld
 			// seq-label/view-install race on the provider.
 			return nil, 0, fmt.Errorf("%w: provider view changed mid-walk", ErrSyncAborted)
 		}
-		var next [][]byte
+		wantNodes, wantRows = nil, nil
+		for _, st := range resp.Subtrees {
+			if _, dup := subtrees[string(st.Key)]; dup {
+				continue
+			}
+			subtrees[string(st.Key)] = st.Rows
+			stats.RowsInline += len(st.Rows)
+		}
 		for _, n := range resp.Nodes {
 			if _, dup := nodes[string(n.Key)]; dup {
 				continue
@@ -264,21 +308,28 @@ func assembleSync(base *reldb.Table, fetch syncFetchFn, stats *SyncStats) (*reld
 			nodes[string(n.Key)] = n
 			stats.NodesFetched++
 			for _, c := range []*SyncChild{n.Left, n.Right} {
-				if c == nil || c.Rows != nil {
+				if c == nil {
 					continue
 				}
 				if d, ok := childDigest(c); ok && asm.HasLocal(d) {
 					continue // grafted during assembly
 				}
-				if _, have := nodes[string(c.Key)]; !have {
-					next = append(next, c.Key)
+				if _, have := nodes[string(c.Key)]; have {
+					continue
+				}
+				if _, have := subtrees[string(c.Key)]; have {
+					continue
+				}
+				if c.Size <= syncInlineRows {
+					wantRows = append(wantRows, c.Key)
+				} else {
+					wantNodes = append(wantNodes, c.Key)
 				}
 			}
 		}
-		if len(next) == 0 {
+		if len(wantNodes)+len(wantRows) == 0 {
 			break
 		}
-		wanted = next
 	}
 
 	// In-order assembly over the fetched structure.
@@ -289,24 +340,17 @@ func assembleSync(base *reldb.Table, fetch syncFetchFn, stats *SyncStats) (*reld
 		}
 		if d, ok := childDigest(c); ok && asm.HasLocal(d) {
 			// Graft the local copy (reusing entries and their cached
-			// digests). Stats stay honest: rows the provider inlined
-			// anyway DID cross the wire and count as inline, and the
-			// graft count comes from the local assembler, never from
-			// the provider-claimed size.
+			// digests). The graft count comes from the local assembler,
+			// never from the provider-claimed size.
 			before := asm.Len()
 			if err := asm.AppendLocal(d); err != nil {
 				return err
 			}
-			if c.Rows != nil {
-				stats.RowsInline += len(c.Rows)
-			} else {
-				stats.RowsGrafted += asm.Len() - before
-			}
+			stats.RowsGrafted += asm.Len() - before
 			return nil
 		}
-		if c.Rows != nil {
-			stats.RowsInline += len(c.Rows)
-			for _, r := range c.Rows {
+		if rows, ok := subtrees[string(c.Key)]; ok {
+			for _, r := range rows {
 				if err := asm.AppendRow(r); err != nil {
 					return err
 				}
@@ -357,11 +401,12 @@ func (p *Peer) syncFrom(ctx context.Context, from identity.Address, shareID stri
 	if !ok {
 		return nil, 0, stats, fmt.Errorf("core: no endpoint known for %s", from)
 	}
-	fetch := func(keys [][]byte) (SyncResponse, error) {
+	fetch := func(keys, rowKeys [][]byte) (SyncResponse, error) {
 		req := SyncRequest{
 			ShareID:   shareID,
 			MinSeq:    minSeq,
 			Keys:      keys,
+			RowKeys:   rowKeys,
 			Requester: p.Address(),
 			PubKey:    append([]byte(nil), p.cfg.Identity.PublicKey()...),
 			TsMicro:   p.cfg.Clock.Now().UnixMicro(),
@@ -377,8 +422,8 @@ func (p *Peer) syncFrom(ctx context.Context, from identity.Address, shareID stri
 			return SyncResponse{}, fmt.Errorf("core: syncing %s from %s: %w", shareID, from, err)
 		}
 		stats.BytesReceived += len(msg.Payload)
-		var resp SyncResponse
-		if err := json.Unmarshal(msg.Payload, &resp); err != nil {
+		resp, err := decodeSyncResponse(msg.Payload)
+		if err != nil {
 			return SyncResponse{}, fmt.Errorf("core: bad sync response: %w", err)
 		}
 		return resp, nil
@@ -409,15 +454,15 @@ func (p *Peer) StructuralSync(ctx context.Context, from identity.Address, shareI
 }
 
 // SimulateStructuralSync runs the anti-entropy exchange between two
-// in-memory tables through the real wire encoding (JSON both ways, no
-// transport or chain) — the measurement harness behind E13 and the
-// byte-count assertions. provider plays the updater's view, base the
-// stale local replica; the returned stats count exactly the bytes the
-// TCP path would carry in message payloads.
+// in-memory tables through the real wire encoding (JSON requests, the
+// binary response frame, no transport or chain) — the measurement
+// harness behind E13 and the byte-count assertions. provider plays the
+// updater's view, base the stale local replica; the returned stats
+// count exactly the bytes the TCP path would carry in message payloads.
 func SimulateStructuralSync(provider, base *reldb.Table) (*reldb.Table, SyncStats, error) {
 	var stats SyncStats
-	fetch := func(keys [][]byte) (SyncResponse, error) {
-		req := SyncRequest{Keys: keys}
+	fetch := func(keys, rowKeys [][]byte) (SyncResponse, error) {
+		req := SyncRequest{Keys: keys, RowKeys: rowKeys}
 		rawReq, err := json.Marshal(req)
 		if err != nil {
 			return SyncResponse{}, err
@@ -426,18 +471,15 @@ func SimulateStructuralSync(provider, base *reldb.Table) (*reldb.Table, SyncStat
 		root := provider.RowsRoot()
 		resp := SyncResponse{Seq: 1, Root: root[:], Empty: provider.Len() == 0}
 		if !resp.Empty {
-			resp.Nodes = syncNodesFor(provider, keys)
+			resp.Nodes = syncNodesFor(provider, keys, len(keys) == 0 && len(rowKeys) == 0)
+			resp.Subtrees = syncSubtreesFor(provider, rowKeys)
 		}
-		rawResp, err := json.Marshal(resp)
+		rawResp, err := appendSyncResponse(nil, &resp)
 		if err != nil {
 			return SyncResponse{}, err
 		}
 		stats.BytesReceived += len(rawResp)
-		var decoded SyncResponse
-		if err := json.Unmarshal(rawResp, &decoded); err != nil {
-			return SyncResponse{}, err
-		}
-		return decoded, nil
+		return decodeSyncResponse(rawResp)
 	}
 	t, _, err := assembleSync(base, fetch, &stats)
 	return t, stats, err

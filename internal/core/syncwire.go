@@ -1,0 +1,256 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"medshare/internal/reldb"
+)
+
+// The anti-entropy response frame: a compact binary encoding replacing
+// the JSON node summaries that used to dominate sync traffic. A child
+// summary is now its storage key, its raw 32-byte digest, and a varint
+// size — against base64-in-JSON that roughly halves the per-node
+// overhead (a digest alone shrank from 44 quoted base64 characters plus
+// a field name to 33 bytes). Rows still travel as their canonical JSON
+// encoding (length-prefixed) — they are typed values with an
+// established codec, and row bytes are divergence-proportional rather
+// than per-node overhead. Requests stay JSON: they are small, carry
+// auth fields, and their canonical signing bytes are computed
+// separately (SyncRequest.signingBytes).
+//
+// Frame layout (all integers varint unless noted):
+//
+//	version byte (syncWireVersion)
+//	shareID: len ‖ bytes
+//	seq
+//	root: len ‖ raw bytes (32)
+//	flags byte (bit0 = empty view)
+//	node count, then per node:
+//	  key: len ‖ bytes
+//	  row: len ‖ canonical JSON
+//	  child mask byte (bit0 left, bit1 right), then per present child:
+//	    key: len ‖ bytes, digest: len ‖ raw bytes, size
+//	subtree count, then per subtree:
+//	  key: len ‖ bytes
+//	  row count, then per row: len ‖ canonical JSON
+
+// syncWireVersion tags the frame layout.
+const syncWireVersion = 1
+
+// syncWireMaxLen caps any single length field while decoding, so a
+// corrupt frame cannot drive a huge allocation before the bounds check.
+const syncWireMaxLen = 1 << 28
+
+// errSyncWire marks a malformed binary sync frame.
+var errSyncWire = fmt.Errorf("core: malformed sync frame")
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendJSON(dst []byte, v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return appendBytes(dst, raw), nil
+}
+
+func appendSyncChild(dst []byte, c *SyncChild) []byte {
+	dst = appendBytes(dst, c.Key)
+	dst = appendBytes(dst, c.Digest)
+	return binary.AppendUvarint(dst, uint64(c.Size))
+}
+
+// appendSyncResponse encodes r into the binary frame.
+func appendSyncResponse(dst []byte, r *SyncResponse) ([]byte, error) {
+	var err error
+	dst = append(dst, syncWireVersion)
+	dst = appendBytes(dst, []byte(r.ShareID))
+	dst = binary.AppendUvarint(dst, r.Seq)
+	dst = appendBytes(dst, r.Root)
+	var flags byte
+	if r.Empty {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Nodes)))
+	for _, n := range r.Nodes {
+		dst = appendBytes(dst, n.Key)
+		if dst, err = appendJSON(dst, n.Row); err != nil {
+			return nil, err
+		}
+		var mask byte
+		if n.Left != nil {
+			mask |= 1
+		}
+		if n.Right != nil {
+			mask |= 2
+		}
+		dst = append(dst, mask)
+		if n.Left != nil {
+			dst = appendSyncChild(dst, n.Left)
+		}
+		if n.Right != nil {
+			dst = appendSyncChild(dst, n.Right)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.Subtrees)))
+	for _, st := range r.Subtrees {
+		dst = appendBytes(dst, st.Key)
+		dst = binary.AppendUvarint(dst, uint64(len(st.Rows)))
+		for _, row := range st.Rows {
+			if dst, err = appendJSON(dst, row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+// syncWireReader walks a frame with bounds checking.
+type syncWireReader struct {
+	buf []byte
+}
+
+func (r *syncWireReader) byte() (byte, error) {
+	if len(r.buf) == 0 {
+		return 0, errSyncWire
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b, nil
+}
+
+func (r *syncWireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, errSyncWire
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *syncWireReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > syncWireMaxLen || n > uint64(len(r.buf)) {
+		return nil, errSyncWire
+	}
+	out := r.buf[:n:n]
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+func (r *syncWireReader) row() (reldb.Row, error) {
+	raw, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	var row reldb.Row
+	if err := json.Unmarshal(raw, &row); err != nil {
+		return nil, fmt.Errorf("%w: %v", errSyncWire, err)
+	}
+	return row, nil
+}
+
+func (r *syncWireReader) child() (*SyncChild, error) {
+	key, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	dig, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	size, err := r.uvarint()
+	if err != nil || size > syncWireMaxLen {
+		return nil, errSyncWire
+	}
+	return &SyncChild{Key: key, Digest: dig, Size: int(size)}, nil
+}
+
+// decodeSyncResponse parses a frame produced by appendSyncResponse.
+func decodeSyncResponse(raw []byte) (SyncResponse, error) {
+	r := syncWireReader{buf: raw}
+	var out SyncResponse
+	ver, err := r.byte()
+	if err != nil || ver != syncWireVersion {
+		return out, errSyncWire
+	}
+	id, err := r.bytes()
+	if err != nil {
+		return out, err
+	}
+	out.ShareID = string(id)
+	if out.Seq, err = r.uvarint(); err != nil {
+		return out, err
+	}
+	if out.Root, err = r.bytes(); err != nil {
+		return out, err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return out, err
+	}
+	out.Empty = flags&1 != 0
+	nNodes, err := r.uvarint()
+	if err != nil || nNodes > syncWireMaxLen {
+		return out, errSyncWire
+	}
+	for i := uint64(0); i < nNodes; i++ {
+		var n SyncNode
+		if n.Key, err = r.bytes(); err != nil {
+			return out, err
+		}
+		if n.Row, err = r.row(); err != nil {
+			return out, err
+		}
+		mask, err := r.byte()
+		if err != nil {
+			return out, err
+		}
+		if mask&1 != 0 {
+			if n.Left, err = r.child(); err != nil {
+				return out, err
+			}
+		}
+		if mask&2 != 0 {
+			if n.Right, err = r.child(); err != nil {
+				return out, err
+			}
+		}
+		out.Nodes = append(out.Nodes, n)
+	}
+	nSub, err := r.uvarint()
+	if err != nil || nSub > syncWireMaxLen {
+		return out, errSyncWire
+	}
+	for i := uint64(0); i < nSub; i++ {
+		var st SyncSubtree
+		if st.Key, err = r.bytes(); err != nil {
+			return out, err
+		}
+		nRows, err := r.uvarint()
+		if err != nil || nRows > syncWireMaxLen {
+			return out, errSyncWire
+		}
+		for j := uint64(0); j < nRows; j++ {
+			row, err := r.row()
+			if err != nil {
+				return out, err
+			}
+			st.Rows = append(st.Rows, row)
+		}
+		out.Subtrees = append(out.Subtrees, st)
+	}
+	if len(r.buf) != 0 {
+		return out, errSyncWire
+	}
+	return out, nil
+}

@@ -189,13 +189,16 @@ func (a *MerkleAssembler) AppendRow(r Row) error {
 func (a *MerkleAssembler) Len() int { return len(a.keys) }
 
 // Table finalizes the assembly into a fresh table named like the base.
-// The caller is expected to verify the result against an authoritative
-// hash (the on-chain payload hash) before installing it.
+// The result inherits the base's priority seed — the walk compared
+// subtree digests against the provider's seeded tree, so the rebuilt
+// replica must share that shape. The caller is expected to verify the
+// result against an authoritative hash (the on-chain payload hash)
+// before installing it.
 func (a *MerkleAssembler) Table() (*Table, error) {
 	t, err := NewTable(a.base.schema)
 	if err != nil {
 		return nil, err
 	}
-	t.rows = pmap.FromSorted(a.keys, a.entries)
+	t.rows = pmap.FromSortedSeeded(a.base.rows.Seed(), a.keys, a.entries)
 	return t, nil
 }

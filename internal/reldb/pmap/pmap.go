@@ -48,6 +48,16 @@
 // the SummaryAt/AscendSubtree/DigestIndex accessors used by structural
 // anti-entropy all build on that cache.
 //
+// Bulk construction goes through a Transient (transient.go): a
+// mutable-until-shared builder that allocates nodes from slabs, mutates
+// nodes it created in place, path-copies adopted structure exactly like
+// the persistent operations, and freezes into an ordinary Map — so
+// whole-table rebuilds pay one allocation per slab instead of per node.
+// Priorities are optionally *keyed* (seed.go): a per-map HMAC-SHA-256
+// secret replaces the bare SHA-256 derivation, making tree shapes
+// unpredictable without the secret while replicas sharing it still
+// converge to identical shapes.
+//
 // The zero Map is the empty map. Maps are safe for concurrent readers
 // without synchronization (nodes are immutable apart from the idempotent
 // digest cache, which racing readers store identical values into); a
@@ -71,21 +81,42 @@ type Hash = [32]byte
 type LeafFunc[V any] func(k string, v V) Hash
 
 // Map is an immutable ordered map from string keys to values of type V.
-// The zero value is the empty map.
+// The zero value is the empty map (with unkeyed priorities; see
+// NewSeeded for keyed ones).
 type Map[V any] struct {
 	root *node[V]
+	// seed keys the priority derivation (nil = plain SHA-256). Every
+	// map derived from this one inherits it, so one lineage never mixes
+	// priority schemes.
+	seed *Seed
 }
+
+// NewSeeded returns an empty map whose priorities are derived under the
+// given seed (nil behaves exactly like the zero Map).
+func NewSeeded[V any](seed *Seed) Map[V] { return Map[V]{seed: seed} }
+
+// Seed returns the map's priority seed (nil for unkeyed maps). Callers
+// use it to build sibling structures that must share this map's shape
+// (the anti-entropy assembler, table reseeding).
+func (m Map[V]) Seed() *Seed { return m.seed }
 
 // node is an immutable tree node. Nodes are never mutated after
 // construction (all "mutation" builds new nodes along the root path)
-// except for dig, the idempotent lazily cached subtree digest.
+// except for dig, the idempotent lazily cached subtree digest — and
+// except while owned by a live Transient, which may mutate nodes it
+// created in place until Freeze publishes them (see transient.go).
 type node[V any] struct {
 	key   string
 	val   V
-	pri   uint64 // heap priority: first 8 bytes of SHA-256(key)
+	pri   uint64 // heap priority: first 8 bytes of (H)MAC-SHA-256(key)
 	size  int    // nodes in this subtree, including this one
 	left  *node[V]
 	right *node[V]
+	// edit is the owner token of the Transient that created this node,
+	// nil once the node is shared (created by a persistent op, or its
+	// transient froze). Only the owning transient reads it; persistent
+	// operations never mutate nodes regardless.
+	edit *transientTok
 	// dig caches the Merkle digest of this subtree. Atomic because
 	// concurrent readers of a shared snapshot may race the lazy
 	// computation; the digest is a pure function of the subtree, so
@@ -196,8 +227,8 @@ func (m Map[V]) Has(k string) bool {
 // Set returns a map with k bound to v (replacing any existing binding)
 // plus whether a binding existed. The receiver is unchanged.
 func (m Map[V]) Set(k string, v V) (Map[V], bool) {
-	root, existed := set(m.root, k, prio(k), v)
-	return Map[V]{root: root}, existed
+	root, existed := set(m.root, k, m.seed.prio(k), v)
+	return Map[V]{root: root, seed: m.seed}, existed
 }
 
 func set[V any](n *node[V], k string, p uint64, v V) (*node[V], bool) {
@@ -231,7 +262,7 @@ func (m Map[V]) Delete(k string) (Map[V], bool) {
 	if !existed {
 		return m, false
 	}
-	return Map[V]{root: root}, true
+	return Map[V]{root: root, seed: m.seed}, true
 }
 
 func del[V any](n *node[V], k string) (*node[V], bool) {
@@ -329,51 +360,20 @@ func appendMapped[V, U any](n *node[V], dst []U, f func(V) U) []U {
 // caller's to guarantee (table builders append rows in canonical scan
 // order) and is not rechecked here. The result is the canonical treap of
 // the key set — identical in shape to the same entries inserted one by
-// one — built with the classic right-spine Cartesian-tree construction.
+// one — built on a Transient (right-spine Cartesian construction over
+// slab-allocated nodes).
 func FromSorted[V any](keys []string, vals []V) Map[V] {
-	return Map[V]{root: buildSorted(keys, vals)}
+	return FromSortedSeeded(nil, keys, vals)
 }
 
-func buildSorted[V any](keys []string, vals []V) *node[V] {
-	if len(keys) == 0 {
-		return nil
-	}
-	var root *node[V]
-	// spine holds the right spine of the tree built so far, root first.
-	spine := make([]*node[V], 0, 48)
+// FromSortedSeeded is FromSorted with keyed priorities: the result's
+// shape matches incremental inserts into NewSeeded(seed).
+func FromSortedSeeded[V any](seed *Seed, keys []string, vals []V) Map[V] {
+	t := NewTransient[V](seed)
 	for i, k := range keys {
-		n := &node[V]{key: k, val: vals[i], pri: prio(k)}
-		// Pop spine entries the new (rightmost) node outranks; the last
-		// popped becomes its left subtree.
-		var last *node[V]
-		for len(spine) > 0 {
-			top := spine[len(spine)-1]
-			if !higher(n.pri, n.key, top.pri, top.key) {
-				break
-			}
-			last = top
-			spine = spine[:len(spine)-1]
-		}
-		n.left = last
-		if len(spine) == 0 {
-			root = n
-		} else {
-			spine[len(spine)-1].right = n
-		}
-		spine = append(spine, n)
+		t.appendAscending(k, vals[i])
 	}
-	fixSizes(root)
-	return root
-}
-
-// fixSizes fills subtree sizes after buildSorted's in-place construction
-// (the nodes are fresh and unpublished, so mutation is safe).
-func fixSizes[V any](n *node[V]) int {
-	if n == nil {
-		return 0
-	}
-	n.size = fixSizes(n.left) + fixSizes(n.right) + 1
-	return n.size
+	return t.Freeze()
 }
 
 // split partitions n around k into the entries below k, the value at k

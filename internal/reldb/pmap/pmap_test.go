@@ -26,7 +26,7 @@ func checkInvariants[V any](t *testing.T, m Map[V]) {
 		if hasHi && n.key >= hi {
 			t.Fatalf("order violated: %q >= upper bound %q", n.key, hi)
 		}
-		if n.pri != prio(n.key) {
+		if n.pri != m.seed.prio(n.key) {
 			t.Fatalf("stored priority at %q does not match prio(key)", n.key)
 		}
 		for _, c := range []*node[V]{n.left, n.right} {

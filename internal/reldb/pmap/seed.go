@@ -1,0 +1,112 @@
+package pmap
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+)
+
+// Keyed tree priorities: by default a node's heap priority is the
+// unkeyed SHA-256 of its key, so anyone who controls key bytes can grind
+// offline for priority patterns that skew the treap (a performance
+// degradation, never an integrity one — digests commit to content
+// regardless of shape). A Seed replaces that derivation with
+// HMAC-SHA-256 under a per-map secret: without the secret the priorities
+// are unpredictable, so grinding requires the secret itself. The price
+// is that tree shape becomes seed-specific — two maps agree on shape
+// (and hence on Merkle digests) only when they hold the same entries
+// AND the same seed, which is exactly what the sharing layer wants: the
+// seed is a per-share secret, every replica of one share uses it, and
+// replicas of the same share still converge to identical shapes while
+// outsiders cannot predict them.
+
+// hmacBlockSize is SHA-256's block size (the HMAC pad width).
+const hmacBlockSize = 64
+
+// Seed derives keyed treap priorities via HMAC-SHA-256. A nil *Seed
+// means unkeyed priorities (plain SHA-256 of the key). Seeds are
+// immutable after construction and safe for concurrent use.
+type Seed struct {
+	// secret is the caller's key material, kept for equality checks
+	// (replicas compare secrets, not pad blocks).
+	secret []byte
+	// ipad and opad are the precomputed HMAC pad blocks, so each
+	// priority derivation is two SHA-256 runs with no per-call key prep.
+	ipad, opad [hmacBlockSize]byte
+}
+
+// NewSeed builds a Seed from the given secret. An empty secret returns
+// nil (unkeyed priorities), so callers can plumb an optional secret
+// without branching.
+func NewSeed(secret []byte) *Seed {
+	if len(secret) == 0 {
+		return nil
+	}
+	s := &Seed{secret: append([]byte(nil), secret...)}
+	key := s.secret
+	if len(key) > hmacBlockSize {
+		sum := sha256.Sum256(key)
+		key = sum[:]
+	}
+	for i := 0; i < hmacBlockSize; i++ {
+		var b byte
+		if i < len(key) {
+			b = key[i]
+		}
+		s.ipad[i] = b ^ 0x36
+		s.opad[i] = b ^ 0x5c
+	}
+	return s
+}
+
+// Secret returns the seed's key material (read-only; callers must not
+// mutate it). Nil receivers return nil.
+func (s *Seed) Secret() []byte {
+	if s == nil {
+		return nil
+	}
+	return s.secret
+}
+
+// Matches reports whether the seed was built from the given secret; a
+// nil seed matches only the empty secret.
+func (s *Seed) Matches(secret []byte) bool {
+	if s == nil {
+		return len(secret) == 0
+	}
+	return len(s.secret) == len(secret) && subtle.ConstantTimeCompare(s.secret, secret) == 1
+}
+
+// prio derives the heap priority of k: HMAC-SHA-256(secret, k) for a
+// seeded map, plain SHA-256(k) otherwise (the two constructions also
+// disagree on every key, so mixing seeded and unseeded nodes in one
+// tree is structurally impossible). Bulk builders reuse a seedHasher
+// instead; this per-call form serves the persistent one-off mutations.
+func (s *Seed) prio(k string) uint64 {
+	h := s.hasher()
+	return h.prio(k)
+}
+
+// seedHasher derives keyed priorities with a reusable scratch buffer,
+// so an O(n) bulk build (transient appends, reseeding) performs no
+// per-key allocations beyond the buffer's one-time growth. Single-owner
+// like the Transient that embeds it.
+type seedHasher struct {
+	seed *Seed
+	buf  []byte
+}
+
+func (s *Seed) hasher() seedHasher { return seedHasher{seed: s} }
+
+func (h *seedHasher) prio(k string) uint64 {
+	if h.seed == nil {
+		return prio(k)
+	}
+	h.buf = append(h.buf[:0], h.seed.ipad[:]...)
+	h.buf = append(h.buf, k...)
+	inner := sha256.Sum256(h.buf)
+	h.buf = append(h.buf[:0], h.seed.opad[:]...)
+	h.buf = append(h.buf, inner[:]...)
+	d := sha256.Sum256(h.buf)
+	return binary.BigEndian.Uint64(d[:8])
+}

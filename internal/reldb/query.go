@@ -15,13 +15,26 @@ func (t *Table) Project(name string, cols []string, key []string) (*Table, error
 	if err != nil {
 		return nil, err
 	}
-	bld, err := NewTableBuilder(ps)
-	if err != nil {
-		return nil, err
-	}
 	srcIdx := make([]int, len(cols))
 	for i, c := range cols {
 		srcIdx[i] = t.schema.ColumnIndex(c)
+	}
+	// Same-key projection (the common lens case, D13/D31): one output
+	// row per source row under the same primary key, trivially
+	// functional — rebuild on the source's tree shape instead of
+	// re-keying and re-hashing every row.
+	if sameKeyNames(ps.Key, t.schema.Key) {
+		return t.RebuildAs(ps, func(r Row) (Row, error) {
+			pr := make(Row, len(srcIdx))
+			for i, si := range srcIdx {
+				pr[i] = r[si]
+			}
+			return pr, nil
+		})
+	}
+	bld, err := NewTableBuilder(ps)
+	if err != nil {
+		return nil, err
 	}
 	var keyBuf []byte
 	var perr error
@@ -51,38 +64,26 @@ func (t *Table) Project(name string, cols []string, key []string) (*Table, error
 	return bld.Table(), nil
 }
 
-// Select returns a new table named name containing the rows matching pred.
+// Select returns a new table named name containing the rows matching
+// pred. Surviving rows keep their keys, so the result rides on the
+// source's tree: kept runs are shared by pointer (cached digests
+// included) and only the deletions' join paths allocate.
 func (t *Table) Select(name string, pred Predicate) (*Table, error) {
-	bld, err := NewTableBuilder(t.schema.Rename(name))
-	if err != nil {
-		return nil, err
-	}
-	var serr error
-	t.rows.Ascend(func(_ string, e *rowEntry) bool {
-		ok, err := pred.Eval(t.schema, e.row)
+	return t.RebuildAs(t.schema.Rename(name), func(r Row) (Row, error) {
+		ok, err := pred.Eval(t.schema, r)
 		if err != nil {
-			serr = err
-			return false
+			return nil, err
 		}
-		if ok {
-			// Rows stream in ascending key order from the same key set,
-			// so the builder's O(n) sorted path always applies; the rows
-			// were validated by this table already.
-			if err := bld.appendChecked(e.row); err != nil {
-				serr = err
-				return false
-			}
+		if !ok {
+			return nil, nil
 		}
-		return true
+		return r, nil
 	})
-	if serr != nil {
-		return nil, serr
-	}
-	return bld.Table(), nil
 }
 
 // RenameColumns returns a copy of the table with columns renamed per the
-// mapping old→new. Unmapped columns keep their names.
+// mapping old→new. Unmapped columns keep their names. Rows and keys are
+// untouched, so the whole row tree is shared by pointer.
 func (t *Table) RenameColumns(name string, mapping map[string]string) (*Table, error) {
 	ns := t.schema.Rename(name)
 	for old, nw := range mapping {
@@ -97,22 +98,7 @@ func (t *Table) RenameColumns(name string, mapping map[string]string) (*Table, e
 			ns.Key[i] = nw
 		}
 	}
-	bld, err := NewTableBuilder(ns)
-	if err != nil {
-		return nil, err
-	}
-	var rerr error
-	t.rows.Ascend(func(_ string, e *rowEntry) bool {
-		if err := bld.appendChecked(e.row); err != nil {
-			rerr = err
-			return false
-		}
-		return true
-	})
-	if rerr != nil {
-		return nil, rerr
-	}
-	return bld.Table(), nil
+	return t.RebuildAs(ns, func(r Row) (Row, error) { return r, nil })
 }
 
 // NaturalJoin joins t with o on their shared column names. The result

@@ -1,0 +1,69 @@
+package reldb
+
+import (
+	"medshare/internal/reldb/pmap"
+)
+
+// sameKeyNames reports whether two key-column name lists are identical
+// in order.
+func sameKeyNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameRowRef reports whether two rows are the same slice (the marker a
+// RebuildAs transform uses for "unchanged").
+func sameRowRef(a, b Row) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// RebuildAs derives a table with schema ns from t's rows in one
+// canonical in-order pass: f maps each stored row to its replacement —
+// nil deletes the row, returning the argument itself marks it
+// unchanged. This is the fast path for every same-keyed rebuild (lens
+// puts, same-key projections, selections, renames): the output reuses
+// t's storage keys, tree shape, and priorities wholesale, and subtrees
+// of unchanged rows are shared by pointer together with their cached
+// digests — so a rebuild that changes k of n rows costs the O(n) walk
+// but allocates only O(k) nodes, with no per-row key encoding and no
+// priority hashing.
+//
+// CONTRACT: every replacement row must carry the same primary-key
+// values (under ns's key) that the original row carries under t's key,
+// so the storage-key encodings coincide. Same-keyed lens puts and
+// projections satisfy this by construction; a violation would corrupt
+// the output's key order, which the lens-law suites pin against.
+//
+// Rows handed to f are shared references (read-only); replacement rows
+// are owned by the result.
+func (t *Table) RebuildAs(ns Schema, f func(Row) (Row, error)) (*Table, error) {
+	out, err := NewTable(ns)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := pmap.Rebuild(t.rows, func(_ string, e *rowEntry) (*rowEntry, bool, bool, error) {
+		nr, err := f(e.row)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if nr == nil {
+			return nil, false, false, nil
+		}
+		if sameRowRef(nr, e.row) {
+			return e, true, false, nil
+		}
+		return &rowEntry{row: nr}, true, true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.rows = rows
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package reldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func reseedTestTable(n int) *Table {
+	t := MustNewTable(Schema{
+		Name: "T",
+		Columns: []Column{
+			{Name: "k", Type: KindInt},
+			{Name: "v", Type: KindString},
+		},
+		Key: []string{"k"},
+	})
+	for i := 0; i < n; i++ {
+		t.MustInsert(Row{I(int64(i)), S(fmt.Sprintf("v%d", i))})
+	}
+	return t
+}
+
+// TestReseededShapeAndContent: reseeding preserves contents, changes the
+// Merkle root (shape is seed-specific), converges across independently
+// built replicas under the same secret, and is O(1) when the table
+// already carries the secret.
+func TestReseededShapeAndContent(t *testing.T) {
+	a := reseedTestTable(256)
+	secret := []byte("share-secret-1")
+
+	sa := a.Reseeded(secret)
+	if !sa.Equal(a) {
+		t.Fatal("reseeding changed contents")
+	}
+	if sa.RowsRoot() == a.RowsRoot() {
+		t.Fatal("seeded root equals unkeyed root: seed did not change the shape")
+	}
+	if got := sa.PrioritySecret(); string(got) != string(secret) {
+		t.Fatalf("PrioritySecret = %q", got)
+	}
+	if a.PrioritySecret() != nil {
+		t.Fatal("original table grew a secret")
+	}
+
+	// Fast path: same secret returns the receiver.
+	if sa.Reseeded(secret) != sa {
+		t.Fatal("reseeding with the carried secret must be the identity")
+	}
+
+	// An independently built replica under the same secret converges to
+	// the identical root; a different secret diverges.
+	b := reseedTestTable(256)
+	if sb := b.Reseeded(secret); sb.RowsRoot() != sa.RowsRoot() {
+		t.Fatal("replicas with the same secret disagree on the root")
+	}
+	if so := b.Reseeded([]byte("other")); so.RowsRoot() == sa.RowsRoot() {
+		t.Fatal("different secrets converged to one shape")
+	}
+
+	// Back to unkeyed: the original root.
+	if un := sa.Reseeded(nil); un.RowsRoot() != a.RowsRoot() {
+		t.Fatal("unseeding did not restore the unkeyed shape")
+	}
+
+	// Mutations on a seeded table stay in the seeded shape: a replica
+	// applying the same edit converges.
+	ca, cb := sa.Clone(), b.Reseeded(secret).Clone()
+	for _, c := range []*Table{ca, cb} {
+		if err := c.Update(Row{I(7)}, map[string]Value{"v": S("edited")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ca.RowsRoot() != cb.RowsRoot() {
+		t.Fatal("seeded replicas diverged after identical edits")
+	}
+}
+
+// TestRebuildAsSharing: an identity rebuild shares the whole row tree —
+// cached digests included — and a k-changed rebuild equals the
+// mutation-built reference while sharing everything untouched.
+func TestRebuildAsSharing(t *testing.T) {
+	src := reseedTestTable(512)
+	src.Hash() // build the digest cache
+
+	ident, err := src.RebuildAs(src.Schema(), func(r Row) (Row, error) { return r, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ident.Equal(src) {
+		t.Fatal("identity rebuild changed contents")
+	}
+	// Shared root node ⇒ the cached root is available without hashing.
+	if _, ok := ident.CachedHash(); !ok {
+		t.Fatal("identity rebuild did not share the source's digest cache")
+	}
+	if ident.RowsRoot() != src.RowsRoot() {
+		t.Fatal("identity rebuild changed the root")
+	}
+
+	// Change one row, delete one row; reference built by plain mutation.
+	out, err := src.RebuildAs(src.Schema(), func(r Row) (Row, error) {
+		k, _ := r[0].Int()
+		switch k {
+		case 100:
+			nr := r.Clone()
+			nr[1] = S("changed")
+			return nr, nil
+		case 200:
+			return nil, nil
+		default:
+			return r, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := src.Clone()
+	if err := ref.Update(Row{I(100)}, map[string]Value{"v": S("changed")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Delete(Row{I(200)}); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(ref) {
+		t.Fatal("rebuild diverges from mutation-built reference")
+	}
+	if out.RowsRoot() != ref.RowsRoot() {
+		t.Fatal("rebuild root diverges from mutation-built reference (shape not canonical)")
+	}
+
+	// A rebuild onto a different schema (projection) keeps the keys.
+	ps, err := src.Schema().Project("P", []string{"k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := src.RebuildAs(ps, func(r Row) (Row, error) {
+		return Row{r[0]}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := src.Project("P", []string{"k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proj.Equal(want) {
+		t.Fatal("projection rebuild diverges from Table.Project")
+	}
+
+	// Errors abort the walk.
+	if _, err := src.RebuildAs(src.Schema(), func(Row) (Row, error) {
+		return nil, fmt.Errorf("boom")
+	}); err == nil {
+		t.Fatal("transform error not propagated")
+	}
+}

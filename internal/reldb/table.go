@@ -167,6 +167,11 @@ func MustNewTable(schema Schema) *Table {
 // Schema returns a copy of the table's schema.
 func (t *Table) Schema() Schema { return t.schema.Clone() }
 
+// SchemaSum returns the digest of the canonical schema encoding (the
+// table name excluded, like Hash) — a cheap memo key for callers that
+// cache per-schema derived state (the join lens's column plan).
+func (t *Table) SchemaSum() [32]byte { return t.schemaSum }
+
 // Name returns the table name.
 func (t *Table) Name() string { return t.schema.Name }
 
@@ -748,6 +753,51 @@ func (t *Table) RowsByCols(cols []string, key Row) ([]Row, error) {
 		return nil, ixErr
 	}
 	return out, nil
+}
+
+// PrioritySecret returns the secret keying the table's treap priorities
+// (nil for an ordinary unkeyed table). Read-only; callers must not
+// mutate it.
+func (t *Table) PrioritySecret() []byte { return t.rows.Seed().Secret() }
+
+// Reseeded returns a table with identical contents whose row-tree shape
+// (and therefore Merkle root) is derived under keyed treap priorities —
+// HMAC-SHA-256 of each storage key under secret — instead of the
+// default unkeyed SHA-256. An empty secret returns to unkeyed
+// priorities. When the table already carries the requested secret the
+// receiver is returned unchanged (O(1), the steady state of the sharing
+// layer's seed choke points); otherwise the tree is rebuilt in one O(n)
+// pass that reuses every row entry and its cached row digest — only the
+// interior nodes (and their subtree digests) are shape-specific.
+//
+// Replicas that must agree on shape — and hence on Table.Hash and on
+// anti-entropy subtree digests — must be reseeded with the same secret;
+// the sharing layer derives one per share. A party without the secret
+// cannot grind row keys for priority patterns that deepen the tree.
+func (t *Table) Reseeded(secret []byte) *Table {
+	if t.rows.Seed().Matches(secret) {
+		return t
+	}
+	// Stream the rows straight into a seeded transient: the in-order
+	// walk is strictly ascending, so every insert takes the O(1) spine
+	// path — no intermediate key/entry slices, and the row entries (with
+	// their cached digests) are shared with the receiver.
+	tr := pmap.NewTransient[*rowEntry](pmap.NewSeed(secret))
+	t.rows.Ascend(func(k string, e *rowEntry) bool {
+		tr.Insert(k, e)
+		return true
+	})
+	out := &Table{
+		schema:    t.schema.Clone(),
+		keyIdx:    t.keyIdx,
+		rows:      tr.Freeze(),
+		schemaSum: t.schemaSum,
+	}
+	// Secondary indexes are shape-independent content; share them like
+	// Clone does (unowned on both sides until the next mutation).
+	t.secOwned.Store(false)
+	out.secondary.Store(t.secondary.Load())
+	return out
 }
 
 // Renamed returns a copy of the table under a different name (O(1), like

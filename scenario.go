@@ -205,3 +205,115 @@ func LensD32() Lens {
 
 // Stop shuts the scenario's network down.
 func (sc *Fig1Scenario) Stop() { sc.Network.Stop() }
+
+// JoinShareScenario is the prescriptions ⋈ formulary instantiation: a
+// pharmacist holds only the prescription slice (a0, a1, a4) plus a
+// read-only formulary reference and derives its replica of the shared
+// view by *joining* the two (each prescription enriched with its
+// mechanism of action); the doctor derives the same view by projection
+// from its richer D3. Incoming updates on the pharmacist side therefore
+// embed through JoinLens.PutDelta — the join lens's backward path,
+// exercised end to end rather than only in microbenches.
+type JoinShareScenario struct {
+	Network    *Network
+	Pharmacist *core.Peer
+	Doctor     *core.Peer
+	// ShareRx is the share ID.
+	ShareRx string
+}
+
+// ShareIDRx identifies the prescriptions⋈formulary share.
+const ShareIDRx = "RXF&D3F"
+
+// RxViewCols are the shared view's columns: the prescription slice plus
+// the joined-in mechanism (the column order of prescriptions ⋈
+// formulary).
+var RxViewCols = []string{
+	workload.ColPatientID, workload.ColMedication,
+	workload.ColDosage, workload.ColMechanism,
+}
+
+// LensRxJoin derives the pharmacist's replica RXF: prescriptions joined
+// with the formulary generated under seed (the reference rides in the
+// lens spec, so the doctor could rebuild the identical lens on-chain).
+func LensRxJoin(seed int64) Lens {
+	return bx.Join("RXF", workload.Formulary("formulary", seed))
+}
+
+// LensD3F derives the doctor's replica D3F by projecting D3 onto the
+// shared columns.
+func LensD3F() Lens {
+	return bx.Project("D3F", RxViewCols, nil)
+}
+
+// NewJoinShareScenario builds the pharmacist/doctor pair on a fresh
+// network with nRecords synthetic records under seed. The doctor may
+// write dosage and mechanism; the pharmacist only dosage (it holds no
+// mechanism data of its own — the reference is read-only).
+func NewJoinShareScenario(ctx context.Context, cfg NetworkConfig, nRecords int, seed int64) (*JoinShareScenario, error) {
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := PopulateJoinShare(ctx, nw, nRecords, seed)
+	if err != nil {
+		nw.Stop()
+		return nil, err
+	}
+	return sc, nil
+}
+
+// PopulateJoinShare builds the join-share stakeholders on an existing
+// network.
+func PopulateJoinShare(ctx context.Context, nw *Network, nRecords int, seed int64) (*JoinShareScenario, error) {
+	full := workload.Generate("full", nRecords, seed)
+
+	pharmacist, err := nw.NewPeer("Pharmacist", 0)
+	if err != nil {
+		return nil, err
+	}
+	doctor, err := nw.NewPeer("Doctor", nw.Nodes()-1)
+	if err != nil {
+		return nil, err
+	}
+
+	rx, err := full.Project("RX", workload.PrescriptionCols, nil)
+	if err != nil {
+		return nil, err
+	}
+	d3, err := full.Project("D3", workload.DoctorCols, nil)
+	if err != nil {
+		return nil, err
+	}
+	pharmacist.DB().PutTable(rx)
+	doctor.DB().PutTable(d3)
+
+	perm := map[string][]identity.Address{
+		workload.ColDosage:    {pharmacist.Address(), doctor.Address()},
+		workload.ColMechanism: {doctor.Address()},
+	}
+	err = pharmacist.RegisterShare(ctx, core.RegisterShareArgs{
+		ID:          ShareIDRx,
+		SourceTable: "RX",
+		Lens:        LensRxJoin(seed),
+		ViewName:    "RXF",
+		Peers:       []identity.Address{pharmacist.Address(), doctor.Address()},
+		WritePerm:   perm,
+		Authority:   doctor.Address(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("registering %s: %w", ShareIDRx, err)
+	}
+	if _, err := doctor.WaitForShare(ctx, ShareIDRx); err != nil {
+		return nil, err
+	}
+	if err := doctor.AttachShare(ShareIDRx, "D3", LensD3F(), "D3F"); err != nil {
+		return nil, err
+	}
+	return &JoinShareScenario{
+		Network: nw, Pharmacist: pharmacist, Doctor: doctor, ShareRx: ShareIDRx,
+	}, nil
+}
+
+// Stop shuts the scenario's network down.
+func (sc *JoinShareScenario) Stop() { sc.Network.Stop() }

@@ -294,3 +294,121 @@ func TestCascade(t *testing.T) {
 		t.Fatalf("mode of action = %q, want MoA-pending default", s)
 	}
 }
+
+// TestJoinShareWorkflow drives the prescriptions ⋈ formulary share end
+// to end: a doctor-side dosage edit must reach the pharmacist's
+// prescriptions through JoinLens.PutDelta (the join lens's backward
+// delta path on a live network), a pharmacist-side edit must flow the
+// other way, and a doctor-side mechanism edit — an edit to a joined-in
+// reference column — must be rejected at the pharmacist's put and
+// rolled back on the doctor.
+func TestJoinShareWorkflow(t *testing.T) {
+	ctx := testCtx(t)
+	sc, err := NewJoinShareScenario(ctx, fastNet(), 24, 7)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	defer sc.Stop()
+
+	// The two independently derived replicas agree from the start (the
+	// formulary reproduces the generator's a1 → a5 dependency).
+	rxf, err := sc.Pharmacist.View(ShareIDRx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3f, err := sc.Doctor.View(ShareIDRx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rxf.Hash() != d3f.Hash() {
+		t.Fatal("join and projection replicas disagree at registration")
+	}
+
+	// Doctor edits a dosage in D3; the pharmacist's event loop embeds the
+	// incoming changeset through the join lens's native PutDelta.
+	err = sc.Doctor.UpdateSource("D3", func(tbl *reldb.Table) error {
+		return tbl.Update(reldb.Row{reldb.I(188)},
+			map[string]reldb.Value{workload.ColDosage: reldb.S("one tablet every 12h")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := sc.Doctor.SyncShares(ctx, "D3")
+	if err != nil {
+		t.Fatalf("doctor sync: %v", err)
+	}
+	if len(props) != 1 {
+		t.Fatalf("expected one proposal, got %+v", props)
+	}
+	if err := sc.Doctor.WaitFinal(ctx, ShareIDRx, props[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	rx, err := sc.Pharmacist.Source("RX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustValue(t, rx, reldb.Row{reldb.I(188)}, workload.ColDosage)
+	if s, _ := got.Str(); s != "one tablet every 12h" {
+		t.Fatalf("pharmacist RX dosage = %q, want doctor's edit", s)
+	}
+
+	// Pharmacist edits a dosage on the shared view directly (UpdateView:
+	// delta put into RX, then proposal); the doctor applies it into D3.
+	_, err = sc.Pharmacist.UpdateView(ctx, ShareIDRx, func(v *reldb.Table) error {
+		return v.Update(reldb.Row{reldb.I(189)},
+			map[string]reldb.Value{workload.ColDosage: reldb.S("500 mg at lunch")})
+	})
+	if err != nil {
+		t.Fatalf("pharmacist view edit: %v", err)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		d3, err := sc.Doctor.Source("D3")
+		if err != nil {
+			return false
+		}
+		v, err := d3.Value(reldb.Row{reldb.I(189)}, workload.ColDosage)
+		if err != nil {
+			return false
+		}
+		s, _ := v.Str()
+		return s == "500 mg at lunch"
+	})
+
+	// Doctor edits a mechanism — visible in its D3, but a *reference*
+	// column of the pharmacist's join. The contract admits it (the doctor
+	// holds the permission); the pharmacist's put rejects it row-by-row,
+	// and the rejection rolls the doctor's replica back.
+	err = sc.Doctor.UpdateSource("D3", func(tbl *reldb.Table) error {
+		return tbl.Update(reldb.Row{reldb.I(188)},
+			map[string]reldb.Value{workload.ColMechanism: reldb.S("MeA-forged")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Doctor.ProposeUpdate(ctx, ShareIDRx); err != nil {
+		t.Fatalf("propose: %v", err)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, h := range sc.Doctor.History() {
+			if h.Kind == "rolled-back" && h.ShareID == ShareIDRx {
+				return true
+			}
+		}
+		return false
+	})
+	// The pharmacist's replica still carries the true formulary value.
+	rxf, err = sc.Pharmacist.View(ShareIDRx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = mustValue(t, rxf, reldb.Row{reldb.I(188)}, workload.ColMechanism)
+	if s, _ := got.Str(); s == "MeA-forged" {
+		t.Fatal("reference-column edit leaked into the pharmacist's replica")
+	}
+	// And after the rollback both replicas agree again.
+	waitFor(t, 30*time.Second, func() bool {
+		rxf, err1 := sc.Pharmacist.View(ShareIDRx)
+		d3f, err2 := sc.Doctor.View(ShareIDRx)
+		return err1 == nil && err2 == nil && rxf.Hash() == d3f.Hash()
+	})
+}

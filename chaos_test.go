@@ -1,0 +1,71 @@
+package medshare
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// runChaos executes the full chaos suite — lossy update storm, three-way
+// partition, doctor crash-restart mid-cascade — with a fixed seed and
+// asserts the acceptance criteria: every finalized update lands, the
+// fabric really did drop a meaningful share of traffic, recovery used
+// the retry/repair machinery (never a manual resync), and every replica
+// ends at the on-chain Merkle root.
+func runChaos(t *testing.T, transport string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	sc, err := NewChaosScenario(ctx, ChaosConfig{
+		Seed:          42,
+		DataTransport: transport,
+	})
+	if err != nil {
+		t.Fatalf("NewChaosScenario: %v", err)
+	}
+	defer sc.Network.Stop()
+
+	report, err := sc.Run(ctx)
+	if err != nil {
+		t.Fatalf("chaos run: %v (report %+v)", err, report)
+	}
+
+	if report.Updates < 9 { // 6 storm + 2 partitioned + crash-restart phases
+		t.Fatalf("expected at least 9 finalized updates, got %d", report.Updates)
+	}
+	c := report.Counters
+	if c.Requests == 0 {
+		t.Fatalf("no data-channel requests observed: %+v", c)
+	}
+	lost := c.RequestsLost + c.RequestsHung + c.Blocked
+	if lost == 0 {
+		t.Fatalf("fabric injected no request faults: %+v", c)
+	}
+	t.Logf("report: updates=%d elapsed=%v converge=%v", report.Updates, report.Elapsed, report.ConvergeAfterHeal)
+	t.Logf("fabric: %+v", c)
+
+	var retries, heals uint64
+	for name, st := range report.PeerStats {
+		t.Logf("stats[%s]: %+v", name, st)
+		retries += st.RPCRetries
+		heals += st.RepairHeals
+	}
+	if retries == 0 {
+		t.Fatal("no RPC retries recorded — the fault schedule did not exercise the backoff path")
+	}
+	if heals == 0 {
+		t.Fatal("no repair heals recorded — convergence did not go through the self-healing loop")
+	}
+}
+
+func TestChaosConvergenceMemnet(t *testing.T) {
+	runChaos(t, DataTransportMem)
+}
+
+func TestChaosConvergenceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP chaos suite skipped in -short mode")
+	}
+	runChaos(t, DataTransportTCP)
+}

@@ -31,6 +31,7 @@ var configFields = map[string]bool{
 	"Records": true, "Nodes": true, "Rows": true, "Depth": true,
 	"Updaters": true, "Shares": true, "Readers": true, "BatchSize": true,
 	"Consensus": true, "BlockInterval": true, "Peer": true, "Updates": true,
+	"DropRate": true,
 }
 
 // cpuBoundExperiments run entirely in-process with no configured block

@@ -26,7 +26,7 @@ import (
 
 var (
 	quick        = flag.Bool("quick", false, "reduced parameter sweeps")
-	only         = flag.String("only", "", "run only the named experiment (E1..E14)")
+	only         = flag.String("only", "", "run only the named experiment (E1..E15)")
 	baseline     = flag.String("baseline", "BENCH_baseline.json", "write machine-readable results to this file (empty disables)")
 	compare      = flag.String("compare", "", "diff this run against a committed baseline JSON and exit non-zero on regressions")
 	threshold    = flag.Float64("threshold", 0.25, "relative regression threshold for -compare (0.25 = 25% worse)")
@@ -67,7 +67,7 @@ func main() {
 		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
-		{"E13", runE13}, {"E14", runE14},
+		{"E13", runE13}, {"E14", runE14}, {"E15", runE15},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
@@ -580,6 +580,31 @@ func runE10(ctx context.Context) error {
 			for _, r := range results {
 				fmt.Fprintf(w, "%d\t%d\t%d\t%v\t%v\n", r.Updates, r.Blocks, r.HistoryCount,
 					r.HistoryTime.Round(time.Microsecond), r.IntegrityOK.Round(time.Microsecond))
+			}
+		})
+	return nil
+}
+
+func runE15(ctx context.Context) error {
+	rates := []float64{0.15, 0.35, 0.5}
+	if *quick {
+		rates = []float64{0.35}
+	}
+	var results []medshare.E15Result
+	for _, dr := range rates {
+		r, err := medshare.RunE15Chaos(ctx, dr, 42)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	baselineData["E15"] = results
+	table("E15 — convergence under faults: chaos suite (storm + partition + crash-restart) vs request loss",
+		"drop rate\tupdates\tconverge after heal\treq lost\treq blocked\trpc retries\tresyncs\trepair heals", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%.2f\t%d\t%v\t%d\t%d\t%d\t%d\t%d\n", r.DropRate,
+					r.Updates, r.ConvergeTime.Round(10*time.Microsecond),
+					r.RequestsLost, r.RequestsBlocked, r.RPCRetries, r.ResyncsFired, r.RepairHeals)
 			}
 		})
 	return nil

@@ -196,3 +196,19 @@ func TestRunE14(t *testing.T) {
 		}
 	}
 }
+
+func TestRunE15(t *testing.T) {
+	r, err := RunE15Chaos(testCtx(t), 0.35, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Updates < 9 || r.ConvergeTime <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.RequestsLost == 0 && r.RequestsBlocked == 0 {
+		t.Fatalf("no faults injected: %+v", r)
+	}
+	if r.RPCRetries == 0 || r.RepairHeals == 0 {
+		t.Fatalf("recovery machinery unused: %+v", r)
+	}
+}

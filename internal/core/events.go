@@ -335,11 +335,25 @@ func (p *Peer) cascade(ctx context.Context, origin *Share, changedCols []string)
 	// FanoutWorkers-1 — the bound is runaway-cascade protection, not an
 	// exact quota, and no-change probes never consume it.
 	var proposals atomic.Int64
+	b := p.cfg.Retry.withDefaults()
 	return forEachShare(hits, p.cfg.FanoutWorkers, func(s2 *Share) error {
 		if proposals.Load() >= int64(p.cfg.MaxCascadeDepth) {
 			return fmt.Errorf("%w: share %s", ErrCascadeTooDeep, origin.ID)
 		}
 		res, err := p.ProposeUpdate(ctx, s2.ID)
+		// A sibling share busy with a concurrent update (pending gate,
+		// stale base) is a transient ordering conflict, not a dead end:
+		// retry with backoff so the dependent share still carries the
+		// change once the conflicting update settles.
+		for attempt := 1; retriableProposal(err) && attempt < b.Attempts; attempt++ {
+			p.stats.proposalRetries.Add(1)
+			select {
+			case <-p.cfg.Clock.After(b.jittered(b.delay(attempt-1), jitterSample())):
+			case <-ctx.Done():
+				return fmt.Errorf("core: cascading %s -> %s: %w", origin.ID, s2.ID, ctx.Err())
+			}
+			res, err = p.ProposeUpdate(ctx, s2.ID)
+		}
 		if err == ErrNoChanges {
 			return nil // overlap was column-level only; data unaffected
 		}
@@ -399,13 +413,19 @@ func (p *Peer) onRemoved(ev sharereg.EventPayload) {
 }
 
 // Resync reconciles every bound share against on-chain state: pending
-// updates we have not applied are fetched and acknowledged, and finalized
+// updates we have not applied are fetched and acknowledged, finalized
 // updates we missed entirely (dropped events) are fetched from the last
-// updater. It makes the peer robust to lossy notification delivery.
+// updater, and a replica whose Merkle root disagrees with the on-chain
+// payload hash at the same sequence number is repaired from a
+// counterparty. It makes the peer robust to lossy notification delivery
+// and to replica corruption (a cold restart from a stale backup).
 // Shares are reconciled concurrently (bounded by Config.FanoutWorkers) —
 // they are independent replicas, and a hospital-scale peer recovering
 // hundreds of them mostly waits on fetches and ack commits. Every share
-// is attempted even when some fail; the errors are joined.
+// is attempted even when some fail; the errors are joined. The
+// background repair loop (Config.ResyncInterval) calls this
+// periodically, so all three divergence classes self-heal with zero
+// manual intervention.
 func (p *Peer) Resync(ctx context.Context) error {
 	p.mu.Lock()
 	ids := make([]string, 0, len(p.shares))
@@ -416,29 +436,150 @@ func (p *Peer) Resync(ctx context.Context) error {
 	sort.Strings(ids)
 
 	return forEachShare(ids, p.cfg.FanoutWorkers, func(id string) error {
-		meta, err := p.Meta(id)
+		return p.reconcileShare(ctx, id)
+	})
+}
+
+// reconcileShare is one share's anti-entropy step: compare local state
+// against the on-chain metadata and heal whichever divergence class is
+// found (unapplied pending update, missed finalized update, or root
+// mismatch at an equal sequence number).
+func (p *Peer) reconcileShare(ctx context.Context, id string) error {
+	meta, err := p.Meta(id)
+	if err != nil {
+		return err
+	}
+	s, err := p.share(id)
+	if err != nil {
+		return nil // unbound concurrently (removed share)
+	}
+	s.stMu.Lock()
+	applied := s.AppliedSeq
+	inflight := s.backup != nil
+	s.stMu.Unlock()
+
+	switch {
+	case meta.Pending != nil && meta.Pending.From != p.Address() && applied < meta.Pending.Seq:
+		p.stats.resyncsTriggered.Add(1)
+		if err := p.applyIncoming(ctx, id, meta.Pending.Seq, meta.Pending.From, meta.Pending.PayloadHash, meta.Pending.Cols); err != nil {
+			return fmt.Errorf("core: resync %s pending: %w", id, err)
+		}
+	case meta.Seq > applied && meta.LastFrom != p.Address() && !meta.LastFrom.IsZero():
+		p.stats.resyncsTriggered.Add(1)
+		if err := p.resyncFinalized(ctx, s, meta); err != nil {
+			return err
+		}
+	case meta.Pending == nil && !inflight && applied == meta.Seq && meta.LastPayloadHash != "":
+		// Same sequence number as the chain — but does the content
+		// actually match? A peer restarted from a stale or corrupt backup
+		// can carry the right seq label over the wrong rows; the on-chain
+		// payload hash is the arbiter. The cheap check runs every scan
+		// (the root is cached on the table); the repair path re-verifies
+		// under the operation lock before touching anything.
+		view, err := p.snapshotTable(s.ViewName)
 		if err != nil {
 			return err
 		}
-		s, err := p.share(id)
-		if err != nil {
-			return nil // unbound concurrently (removed share)
-		}
-		s.stMu.Lock()
-		applied := s.AppliedSeq
-		s.stMu.Unlock()
-
-		if meta.Pending != nil && meta.Pending.From != p.Address() && applied < meta.Pending.Seq {
-			if err := p.applyIncoming(ctx, id, meta.Pending.Seq, meta.Pending.From, meta.Pending.PayloadHash, meta.Pending.Cols); err != nil {
-				return fmt.Errorf("core: resync %s pending: %w", id, err)
-			}
+		if hashHex(view) == meta.LastPayloadHash {
 			return nil
 		}
-		if meta.Seq > applied && meta.LastFrom != p.Address() && !meta.LastFrom.IsZero() {
-			return p.resyncFinalized(ctx, s, meta)
+		p.stats.resyncsTriggered.Add(1)
+		if err := p.repairMismatch(ctx, s); err != nil {
+			return fmt.Errorf("core: repair %s: %w", id, err)
 		}
+	default:
 		return nil
+	}
+	p.stats.repairHeals.Add(1)
+	return nil
+}
+
+// repairMismatch heals a replica whose content disagrees with the
+// on-chain payload hash at the chain's sequence number. The healthy
+// content comes from a counterparty via the structural anti-entropy walk
+// (only divergent subtrees cross the wire) with a full fetch as
+// fallback, is verified against the on-chain hash, and is installed
+// through a full put — the local replica is untrustworthy, so no delta
+// base survives.
+func (p *Peer) repairMismatch(ctx context.Context, s *Share) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	// Re-verify under the operation lock: the mismatch may have been a
+	// transient read against an in-flight apply or proposal.
+	meta, err := p.Meta(s.ID)
+	if err != nil {
+		return err
+	}
+	s.stMu.Lock()
+	applied := s.AppliedSeq
+	inflight := s.backup != nil
+	s.stMu.Unlock()
+	if inflight || meta.Pending != nil || applied != meta.Seq || meta.LastPayloadHash == "" {
+		return nil
+	}
+	curView, err := p.snapshotTable(s.ViewName)
+	if err != nil {
+		return err
+	}
+	if hashHex(curView) == meta.LastPayloadHash {
+		return nil
+	}
+
+	// Pick a provider: the last updater, else any other sharing peer.
+	from := meta.LastFrom
+	if from.IsZero() || from == p.Address() {
+		for _, a := range meta.Peers {
+			if a != p.Address() {
+				from = a
+				break
+			}
+		}
+	}
+	if from.IsZero() || from == p.Address() {
+		return fmt.Errorf("core: no counterparty to heal from")
+	}
+
+	var healed *reldb.Table
+	if curView.Len() > 0 {
+		if synced, syncSeq, stats, serr := p.syncFrom(ctx, from, s.ID, meta.Seq, curView); serr == nil && syncSeq == meta.Seq {
+			if cand := s.seedView(synced); hashHex(cand) == meta.LastPayloadHash {
+				healed = cand
+				p.logf("repair %s: structural sync healed root mismatch (%d rounds, %d rows inline, %d grafted)",
+					s.ID, stats.Rounds, stats.RowsInline, stats.RowsGrafted)
+			}
+		}
+	}
+	if healed == nil {
+		full, _, _, seq, ferr := p.fetchFrom(ctx, from, s.ID, meta.Seq, 0, nil)
+		if ferr != nil {
+			return ferr
+		}
+		full = s.seedView(full)
+		if seq != meta.Seq || hashHex(full) != meta.LastPayloadHash {
+			return fmt.Errorf("%w: repair %s seq %d", ErrPayloadHash, s.ID, seq)
+		}
+		healed = full
+	}
+
+	local := healed.Renamed(s.ViewName)
+	err = p.cfg.DB.ReplaceTable(s.SourceTable, func(src *reldb.Table) (*reldb.Table, error) {
+		newSrc, err := s.Lens.Put(src, local)
+		if err != nil {
+			return nil, err
+		}
+		return newSrc.Renamed(s.SourceTable), nil
 	})
+	if err != nil {
+		return err
+	}
+	p.cfg.DB.PutTable(local)
+	s.stMu.Lock()
+	s.prev = nil
+	s.diverged = false
+	s.stMu.Unlock()
+	p.record(HistoryEntry{ShareID: s.ID, Seq: meta.Seq, Kind: "repaired", From: from})
+	p.logf("repaired %s at seq %d from %s", s.ID, meta.Seq, from.Short())
+	return nil
 }
 
 // resyncFinalized catches the share up to an already-finalized update the

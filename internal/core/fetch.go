@@ -194,7 +194,7 @@ func (p *Peer) fetchFrom(ctx context.Context, from identity.Address, shareID str
 	if err != nil {
 		return nil, reldb.Changeset{}, false, 0, err
 	}
-	msg, err := p.cfg.Transport.Request(ctx, endpoint, p2p.Message{Kind: p2p.KindDataFetch, Payload: payload})
+	msg, err := p.channelRequest(ctx, endpoint, p2p.Message{Kind: p2p.KindDataFetch, Payload: payload})
 	if err != nil {
 		return nil, reldb.Changeset{}, false, 0, fmt.Errorf("core: fetching %s from %s: %w", shareID, from, err)
 	}

@@ -78,10 +78,24 @@ type Config struct {
 	FanoutWorkers int
 	// TxTimeout bounds each wait for a transaction commit. 0 means 30s.
 	TxTimeout time.Duration
-	// ResyncInterval, when positive, runs Resync periodically in the
-	// background so shares recover automatically from missed
-	// notifications (event-buffer overflow, gossip loss). Zero disables
-	// the loop; Resync can still be called manually.
+	// RPCTimeout bounds each individual data-channel request attempt
+	// (fetch and sync rounds). 0 means 5s; negative disables the
+	// per-attempt deadline (the caller's context still applies).
+	RPCTimeout time.Duration
+	// Retry tunes the data-channel backoff schedule; the zero value
+	// selects the documented defaults (4 attempts, 10ms base, 2s cap,
+	// factor 2, 50% jitter).
+	Retry Backoff
+	// Health tunes the per-endpoint failure tracking that short-circuits
+	// requests to repeatedly failing peers; the zero value selects the
+	// documented defaults (3 failures, 1s quarantine doubling to 10s).
+	Health HealthPolicy
+	// ResyncInterval, when positive, runs the background anti-entropy
+	// repair loop: Resync periodically reconciles every share against
+	// on-chain state — missed pending updates, missed finals, and root
+	// mismatches against the on-chain payload hash all self-heal without
+	// manual intervention. Zero disables the loop; Resync can still be
+	// called manually.
 	ResyncInterval time.Duration
 	// Logf, when set, receives progress lines (examples wire it to
 	// fmt.Printf; tests leave it nil).
@@ -111,6 +125,14 @@ type Peer struct {
 	// history records locally observed share activity for the audit
 	// examples; the authoritative history lives on-chain.
 	history []HistoryEntry
+
+	// health tracks per-endpoint consecutive request failures for the
+	// quarantine short-circuit (see retry.go).
+	healthMu sync.Mutex
+	health   map[string]*endpointHealth
+
+	// stats are the resilience counters behind Stats().
+	stats statsCounters
 }
 
 // Share is one peer's binding of a shared table: the local source it is
@@ -216,6 +238,9 @@ func NewPeer(cfg Config) (*Peer, error) {
 	if cfg.TxTimeout <= 0 {
 		cfg.TxTimeout = 30 * time.Second
 	}
+	if cfg.RPCTimeout == 0 {
+		cfg.RPCTimeout = 5 * time.Second
+	}
 	if cfg.FanoutWorkers == 0 {
 		cfg.FanoutWorkers = 8
 	}
@@ -225,6 +250,7 @@ func NewPeer(cfg Config) (*Peer, error) {
 		stopped:  make(chan struct{}),
 		evQueues: make(map[string][]shareEvent),
 		evActive: make(map[string]bool),
+		health:   make(map[string]*endpointHealth),
 	}
 	if cfg.FanoutWorkers > 1 {
 		p.evSem = make(chan struct{}, cfg.FanoutWorkers)
@@ -434,6 +460,70 @@ func (p *Peer) buildTx(fn, shareID string, arg any) (*chain.Tx, error) {
 func hashHex(t *reldb.Table) string {
 	h := t.Hash()
 	return hex.EncodeToString(h[:])
+}
+
+// ShareSnapshot captures one share's local replica state — the source
+// table, the materialized view, and the applied sequence number — as of
+// one instant. Chaos and crash tests use it to model a peer restarting
+// from a cold (possibly stale) backup: restore a snapshot taken before
+// updates were applied and the repair loop must catch the share up.
+type ShareSnapshot struct {
+	ShareID string
+	// Seq is the applied sequence number at snapshot time.
+	Seq uint64
+	// Source and View are independent snapshots of the share's tables.
+	Source *reldb.Table
+	View   *reldb.Table
+}
+
+// SnapshotShare captures the share's current replica state. It takes the
+// share's operation lock, so the snapshot is internally consistent (no
+// half-applied update).
+func (p *Peer) SnapshotShare(id string) (ShareSnapshot, error) {
+	s, err := p.share(id)
+	if err != nil {
+		return ShareSnapshot{}, err
+	}
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	s.stMu.Lock()
+	seq := s.AppliedSeq
+	s.stMu.Unlock()
+	src, err := p.snapshotTable(s.SourceTable)
+	if err != nil {
+		return ShareSnapshot{}, err
+	}
+	view, err := p.snapshotTable(s.ViewName)
+	if err != nil {
+		return ShareSnapshot{}, err
+	}
+	return ShareSnapshot{ShareID: id, Seq: seq, Source: src, View: view}, nil
+}
+
+// RestoreShare installs a snapshot over the share's current state — the
+// test hook simulating a process that crashed and came back from an
+// older backup. Delta bases, rollback points, and the divergence flag
+// are reset: a restarted process holds none of that in-memory state.
+// Call on a stopped peer (or accept that live traffic serializes behind
+// the restore via the operation lock); afterwards Resync or the repair
+// loop reconciles the share against the chain.
+func (p *Peer) RestoreShare(snap ShareSnapshot) error {
+	s, err := p.share(snap.ShareID)
+	if err != nil {
+		return err
+	}
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	p.cfg.DB.PutTable(snap.Source.Renamed(s.SourceTable))
+	p.cfg.DB.PutTable(snap.View.Renamed(s.ViewName))
+	s.stMu.Lock()
+	s.AppliedSeq = snap.Seq
+	s.backup = nil
+	s.prev = nil
+	s.diverged = false
+	s.stMu.Unlock()
+	p.record(HistoryEntry{ShareID: snap.ShareID, Seq: snap.Seq, Kind: "restored", Note: "state restored from snapshot"})
+	return nil
 }
 
 // snapshotTable returns an independent snapshot of a local table. The

@@ -417,7 +417,7 @@ func (p *Peer) syncFrom(ctx context.Context, from identity.Address, shareID stri
 			return SyncResponse{}, err
 		}
 		stats.BytesSent += len(payload)
-		msg, err := p.cfg.Transport.Request(ctx, endpoint, p2p.Message{Kind: p2p.KindSync, Payload: payload})
+		msg, err := p.channelRequest(ctx, endpoint, p2p.Message{Kind: p2p.KindSync, Payload: payload})
 		if err != nil {
 			return SyncResponse{}, fmt.Errorf("core: syncing %s from %s: %w", shareID, from, err)
 		}

@@ -45,6 +45,12 @@ type syncHarness struct {
 }
 
 func newSyncHarness(t *testing.T, rows int, ta, tb p2p.Transport) *syncHarness {
+	return newSyncHarnessTweak(t, rows, ta, tb, nil)
+}
+
+// newSyncHarnessTweak is newSyncHarness with a per-peer Config hook (the
+// resilience tests tune retry, health, and repair-loop settings).
+func newSyncHarnessTweak(t *testing.T, rows int, ta, tb p2p.Transport, tweak func(name string, cfg *Config)) *syncHarness {
 	t.Helper()
 	nid := identity.MustNew("node")
 	n, err := node.New(node.Config{
@@ -67,10 +73,14 @@ func newSyncHarness(t *testing.T, rows int, ta, tb p2p.Transport) *syncHarness {
 		id := identity.MustNew(name)
 		db := reldb.NewDatabase(name)
 		db.PutTable(syncTestTable(rows))
-		p, err := NewPeer(Config{
+		cfg := Config{
 			Identity: id, DB: db, Node: n,
 			Transport: tr, Directory: dir,
-		})
+		}
+		if tweak != nil {
+			tweak(name, &cfg)
+		}
+		p, err := NewPeer(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,397 @@
+// Package faultnet is a deterministic fault-injection layer over any
+// p2p.Transport. A Fabric holds a seeded, scriptable fault schedule —
+// message drop, duplication, delay, reordering, asymmetric partitions
+// with heal, per-peer blackholes (crash), per-link latency spikes — and
+// Wrap turns any transport endpoint (memnet or TCP) into one that
+// experiences those faults. Chaos tests drive the schedule from test
+// code and assert on the fabric's fault counters, so "the network
+// actually misbehaved" is checkable rather than assumed.
+//
+// Fault semantics follow the transport contract: one-way messages
+// (gossip) are silently lost, duplicated, delayed, or reordered — the
+// sender cannot tell, like UDP. Requests model an RPC: a blocked or
+// blackholed link fails fast, a lost request/response fails after the
+// link delay (the caller's retry layer is what recovers), and a hung
+// request blocks until the caller's context expires (exercising RPC
+// deadlines).
+//
+// Determinism: all sampling comes from one seeded PRNG under the
+// fabric's lock, and the schedule (partition timings, rate changes) is
+// driven explicitly by the test. Goroutine interleaving still varies
+// across runs, so tests assert convergence and counter *presence*, not
+// exact counts.
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"medshare/internal/p2p"
+)
+
+// ErrBlocked marks a request refused by a partition or blackhole.
+var ErrBlocked = errors.New("faultnet: link blocked")
+
+// ErrLost marks a request (or its response) sampled as lost.
+var ErrLost = errors.New("faultnet: request lost")
+
+// Counters is a snapshot of the fabric's fault accounting.
+type Counters struct {
+	// Sent counts one-way messages offered to the fabric; Delivered the
+	// ones handed to the inner transport (duplicates count again).
+	Sent, Delivered uint64
+	// Dropped, Duplicated, Delayed, Reordered count one-way message
+	// faults.
+	Dropped, Duplicated, Delayed, Reordered uint64
+	// Blocked counts sends and requests refused by a partition or
+	// blackhole.
+	Blocked uint64
+	// Requests counts request attempts through the fabric; RequestsLost
+	// the ones sampled as lost, RequestsHung the ones held until the
+	// caller's context expired.
+	Requests, RequestsLost, RequestsHung uint64
+}
+
+// Fabric is a shared fault schedule for a set of wrapped endpoints.
+type Fabric struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	dropRate    float64
+	dupRate     float64
+	reorderRate float64
+	reqLossRate float64
+	reqHangRate float64
+
+	delayBase   time.Duration
+	delayJitter time.Duration
+	linkDelay   map[link]time.Duration
+
+	group      map[string]int // endpoint -> partition group
+	oneWayCut  map[link]bool  // directed blocks (asymmetric partitions)
+	blackholed map[string]bool
+
+	// heldBack holds one reorder-sampled message per directed link; it is
+	// released behind the next message on the link (or by a flush timer).
+	heldBack map[link]*heldMsg
+
+	c Counters
+}
+
+type link struct{ from, to string }
+
+type heldMsg struct {
+	msg   p2p.Message
+	to    string
+	inner p2p.Transport
+	timer *time.Timer
+}
+
+// reorderMaxHold bounds how long a held-back message waits for a
+// successor before it is flushed anyway.
+const reorderMaxHold = 50 * time.Millisecond
+
+// New creates a fabric whose sampling is driven by seed.
+func New(seed int64) *Fabric {
+	return &Fabric{
+		rng:        rand.New(rand.NewSource(seed)),
+		linkDelay:  make(map[link]time.Duration),
+		group:      make(map[string]int),
+		oneWayCut:  make(map[link]bool),
+		blackholed: make(map[string]bool),
+		heldBack:   make(map[link]*heldMsg),
+	}
+}
+
+// SetDropRate sets the probability in [0,1) that a one-way message is
+// silently lost.
+func (f *Fabric) SetDropRate(p float64) { f.mu.Lock(); f.dropRate = p; f.mu.Unlock() }
+
+// SetDuplicateRate sets the probability that a one-way message is
+// delivered twice.
+func (f *Fabric) SetDuplicateRate(p float64) { f.mu.Lock(); f.dupRate = p; f.mu.Unlock() }
+
+// SetReorderRate sets the probability that a one-way message is held
+// back and released behind the next message on the same link.
+func (f *Fabric) SetReorderRate(p float64) { f.mu.Lock(); f.reorderRate = p; f.mu.Unlock() }
+
+// SetRequestLoss sets the request fault probabilities: loss fails the
+// request after the link delay (a lost request or response), hang holds
+// it until the caller's context expires.
+func (f *Fabric) SetRequestLoss(loss, hang float64) {
+	f.mu.Lock()
+	f.reqLossRate, f.reqHangRate = loss, hang
+	f.mu.Unlock()
+}
+
+// SetDelay sets the base one-way delay and jitter added to every
+// delivery.
+func (f *Fabric) SetDelay(base, jitter time.Duration) {
+	f.mu.Lock()
+	f.delayBase, f.delayJitter = base, jitter
+	f.mu.Unlock()
+}
+
+// SpikeLink sets an extra symmetric delay on one link (a latency spike);
+// d == 0 clears it.
+func (f *Fabric) SpikeLink(a, b string, d time.Duration) {
+	f.mu.Lock()
+	if d <= 0 {
+		delete(f.linkDelay, link{a, b})
+		delete(f.linkDelay, link{b, a})
+	} else {
+		f.linkDelay[link{a, b}] = d
+		f.linkDelay[link{b, a}] = d
+	}
+	f.mu.Unlock()
+}
+
+// Partition splits the named endpoints into isolated groups: traffic
+// between different groups is blocked both ways. Endpoints not named in
+// any group stay reachable by everyone. Calling Partition replaces the
+// previous grouping.
+func (f *Fabric) Partition(groups ...[]string) {
+	f.mu.Lock()
+	f.group = make(map[string]int)
+	for i, g := range groups {
+		for _, name := range g {
+			f.group[name] = i
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Cut blocks the directed link from -> to (an asymmetric partition:
+// replies and reverse traffic still flow).
+func (f *Fabric) Cut(from, to string) {
+	f.mu.Lock()
+	f.oneWayCut[link{from, to}] = true
+	f.mu.Unlock()
+}
+
+// Heal clears all partitions and directed cuts (not blackholes).
+func (f *Fabric) Heal() {
+	f.mu.Lock()
+	f.group = make(map[string]int)
+	f.oneWayCut = make(map[link]bool)
+	f.mu.Unlock()
+}
+
+// Blackhole makes an endpoint unreachable in both directions — the
+// wrapped network's view of a crashed process.
+func (f *Fabric) Blackhole(name string) {
+	f.mu.Lock()
+	f.blackholed[name] = true
+	f.mu.Unlock()
+}
+
+// Restore undoes Blackhole.
+func (f *Fabric) Restore(name string) {
+	f.mu.Lock()
+	delete(f.blackholed, name)
+	f.mu.Unlock()
+}
+
+// Counters returns a snapshot of the fault accounting.
+func (f *Fabric) Counters() Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.c
+}
+
+// blockedLocked reports whether from -> to is unreachable.
+func (f *Fabric) blockedLocked(from, to string) bool {
+	if f.blackholed[from] || f.blackholed[to] {
+		return true
+	}
+	if f.oneWayCut[link{from, to}] {
+		return true
+	}
+	ga, aok := f.group[from]
+	gb, bok := f.group[to]
+	return aok && bok && ga != gb
+}
+
+// delayLocked samples the delivery delay for one link.
+func (f *Fabric) delayLocked(from, to string) time.Duration {
+	d := f.delayBase + f.linkDelay[link{from, to}]
+	if f.delayJitter > 0 {
+		d += time.Duration(f.rng.Int63n(int64(f.delayJitter)))
+	}
+	return d
+}
+
+func (f *Fabric) sampleLocked(p float64) bool {
+	return p > 0 && f.rng.Float64() < p
+}
+
+// Wrap returns a Transport that routes inner's traffic through the
+// fabric's fault schedule. The wrapped endpoint keeps inner's name, so
+// partitions and blackholes address endpoints by their transport names.
+func (f *Fabric) Wrap(inner p2p.Transport) p2p.Transport {
+	return &endpoint{fabric: f, inner: inner}
+}
+
+// endpoint implements p2p.Transport over a wrapped inner transport.
+type endpoint struct {
+	fabric *Fabric
+	inner  p2p.Transport
+}
+
+// Name implements Transport.
+func (e *endpoint) Name() string { return e.inner.Name() }
+
+// Handle implements Transport.
+func (e *endpoint) Handle(h p2p.Handler) { e.inner.Handle(h) }
+
+// HandleRequest implements Transport.
+func (e *endpoint) HandleRequest(h p2p.RequestHandler) { e.inner.HandleRequest(h) }
+
+// Peers implements Transport.
+func (e *endpoint) Peers() []string { return e.inner.Peers() }
+
+// Close implements Transport.
+func (e *endpoint) Close() error { return e.inner.Close() }
+
+// Send implements Transport. Faults are silent: like UDP gossip, the
+// sender cannot distinguish a dropped message from a delivered one.
+func (e *endpoint) Send(to string, msg p2p.Message) error {
+	f := e.fabric
+	from := e.inner.Name()
+	f.mu.Lock()
+	f.c.Sent++
+	if f.blockedLocked(from, to) {
+		f.c.Blocked++
+		f.mu.Unlock()
+		return nil
+	}
+	if f.sampleLocked(f.dropRate) {
+		f.c.Dropped++
+		f.mu.Unlock()
+		return nil
+	}
+	dup := f.sampleLocked(f.dupRate)
+	reorder := f.sampleLocked(f.reorderRate)
+	delay := f.delayLocked(from, to)
+	if dup {
+		f.c.Duplicated++
+	}
+	if delay > 0 {
+		f.c.Delayed++
+	}
+
+	// Reordering: hold this message back and release it behind the next
+	// message on the same link. A held-back predecessor is always
+	// released now, *after* the current message ships.
+	lk := link{from, to}
+	var release *heldMsg
+	if prev := f.heldBack[lk]; prev != nil {
+		prev.timer.Stop()
+		delete(f.heldBack, lk)
+		release = prev
+	}
+	if reorder && release == nil {
+		f.c.Reordered++
+		held := &heldMsg{msg: msg, to: to, inner: e.inner}
+		held.timer = time.AfterFunc(reorderMaxHold, func() { f.flushHeld(lk, held) })
+		f.heldBack[lk] = held
+		f.mu.Unlock()
+		return nil
+	}
+	f.c.Delivered++
+	if dup {
+		f.c.Delivered++
+	}
+	f.mu.Unlock()
+
+	deliver := func() error {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		err := e.inner.Send(to, msg)
+		if dup {
+			_ = e.inner.Send(to, msg)
+		}
+		if release != nil {
+			f.mu.Lock()
+			f.c.Delivered++
+			f.mu.Unlock()
+			_ = release.inner.Send(release.to, release.msg)
+		}
+		return err
+	}
+	if delay > 0 || release != nil {
+		go func() { _ = deliver() }()
+		return nil
+	}
+	return deliver()
+}
+
+// flushHeld releases a held-back message whose hold timer expired.
+func (f *Fabric) flushHeld(lk link, held *heldMsg) {
+	f.mu.Lock()
+	if f.heldBack[lk] != held {
+		f.mu.Unlock()
+		return // already released behind a successor
+	}
+	delete(f.heldBack, lk)
+	f.c.Delivered++
+	f.mu.Unlock()
+	_ = held.inner.Send(held.to, held.msg)
+}
+
+// Broadcast implements Transport by sending through the wrapper, so every
+// per-link fault applies per destination.
+func (e *endpoint) Broadcast(msg p2p.Message) error {
+	for _, name := range e.inner.Peers() {
+		if err := e.Send(name, msg); err != nil && !errors.Is(err, p2p.ErrUnknownEndpoint) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Request implements Transport. A blocked link fails fast; a sampled
+// loss fails after the link delay; a sampled hang blocks until the
+// caller's context expires.
+func (e *endpoint) Request(ctx context.Context, to string, msg p2p.Message) (p2p.Message, error) {
+	f := e.fabric
+	from := e.inner.Name()
+	f.mu.Lock()
+	f.c.Requests++
+	if f.blockedLocked(from, to) {
+		f.c.Blocked++
+		f.mu.Unlock()
+		return p2p.Message{}, fmt.Errorf("%w: %s -> %s", ErrBlocked, from, to)
+	}
+	lost := f.sampleLocked(f.reqLossRate)
+	hung := !lost && f.sampleLocked(f.reqHangRate)
+	delay := f.delayLocked(from, to)
+	if lost {
+		f.c.RequestsLost++
+	}
+	if hung {
+		f.c.RequestsHung++
+	}
+	f.mu.Unlock()
+
+	if hung {
+		<-ctx.Done()
+		return p2p.Message{}, ctx.Err()
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return p2p.Message{}, ctx.Err()
+		}
+	}
+	if lost {
+		return p2p.Message{}, fmt.Errorf("%w: %s -> %s", ErrLost, from, to)
+	}
+	return e.inner.Request(ctx, to, msg)
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,22 +16,56 @@ import (
 // the interface is identical to the in-memory simulator, so the node and
 // peer layers do not know which one they run on.
 //
-// Connections are dialed per message: at the metadata-only message rates
-// of this system (the chain carries hashes, not medical data) connection
-// reuse is not worth the state machine. Peers are registered statically
-// with AddPeer (discovery is out of scope, as in the paper).
+// One-way sends reuse a pooled connection per peer, redialing with a
+// capped backoff when the link drops; a send that hits a stale pooled
+// connection reconnects and retries once. Requests still dial per call —
+// they carry the caller's context deadline and matching responses over a
+// shared connection is not worth the state machine here. Every
+// connection runs under deadlines: writes must finish within
+// tcpWriteTimeout, and inbound connections are dropped after
+// idleTimeout without a frame. Peers are registered statically with
+// AddPeer (discovery is out of scope, as in the paper).
 type TCPTransport struct {
 	name string
 	ln   net.Listener
 
+	idleTimeout time.Duration // per-frame read deadline on inbound conns
+
 	mu     sync.RWMutex
 	peers  map[string]string // endpoint name -> host:port
+	sends  map[string]*sendConn
+	conns  map[net.Conn]struct{} // open inbound connections
 	h      Handler
 	rh     RequestHandler
 	closed bool
 
+	accepted atomic.Int64 // inbound connections accepted (observability/tests)
+
 	wg sync.WaitGroup
 }
+
+// sendConn is the pooled one-way connection to a single peer. Its mutex
+// serializes writers and guards reconnects.
+type sendConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+const (
+	// tcpWriteTimeout bounds any single frame write.
+	tcpWriteTimeout = 10 * time.Second
+	// tcpDialTimeout bounds one dial attempt.
+	tcpDialTimeout = 3 * time.Second
+	// tcpIdleTimeout is the default per-frame read deadline on inbound
+	// connections: a peer that goes quiet longer than this is cut loose
+	// (it will transparently reconnect on its next send).
+	tcpIdleTimeout = 2 * time.Minute
+	// Dial retry schedule: dialAttempts tries with delays growing from
+	// tcpDialBackoff, capped at tcpDialBackoffMax.
+	dialAttempts      = 3
+	tcpDialBackoff    = 25 * time.Millisecond
+	tcpDialBackoffMax = 200 * time.Millisecond
+)
 
 // frame is one wire message.
 type frame struct {
@@ -49,7 +84,13 @@ func NewTCPTransport(name, addr string) (*TCPTransport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("p2p: listening on %s: %w", addr, err)
 	}
-	t := &TCPTransport{name: name, ln: ln, peers: make(map[string]string)}
+	t := &TCPTransport{
+		name: name, ln: ln,
+		idleTimeout: tcpIdleTimeout,
+		peers:       make(map[string]string),
+		sends:       make(map[string]*sendConn),
+		conns:       make(map[net.Conn]struct{}),
+	}
 	t.wg.Add(1)
 	go t.serve()
 	return t, nil
@@ -101,7 +142,26 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
+	pooled := make([]*sendConn, 0, len(t.sends))
+	for _, sc := range t.sends {
+		pooled = append(pooled, sc)
+	}
+	inbound := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		inbound = append(inbound, c)
+	}
 	t.mu.Unlock()
+	for _, c := range inbound {
+		c.Close()
+	}
+	for _, sc := range pooled {
+		sc.mu.Lock()
+		if sc.conn != nil {
+			sc.conn.Close()
+			sc.conn = nil
+		}
+		sc.mu.Unlock()
+	}
 	err := t.ln.Close()
 	t.wg.Wait()
 	return err
@@ -120,19 +180,82 @@ func (t *TCPTransport) lookup(name string) (string, error) {
 	return addr, nil
 }
 
-// Send implements Transport.
+// sendSlot returns the pooled send connection slot for a peer.
+func (t *TCPTransport) sendSlot(to string) *sendConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sc, ok := t.sends[to]
+	if !ok {
+		sc = &sendConn{}
+		t.sends[to] = sc
+	}
+	return sc
+}
+
+// dialBackoff dials addr, retrying with a capped backoff — a peer that
+// is restarting gets a short grace window before the send fails.
+func (t *TCPTransport) dialBackoff(addr string) (net.Conn, error) {
+	var lastErr error
+	delay := tcpDialBackoff
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > tcpDialBackoffMax {
+				delay = tcpDialBackoffMax
+			}
+			t.mu.RLock()
+			closed := t.closed
+			t.mu.RUnlock()
+			if closed {
+				return nil, ErrClosed
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// Send implements Transport. It writes on the pooled connection to the
+// peer, reconnecting (with backoff) when the link is down or has gone
+// stale. Like the in-memory transport's lossy mode, a one-way message
+// can be lost without error if the remote dies between the write and
+// delivery — one-way sends are best-effort by contract.
 func (t *TCPTransport) Send(to string, msg Message) error {
 	addr, err := t.lookup(to)
 	if err != nil {
 		return err
 	}
 	msg.From = t.name
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return fmt.Errorf("p2p: dialing %s: %w", to, err)
+	f := frame{Type: "msg", Msg: msg}
+	sc := t.sendSlot(to)
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if sc.conn == nil {
+			conn, err := t.dialBackoff(addr)
+			if err != nil {
+				return fmt.Errorf("p2p: dialing %s: %w", to, err)
+			}
+			sc.conn = conn
+		}
+		_ = sc.conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+		if err := writeFrame(sc.conn, f); err == nil {
+			return nil
+		} else if attempt > 0 {
+			sc.conn.Close()
+			sc.conn = nil
+			return fmt.Errorf("p2p: sending to %s: %w", to, err)
+		}
+		// The pooled connection went stale (peer restarted, idle cut):
+		// drop it and retry once on a fresh dial.
+		sc.conn.Close()
+		sc.conn = nil
 	}
-	defer conn.Close()
-	return writeFrame(conn, frame{Type: "msg", Msg: msg})
 }
 
 // Broadcast implements Transport.
@@ -183,6 +306,15 @@ func (t *TCPTransport) serve() {
 		if err != nil {
 			return
 		}
+		t.accepted.Add(1)
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
@@ -191,35 +323,52 @@ func (t *TCPTransport) serve() {
 	}
 }
 
+// handleConn serves frames off one inbound connection until it closes
+// or goes idle past the deadline. One-way messages are dispatched inline
+// so per-connection ordering is preserved.
 func (t *TCPTransport) handleConn(conn net.Conn) {
-	defer conn.Close()
-	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
-	f, err := readFrame(bufio.NewReader(conn))
-	if err != nil {
-		return
-	}
-	switch f.Type {
-	case "msg":
-		t.mu.RLock()
-		h := t.h
-		t.mu.RUnlock()
-		if h != nil {
-			h(f.Msg)
-		}
-	case "req":
-		t.mu.RLock()
-		rh := t.rh
-		t.mu.RUnlock()
-		if rh == nil {
-			_ = writeFrame(conn, frame{Type: "err", Error: ErrNoHandler.Error()})
-			return
-		}
-		resp, err := rh(f.Msg)
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(t.idleTimeout))
+		f, err := readFrame(br)
 		if err != nil {
-			_ = writeFrame(conn, frame{Type: "err", Error: err.Error()})
 			return
 		}
-		_ = writeFrame(conn, frame{Type: "resp", Msg: resp})
+		switch f.Type {
+		case "msg":
+			t.mu.RLock()
+			h := t.h
+			t.mu.RUnlock()
+			if h != nil {
+				h(f.Msg)
+			}
+		case "req":
+			t.mu.RLock()
+			rh := t.rh
+			t.mu.RUnlock()
+			_ = conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+			if rh == nil {
+				_ = writeFrame(conn, frame{Type: "err", Error: ErrNoHandler.Error()})
+				continue
+			}
+			resp, err := rh(f.Msg)
+			if err != nil {
+				_ = writeFrame(conn, frame{Type: "err", Error: err.Error()})
+				continue
+			}
+			if err := writeFrame(conn, frame{Type: "resp", Msg: resp}); err != nil {
+				return
+			}
+		default:
+			// Unknown frame type: protocol violation, cut the connection.
+			return
+		}
 	}
 }
 

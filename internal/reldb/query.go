@@ -167,6 +167,36 @@ func (t *Table) NaturalJoin(name string, o *Table) (*Table, error) {
 	for i, c := range extra {
 		oExtra[i] = o.schema.ColumnIndex(c)
 	}
+
+	// Left-key-preserving join (the join-lens case: o's key columns are
+	// all part of t's key, so the result is keyed exactly like t): each
+	// left row maps to at most one output row under its own key, so the
+	// result can ride on t's tree via RebuildAs — unmatched rows drop,
+	// matched rows splice in o's extra columns, and the bucket's last
+	// match wins, exactly as the upsert path below resolves duplicates.
+	if sameKeyNames(ns.Key, t.schema.Key) {
+		return t.RebuildAs(ns, func(r Row) (Row, error) {
+			kt := make(Row, len(tShared))
+			for i, j := range tShared {
+				kt[i] = r[j]
+			}
+			matches := buckets[encodeKey(kt)]
+			if len(matches) == 0 {
+				return nil, nil
+			}
+			if len(oExtra) == 0 {
+				return r, nil // semijoin: the row survives verbatim, subtree shared
+			}
+			or := matches[len(matches)-1]
+			joined := make(Row, 0, len(ns.Columns))
+			joined = append(joined, r...)
+			for _, j := range oExtra {
+				joined = append(joined, or[j])
+			}
+			return joined, nil
+		})
+	}
+
 	var jerr error
 	t.rows.Ascend(func(_ string, e *rowEntry) bool {
 		r := e.row

@@ -186,3 +186,61 @@ func TestOrderBy(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestNaturalJoinLeftKeyed pins the left-key-preserving fast path: when
+// the right table's key columns are all part of the left key, the result
+// is keyed exactly like the left table, unmatched left rows drop, and
+// the output rides on the left tree (a pure semijoin shares it whole).
+func TestNaturalJoinLeftKeyed(t *testing.T) {
+	patients := newPatients(t, alice(), bob())
+
+	insurance := MustNewTable(Schema{
+		Name: "insurance",
+		Columns: []Column{
+			{Name: "id", Type: KindInt},
+			{Name: "plan", Type: KindString},
+		},
+		Key: []string{"id"},
+	})
+	insurance.MustInsert(Row{I(1), S("gold")})
+
+	j, err := patients.NaturalJoin("j", insurance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Schema().Key; len(got) != 1 || got[0] != "id" {
+		t.Fatalf("key = %v, want the left key", got)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("join rows = %d, want 1 (bob has no match and drops)", j.Len())
+	}
+	got, _ := j.Get(Row{I(1)})
+	if !got.Equal(Row{I(1), S("alice"), S("Osaka"), I(30), S("gold")}) {
+		t.Fatalf("row = %v", got)
+	}
+
+	// Semijoin (right side adds no columns): every surviving row is the
+	// left row verbatim, so the whole tree — cached digests included — is
+	// shared when everything matches.
+	everyone := MustNewTable(Schema{
+		Name:    "consent",
+		Columns: []Column{{Name: "id", Type: KindInt}},
+		Key:     []string{"id"},
+	})
+	everyone.MustInsert(Row{I(1)})
+	everyone.MustInsert(Row{I(2)})
+	patients.Hash()
+	semi, err := patients.NaturalJoin("semi", everyone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if semi.Len() != 2 {
+		t.Fatalf("semijoin rows = %d", semi.Len())
+	}
+	if _, ok := semi.CachedHash(); !ok {
+		t.Fatal("full-match semijoin did not share the left tree's digest cache")
+	}
+	if semi.RowsRoot() != patients.RowsRoot() {
+		t.Fatal("semijoin root differs from the left tree")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"medshare/internal/identity"
 	"medshare/internal/node"
 	"medshare/internal/p2p"
+	"medshare/internal/p2p/faultnet"
 	"medshare/internal/reldb"
 )
 
@@ -20,6 +21,12 @@ import (
 const (
 	ConsensusPoA = "poa"
 	ConsensusPoW = "pow"
+)
+
+// Data-channel transport names for NetworkConfig.
+const (
+	DataTransportMem = "mem"
+	DataTransportTCP = "tcp"
 )
 
 // NetworkConfig describes an in-process medshare network: blockchain
@@ -53,19 +60,35 @@ type NetworkConfig struct {
 	TimeScale float64
 	// ProduceEmptyBlocks keeps producing blocks with no transactions.
 	ProduceEmptyBlocks bool
-	// PeerResyncInterval enables each peer's periodic background resync
-	// (recovery from missed notifications). Zero disables it.
+	// PeerResyncInterval enables each peer's background anti-entropy
+	// repair loop (recovery from missed notifications, missed finals, and
+	// root mismatches). Zero disables it.
 	PeerResyncInterval time.Duration
+	// FaultInjection wraps every peer data endpoint in a faultnet.Fabric
+	// (seeded with Seed) reachable via Network.Fabric — the chaos suite's
+	// scriptable drop/delay/partition/blackhole layer.
+	FaultInjection bool
+	// DataTransport selects the peer data channel: DataTransportMem
+	// (default, in-memory) or DataTransportTCP (real loopback TCP).
+	DataTransport string
+	// PeerRPCTimeout, PeerRetry, and PeerHealth tune every peer's
+	// data-channel resilience (per-attempt deadline, retry backoff,
+	// endpoint quarantine). Zero values keep the core defaults.
+	PeerRPCTimeout time.Duration
+	PeerRetry      core.Backoff
+	PeerHealth     core.HealthPolicy
 }
 
 // Network is a running in-process medshare deployment.
 type Network struct {
 	cfg    NetworkConfig
 	mem    *p2p.MemNetwork
+	fab    *faultnet.Fabric
 	clk    clock.Clock
 	nodes  []*node.Node
 	dir    *core.Directory
 	peers  []*core.Peer
+	tcps   map[string]*p2p.TCPTransport
 	cancel context.CancelFunc
 }
 
@@ -115,7 +138,10 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		addrs[i] = id.Address()
 	}
 
-	nw := &Network{cfg: cfg, mem: mem, clk: clk, dir: core.NewDirectory()}
+	nw := &Network{cfg: cfg, mem: mem, clk: clk, dir: core.NewDirectory(), tcps: make(map[string]*p2p.TCPTransport)}
+	if cfg.FaultInjection {
+		nw.fab = faultnet.New(cfg.Seed)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		var engine consensus.Engine
 		switch cfg.Consensus {
@@ -170,6 +196,14 @@ func (nw *Network) Clock() clock.Clock { return nw.clk }
 // DataDirectory returns the shared endpoint directory.
 func (nw *Network) DataDirectory() *core.Directory { return nw.dir }
 
+// Fabric returns the fault-injection fabric wrapping the peer data
+// channel, or nil when NetworkConfig.FaultInjection is off.
+func (nw *Network) Fabric() *faultnet.Fabric { return nw.fab }
+
+// PeerEndpoint returns the data-channel endpoint name of a peer created
+// as name — the handle faultnet partitions and blackholes go by.
+func (nw *Network) PeerEndpoint(name string) string { return "peer-" + name }
+
 // PeerOptions tunes a peer beyond the network defaults.
 type PeerOptions struct {
 	// FanoutWorkers bounds the peer's concurrent share processing on
@@ -194,14 +228,39 @@ func (nw *Network) NewPeerWithOptions(name string, nodeIndex int, opts PeerOptio
 	if err != nil {
 		return nil, err
 	}
+	endpoint := nw.PeerEndpoint(name)
+	var transport p2p.Transport
+	switch nw.cfg.DataTransport {
+	case "", DataTransportMem:
+		transport = nw.mem.Endpoint(endpoint)
+	case DataTransportTCP:
+		tt, err := p2p.NewTCPTransport(endpoint, "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		for other, ot := range nw.tcps {
+			tt.AddPeer(other, ot.Addr())
+			ot.AddPeer(endpoint, tt.Addr())
+		}
+		nw.tcps[endpoint] = tt
+		transport = tt
+	default:
+		return nil, fmt.Errorf("medshare: unknown data transport %q", nw.cfg.DataTransport)
+	}
+	if nw.fab != nil {
+		transport = nw.fab.Wrap(transport)
+	}
 	p, err := core.NewPeer(core.Config{
 		Identity:       id,
 		DB:             reldb.NewDatabase(name),
 		Node:           nw.nodes[nodeIndex],
-		Transport:      nw.mem.Endpoint("peer-" + name),
+		Transport:      transport,
 		Directory:      nw.dir,
 		Clock:          nw.clk,
 		ResyncInterval: nw.cfg.PeerResyncInterval,
+		RPCTimeout:     nw.cfg.PeerRPCTimeout,
+		Retry:          nw.cfg.PeerRetry,
+		Health:         nw.cfg.PeerHealth,
 		FanoutWorkers:  opts.FanoutWorkers,
 	})
 	if err != nil {
@@ -216,6 +275,9 @@ func (nw *Network) NewPeerWithOptions(name string, nodeIndex int, opts PeerOptio
 func (nw *Network) Stop() {
 	for _, p := range nw.peers {
 		p.Stop()
+	}
+	for _, tt := range nw.tcps {
+		tt.Close()
 	}
 	nw.cancel()
 	for _, n := range nw.nodes {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"medshare/internal/core"
 )
 
 // runChaos executes the full chaos suite — lossy update storm, three-way
@@ -12,7 +14,7 @@ import (
 // fabric really did drop a meaningful share of traffic, recovery used
 // the retry/repair machinery (never a manual resync), and every replica
 // ends at the on-chain Merkle root.
-func runChaos(t *testing.T, transport string) {
+func runChaos(t *testing.T, transport string, groupCommit bool) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
@@ -20,6 +22,7 @@ func runChaos(t *testing.T, transport string) {
 	sc, err := NewChaosScenario(ctx, ChaosConfig{
 		Seed:          42,
 		DataTransport: transport,
+		GroupCommit:   groupCommit,
 	})
 	if err != nil {
 		t.Fatalf("NewChaosScenario: %v", err)
@@ -57,15 +60,56 @@ func runChaos(t *testing.T, transport string) {
 	if heals == 0 {
 		t.Fatal("no repair heals recorded — convergence did not go through the self-healing loop")
 	}
+
+	if groupCommit {
+		// The batched commit path must actually have been driven: the
+		// doctor's multi-share proposals (phase 2 renames both shares)
+		// ride group commits.
+		var commits, txs uint64
+		for _, st := range report.PeerStats {
+			commits += st.BatchCommits
+			txs += st.BatchTxs
+		}
+		if commits == 0 || txs <= commits {
+			t.Fatalf("group commit unused under chaos: BatchCommits=%d BatchTxs=%d", commits, txs)
+		}
+		// Per-share sequence order survives batching under faults: every
+		// history stream (per share and entry kind) advances strictly.
+		type stream struct{ share, kind string }
+		for name, p := range map[string]interface{ History() []core.HistoryEntry }{
+			"Patient": sc.Patient, "Doctor": sc.Doctor, "Researcher": sc.Researcher,
+		} {
+			last := make(map[stream]uint64)
+			for _, e := range p.History() {
+				if e.Seq == 0 {
+					continue
+				}
+				k := stream{e.ShareID, e.Kind}
+				if e.Seq <= last[k] {
+					t.Fatalf("%s history out of order on %s/%s: seq %d after %d",
+						name, e.ShareID, e.Kind, e.Seq, last[k])
+				}
+				last[k] = e.Seq
+			}
+		}
+	}
 }
 
 func TestChaosConvergenceMemnet(t *testing.T) {
-	runChaos(t, DataTransportMem)
+	runChaos(t, DataTransportMem, false)
+}
+
+// TestChaosConvergenceGroupCommit is the batched-commit chaos variant:
+// the same fault schedule (request loss, three-way partition, doctor
+// crash-restart) with demand-driven group commit on the chain, asserting
+// per-share sequence order and convergence to the on-chain Merkle root.
+func TestChaosConvergenceGroupCommit(t *testing.T) {
+	runChaos(t, DataTransportMem, true)
 }
 
 func TestChaosConvergenceTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP chaos suite skipped in -short mode")
 	}
-	runChaos(t, DataTransportTCP)
+	runChaos(t, DataTransportTCP, false)
 }

@@ -26,7 +26,7 @@ import (
 
 var (
 	quick        = flag.Bool("quick", false, "reduced parameter sweeps")
-	only         = flag.String("only", "", "run only the named experiment (E1..E15)")
+	only         = flag.String("only", "", "run only the named experiment (E1..E16)")
 	baseline     = flag.String("baseline", "BENCH_baseline.json", "write machine-readable results to this file (empty disables)")
 	compare      = flag.String("compare", "", "diff this run against a committed baseline JSON and exit non-zero on regressions")
 	threshold    = flag.Float64("threshold", 0.25, "relative regression threshold for -compare (0.25 = 25% worse)")
@@ -67,7 +67,7 @@ func main() {
 		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
-		{"E13", runE13}, {"E14", runE14}, {"E15", runE15},
+		{"E13", runE13}, {"E14", runE14}, {"E15", runE15}, {"E16", runE16},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
@@ -605,6 +605,42 @@ func runE15(ctx context.Context) error {
 				fmt.Fprintf(w, "%.2f\t%d\t%v\t%d\t%d\t%d\t%d\t%d\n", r.DropRate,
 					r.Updates, r.ConvergeTime.Round(10*time.Microsecond),
 					r.RequestsLost, r.RequestsBlocked, r.RPCRetries, r.ResyncsFired, r.RepairHeals)
+			}
+		})
+	return nil
+}
+
+func runE16(ctx context.Context) error {
+	batches := []int{8, 16, 32, 64}
+	rounds := 6
+	if *quick {
+		batches = []int{16}
+		rounds = 4
+	}
+	// Row one is the one-update-per-block baseline: a single share,
+	// interval-paced production, no accumulation window.
+	base, err := medshare.RunE16Saturation(ctx, 1, rounds, false)
+	if err != nil {
+		return err
+	}
+	results := []medshare.E16Result{base}
+	for _, b := range batches {
+		r, err := medshare.RunE16Saturation(ctx, b, rounds, true)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	baselineData["E16"] = results
+	table("E16 — write-side saturation: group commit (batched) vs one-update-per-block (batch 1)",
+		"batch\trounds\tupdates/s\tp50 latency\tmean batch\tblocks\tvs baseline", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				speedup := 1.0
+				if base.UpdatesPerSec > 0 {
+					speedup = r.UpdatesPerSec / base.UpdatesPerSec
+				}
+				fmt.Fprintf(w, "%d\t%d\t%.0f\t%v\t%.1f\t%d\t%.1fx\n", r.BatchSize, r.Rounds,
+					r.UpdatesPerSec, r.P50Time.Round(10*time.Microsecond), r.MeanBatch, r.BlocksUsed, speedup)
 			}
 		})
 	return nil

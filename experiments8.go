@@ -1,0 +1,160 @@
+package medshare
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"medshare/internal/bx"
+	"medshare/internal/core"
+	"medshare/internal/identity"
+	"medshare/internal/reldb"
+	"medshare/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// E16 — write-side saturation: group commit vs one-update-per-block.
+// The paper's protocol serializes each share's updates by sequence
+// number, but a hospital-scale peer updates hundreds of *independent*
+// shares at once; with interval-paced block production every update
+// costs a full block interval of waiting (request, then acks, then
+// finality — each a block), so sustained throughput is pinned at a few
+// updates per interval regardless of how many shares changed. Group
+// commit (node.Config.GroupCommitWindow + core.ProposeUpdates) stages
+// all changed shares, submits their request transactions as one batch,
+// and kicks the producer, so N updates share one block, one gossip
+// broadcast, and one cascade fan-out round. E16 sweeps the batch size
+// and measures sustained end-to-end throughput (edit → propose →
+// counterparty ack → finality) and the per-update p50 latency; the
+// baseline row (batch 1, window off) is the pre-batching discipline.
+
+// E16Result reports one saturation run at a given batch size.
+type E16Result struct {
+	// BatchSize is how many independent shares are updated per round
+	// (sweep config). Batch 1 runs with group commit disabled — the
+	// one-update-per-block baseline.
+	BatchSize int
+	// Rounds is the number of measured update rounds (config echo).
+	Rounds int
+	// UpdatesPerSec is the sustained finalized-update throughput across
+	// all rounds: every update waits out its counterparty ack and the
+	// on-chain finality record, not just the request commit.
+	UpdatesPerSec float64
+	// P50Time is the median per-update latency from the local edit to
+	// finality. Updates in one batch commit together, so each inherits
+	// its round's makespan.
+	P50Time time.Duration
+	// MeanBatch is the observed mean request transactions per group
+	// commit (peer stats BatchTxs/BatchCommits); 1.0 when batching is
+	// off or nothing rode along.
+	MeanBatch float64
+	// BlocksUsed is how many blocks the measured rounds consumed.
+	BlocksUsed int
+}
+
+// RunE16Saturation drives `rounds` update rounds over `batch`
+// independent shares between a hub and per-share counterparties. With
+// groupCommit the network runs demand-driven block production
+// (GroupCommitWindow) and the hub proposes all changed shares as one
+// batch; without it the producer is interval-paced and each proposal
+// waits out block intervals — the paper's one-update-per-block
+// discipline.
+func RunE16Saturation(ctx context.Context, batch, rounds int, groupCommit bool) (E16Result, error) {
+	out := E16Result{BatchSize: batch, Rounds: rounds}
+	const interval = 10 * time.Millisecond
+	cfg := NetworkConfig{BlockInterval: interval}
+	if groupCommit {
+		cfg.GroupCommitWindow = 500 * time.Microsecond
+	}
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		return out, err
+	}
+	defer nw.Stop()
+
+	hub, err := nw.NewPeer("hub", 0)
+	if err != nil {
+		return out, err
+	}
+	const records = 8
+	hub.DB().PutTable(workload.GenerateManyShares("T", batch, records, 1))
+
+	for i := 0; i < batch; i++ {
+		partner, err := nw.NewPeer(fmt.Sprintf("partner-%d", i), 0)
+		if err != nil {
+			return out, err
+		}
+		col := workload.ManyShareCol(i)
+		id := fmt.Sprintf("S%02d", i)
+		src, err := hub.Source("T")
+		if err != nil {
+			return out, err
+		}
+		pview, err := bx.Project("T", []string{"k", col}, nil).Get(src)
+		if err != nil {
+			return out, err
+		}
+		partner.DB().PutTable(pview)
+		err = hub.RegisterShare(ctx, core.RegisterShareArgs{
+			ID: id, SourceTable: "T", Lens: bx.Project(id+"h", []string{"k", col}, nil), ViewName: id + "h",
+			Peers:     []identity.Address{hub.Address(), partner.Address()},
+			WritePerm: map[string][]identity.Address{col: {hub.Address()}},
+		})
+		if err != nil {
+			return out, err
+		}
+		if err := partner.AttachShare(id, "T", bx.Project(id+"p", []string{"k", col}, nil), id+"p"); err != nil {
+			return out, err
+		}
+	}
+
+	startBlocks := nw.Node(0).Store().Head().Header.Height
+	startStats := hub.Stats()
+	durations := make([]time.Duration, 0, rounds)
+	var total time.Duration
+	for r := 0; r < rounds; r++ {
+		err := hub.UpdateSource("T", func(tbl *reldb.Table) error {
+			set := make(map[string]reldb.Value, batch)
+			for i := 0; i < batch; i++ {
+				set[workload.ManyShareCol(i)] = reldb.S(fmt.Sprintf("round-%d-%d", r, i))
+			}
+			return tbl.Update(reldb.Row{reldb.I(int64(r % records))}, set)
+		})
+		if err != nil {
+			return out, err
+		}
+		start := time.Now()
+		props, err := hub.SyncShares(ctx, "T")
+		if err != nil {
+			return out, err
+		}
+		if len(props) != batch {
+			return out, fmt.Errorf("E16: proposed %d of %d shares", len(props), batch)
+		}
+		for _, pr := range props {
+			if err := hub.WaitFinal(ctx, pr.ShareID, pr.Seq); err != nil {
+				return out, err
+			}
+		}
+		d := time.Since(start)
+		durations = append(durations, d)
+		total += d
+	}
+
+	if total > 0 {
+		out.UpdatesPerSec = float64(rounds*batch) / total.Seconds()
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	out.P50Time = durations[len(durations)/2]
+	out.BlocksUsed = int(nw.Node(0).Store().Head().Header.Height - startBlocks)
+	st := hub.Stats()
+	commits := st.BatchCommits - startStats.BatchCommits
+	txs := st.BatchTxs - startStats.BatchTxs
+	if commits > 0 {
+		out.MeanBatch = float64(txs) / float64(commits)
+	} else {
+		out.MeanBatch = 1
+	}
+	return out, nil
+}

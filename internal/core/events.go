@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -20,25 +21,58 @@ const pollInterval = 5 * time.Millisecond
 
 // Incoming-event dispatch: shares are independent replicas, so events
 // for *different* shares may be handled concurrently — a hospital-scale
-// peer bound to hundreds of shares applies incoming updates in parallel
-// instead of serializing every fetch+put+ack behind one goroutine.
-// Events for the *same* share stay strictly ordered: each share has a
-// FIFO queue drained by at most one goroutine at a time, so the
-// per-share sequence-number ordering the protocol relies on is
-// preserved, and the per-share opMu makes the concurrent handlers safe
-// (the same argument as the cascade/Resync fan-out pool). The number of
-// concurrently draining shares is bounded by Config.FanoutWorkers;
-// FanoutWorkers < 0 degrades to the old fully sequential loop.
+// peer bound to thousands of shares applies incoming updates in
+// parallel instead of serializing every fetch+put+ack behind one
+// goroutine. The share space is statically partitioned across
+// Config.EventShards shard loops (hash(shareID) → shard), each owning a
+// FIFO queue drained by its own long-lived goroutine. Events for the
+// *same* share land on the same shard and are therefore handled in
+// arrival order — the per-share sequence-number ordering the protocol
+// relies on — while the per-share opMu makes cross-path interleavings
+// safe (the same argument as the cascade/Resync fan-out pool).
+// Compared to the previous design (one transient drainer goroutine per
+// active share, all funneled through one semaphore and one global queue
+// mutex), the sharded runtime has no per-event goroutine churn and no
+// peer-wide lock on the hot path: dispatch touches only the target
+// shard's mutex, so throughput scales with shards until the handlers
+// are the bottleneck. Head-of-line blocking within a shard is accepted:
+// a stalled handler delays only its shard, and the repair loop covers
+// any share starved long enough to matter. EventShards < 0 degrades to
+// the fully sequential inline loop.
 
-// shareEvent is one decoded sharereg event queued for a share's drainer
+// shareEvent is one decoded sharereg event queued for a shard drainer
 // (decoded once at dispatch; the handler never re-parses the payload).
 type shareEvent struct {
 	name    string
 	payload sharereg.EventPayload
 }
 
-// dispatchEvent routes one committed contract event: sharereg events are
-// enqueued on their share's ordered queue (sequential mode and events
+// eventShard is one slice of the partitioned event runtime: a FIFO
+// queue plus a wake signal for its drainer goroutine.
+type eventShard struct {
+	mu    sync.Mutex
+	queue []shareEvent
+	// wake (capacity 1) nudges the drainer; a pending token already
+	// covers any number of enqueues.
+	wake chan struct{}
+}
+
+// shardIndex maps a share ID onto a shard (FNV-1a).
+func shardIndex(shareID string, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(shareID); i++ {
+		h ^= uint64(shareID[i])
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}
+
+// dispatchEvent routes one committed contract event: sharereg events
+// are enqueued on their share's shard (sequential mode and events
 // without a share ID are handled inline). Called only from the peer's
 // event goroutine.
 func (p *Peer) dispatchEvent(ev contract.Event) {
@@ -49,65 +83,72 @@ func (p *Peer) dispatchEvent(ev contract.Event) {
 	if err != nil {
 		return
 	}
-	if p.cfg.FanoutWorkers <= 1 || payload.ShareID == "" {
+	if len(p.evShards) == 0 || payload.ShareID == "" {
 		p.handleEvent(ev.Name, payload)
 		return
 	}
-	id := payload.ShareID
-	p.evMu.Lock()
-	p.evQueues[id] = append(p.evQueues[id], shareEvent{name: ev.Name, payload: payload})
-	if p.evActive[id] {
-		p.evMu.Unlock()
-		return // a drainer is already responsible for this share's queue
-	}
-	p.evActive[id] = true
-	p.evMu.Unlock()
-	// wg.Add is safe here: the caller (event goroutine) is itself
-	// wg-tracked, so the counter cannot reach zero concurrently.
-	p.wg.Add(1)
-	go p.drainShareEvents(id)
-}
-
-// drainShareEvents processes one share's queued events in FIFO order
-// until the queue empties, holding one slot of the bounded worker pool.
-func (p *Peer) drainShareEvents(id string) {
-	defer p.wg.Done()
+	sh := p.evShards[shardIndex(payload.ShareID, len(p.evShards))]
+	sh.mu.Lock()
+	sh.queue = append(sh.queue, shareEvent{name: ev.Name, payload: payload})
+	sh.mu.Unlock()
 	select {
-	case p.evSem <- struct{}{}:
-	case <-p.stopped:
-		p.abandonShareQueue(id)
-		return
-	}
-	defer func() { <-p.evSem }()
-	for {
-		select {
-		case <-p.stopped:
-			p.abandonShareQueue(id)
-			return
-		default:
-		}
-		p.evMu.Lock()
-		q := p.evQueues[id]
-		if len(q) == 0 {
-			delete(p.evQueues, id)
-			p.evActive[id] = false
-			p.evMu.Unlock()
-			return
-		}
-		ev := q[0]
-		p.evQueues[id] = q[1:]
-		p.evMu.Unlock()
-		p.handleEvent(ev.name, ev.payload)
+	case sh.wake <- struct{}{}:
+	default:
 	}
 }
 
-// abandonShareQueue drops a stopping share queue; missed events are
-// recovered by Resync, exactly like events lost while the peer is down.
-func (p *Peer) abandonShareQueue(id string) {
-	p.evMu.Lock()
-	delete(p.evQueues, id)
-	p.evActive[id] = false
-	p.evMu.Unlock()
+// runEventShard drains one shard's queue in FIFO order until the peer
+// generation stops. Events still queued at stop are abandoned — Resync
+// recovers them exactly like events lost while the peer is down.
+func (p *Peer) runEventShard(sh *eventShard, stopped <-chan struct{}) {
+	defer p.wg.Done()
+	for {
+		sh.mu.Lock()
+		if len(sh.queue) > 0 {
+			ev := sh.queue[0]
+			sh.queue = sh.queue[1:]
+			sh.mu.Unlock()
+			select {
+			case <-stopped:
+				p.abandonShardQueues()
+				return
+			default:
+			}
+			p.handleEvent(ev.name, ev.payload)
+			continue
+		}
+		sh.queue = nil
+		sh.mu.Unlock()
+		select {
+		case <-stopped:
+			p.abandonShardQueues()
+			return
+		case <-sh.wake:
+		}
+	}
+}
+
+// abandonShardQueues clears every shard queue at stop. Each stopping
+// drainer calls it (idempotent), so no generation leaves stale events
+// behind for the next Start to misorder ahead of fresh ones.
+func (p *Peer) abandonShardQueues() {
+	for _, sh := range p.evShards {
+		sh.mu.Lock()
+		sh.queue = nil
+		sh.mu.Unlock()
+	}
+}
+
+// shardQueueDepth sums the events currently queued across all shards —
+// the Stats() gauge observing dispatch backlog.
+func (p *Peer) shardQueueDepth() uint64 {
+	var n uint64
+	for _, sh := range p.evShards {
+		sh.mu.Lock()
+		n += uint64(len(sh.queue))
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // handleEvent processes one decoded sharereg event. Events for one

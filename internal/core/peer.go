@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -76,6 +77,16 @@ type Config struct {
 	// in-flight-proposals bound rather than a CPU bound. 0 means 8;
 	// negative forces sequential processing.
 	FanoutWorkers int
+	// EventShards partitions the share space across that many
+	// independent event-loop goroutines (hash(shareID) → shard), each
+	// with its own FIFO queue, so a peer hosting thousands of shares
+	// applies incoming updates on all cores instead of funneling them
+	// through one dispatch pool. 0 means max(FanoutWorkers, GOMAXPROCS)
+	// — at least the fan-out width even on small machines, because
+	// shard loops mostly wait on chain commits, not CPU. Negative
+	// forces inline sequential dispatch (the pre-shard behavior; also
+	// the default when FanoutWorkers requests sequential processing).
+	EventShards int
 	// TxTimeout bounds each wait for a transaction commit. 0 means 30s.
 	TxTimeout time.Duration
 	// RPCTimeout bounds each individual data-channel request attempt
@@ -114,13 +125,10 @@ type Peer struct {
 	stopOnce     sync.Once
 	stopped      chan struct{}
 
-	// Incoming-event dispatch state (see events.go): per-share FIFO
-	// queues drained concurrently for independent shares, bounded by
-	// evSem (capacity Config.FanoutWorkers).
-	evMu     sync.Mutex
-	evQueues map[string][]shareEvent
-	evActive map[string]bool
-	evSem    chan struct{}
+	// Incoming-event dispatch state (see events.go): the share space is
+	// partitioned across per-shard FIFO queues, each drained by its own
+	// goroutine (started per Start/Restart generation).
+	evShards []*eventShard
 
 	// history records locally observed share activity for the audit
 	// examples; the authoritative history lives on-chain.
@@ -160,10 +168,12 @@ type Share struct {
 	// applyIncoming, Resync) against each other. Without it, a peer's
 	// optimistic replica refresh during its own proposal can race the
 	// arrival of a competing update that won the same sequence number,
-	// making the peer skip an update it must acknowledge. It is never
-	// held across another share's opMu: cascade releases the origin's
-	// lock before proposing on sibling shares, so concurrent cascades
-	// from different origins cannot deadlock.
+	// making the peer skip an update it must acknowledge. Single-share
+	// paths never hold one share's opMu while taking another's (cascade
+	// releases the origin's lock before proposing on sibling shares);
+	// the only multi-share holder is the group-commit path
+	// (ProposeUpdates), which always acquires in sorted share-ID order,
+	// so concurrent cascades and batches cannot deadlock.
 	opMu sync.Mutex
 
 	// stMu guards the mutable share state below. Per-share — not
@@ -244,16 +254,27 @@ func NewPeer(cfg Config) (*Peer, error) {
 	if cfg.FanoutWorkers == 0 {
 		cfg.FanoutWorkers = 8
 	}
-	p := &Peer{
-		cfg:      cfg,
-		shares:   make(map[string]*Share),
-		stopped:  make(chan struct{}),
-		evQueues: make(map[string][]shareEvent),
-		evActive: make(map[string]bool),
-		health:   make(map[string]*endpointHealth),
+	if cfg.EventShards == 0 {
+		if cfg.FanoutWorkers <= 1 {
+			cfg.EventShards = -1
+		} else {
+			cfg.EventShards = cfg.FanoutWorkers
+			if n := runtime.GOMAXPROCS(0); n > cfg.EventShards {
+				cfg.EventShards = n
+			}
+		}
 	}
-	if cfg.FanoutWorkers > 1 {
-		p.evSem = make(chan struct{}, cfg.FanoutWorkers)
+	p := &Peer{
+		cfg:     cfg,
+		shares:  make(map[string]*Share),
+		stopped: make(chan struct{}),
+		health:  make(map[string]*endpointHealth),
+	}
+	if cfg.EventShards > 0 {
+		p.evShards = make([]*eventShard, cfg.EventShards)
+		for i := range p.evShards {
+			p.evShards[i] = &eventShard{wake: make(chan struct{}, 1)}
+		}
 	}
 	if cfg.Transport != nil {
 		cfg.Transport.HandleRequest(p.serveRequest)
@@ -291,12 +312,20 @@ func (p *Peer) DB() *reldb.Database { return p.cfg.DB }
 func (p *Peer) Start() {
 	events, cancel := p.cfg.Node.Subscribe(1024)
 	p.cancelEvents = cancel
+	// Shard drainers are per-generation: they capture this generation's
+	// stop channel, so a Restart (which replaces it) launches a fresh
+	// set while the old ones are already gone (Stop waited for them).
+	stopped := p.stopped
+	for _, sh := range p.evShards {
+		p.wg.Add(1)
+		go p.runEventShard(sh, stopped)
+	}
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
 		for {
 			select {
-			case <-p.stopped:
+			case <-stopped:
 				return
 			case ev, ok := <-events:
 				if !ok {
@@ -435,6 +464,35 @@ func (p *Peer) submitAndWait(ctx context.Context, tx *chain.Tx) (contract.Receip
 		return rcpt, fmt.Errorf("%w: %s", ErrTxFailed, rcpt.Err)
 	}
 	return rcpt, nil
+}
+
+// submitAndWaitMany submits a batch of transactions in one group commit
+// and waits for each to land, returning a per-transaction verdict (nil
+// on success). One TxTimeout covers the whole batch: the transactions
+// share a block, so their commits arrive together. A batch-level
+// submission failure fails every verdict.
+func (p *Peer) submitAndWaitMany(ctx context.Context, txs []*chain.Tx) []error {
+	verdicts := make([]error, len(txs))
+	if err := p.cfg.Node.SubmitTxBatch(txs); err != nil {
+		for i := range verdicts {
+			verdicts[i] = err
+		}
+		return verdicts
+	}
+	p.stats.batchCommits.Add(1)
+	p.stats.batchTxs.Add(uint64(len(txs)))
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.TxTimeout)
+	defer cancel()
+	for i, tx := range txs {
+		rcpt, err := p.cfg.Node.WaitTx(ctx, tx.IDString())
+		switch {
+		case err != nil:
+			verdicts[i] = err
+		case !rcpt.OK:
+			verdicts[i] = fmt.Errorf("%w: %s", ErrTxFailed, rcpt.Err)
+		}
+	}
+	return verdicts
 }
 
 // buildTx signs a sharereg invocation as this peer (not as the node

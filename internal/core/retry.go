@@ -150,6 +150,19 @@ type Stats struct {
 	// ProposalRetries counts cascade proposals re-attempted after a
 	// transient contract conflict (pending gate, stale base).
 	ProposalRetries uint64
+	// SyncRounds counts sequential anti-entropy waves across all
+	// structural syncs; SyncRequests the request messages they sent
+	// (Requests > Rounds ⇒ waves were pipelined across chunks).
+	SyncRounds   uint64
+	SyncRequests uint64
+	// BatchCommits counts group-commit submissions (one batched
+	// submitAndWaitMany call); BatchTxs the transactions they carried —
+	// BatchTxs/BatchCommits is the realized mean batch size.
+	BatchCommits uint64
+	BatchTxs     uint64
+	// ShardQueueDepth is a gauge: events currently queued across the
+	// sharded event runtime at snapshot time.
+	ShardQueueDepth uint64
 }
 
 // statsCounters is the peer-internal atomic form of Stats.
@@ -161,6 +174,10 @@ type statsCounters struct {
 	resyncsTriggered  atomic.Uint64
 	repairHeals       atomic.Uint64
 	proposalRetries   atomic.Uint64
+	syncRounds        atomic.Uint64
+	syncRequests      atomic.Uint64
+	batchCommits      atomic.Uint64
+	batchTxs          atomic.Uint64
 }
 
 func (c *statsCounters) snapshot() Stats {
@@ -172,11 +189,20 @@ func (c *statsCounters) snapshot() Stats {
 		ResyncsTriggered:  c.resyncsTriggered.Load(),
 		RepairHeals:       c.repairHeals.Load(),
 		ProposalRetries:   c.proposalRetries.Load(),
+		SyncRounds:        c.syncRounds.Load(),
+		SyncRequests:      c.syncRequests.Load(),
+		BatchCommits:      c.batchCommits.Load(),
+		BatchTxs:          c.batchTxs.Load(),
 	}
 }
 
-// Stats returns a snapshot of the peer's resilience counters.
-func (p *Peer) Stats() Stats { return p.stats.snapshot() }
+// Stats returns a snapshot of the peer's resilience and write-path
+// counters, plus live gauges (shard queue depths) read at call time.
+func (p *Peer) Stats() Stats {
+	st := p.stats.snapshot()
+	st.ShardQueueDepth = p.shardQueueDepth()
+	return st
+}
 
 // jitterRng is the process-wide jitter sampler. Jitter exists to spread
 // concurrent retries apart, so shared seeding is fine — determinism of

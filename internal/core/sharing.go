@@ -3,11 +3,12 @@ package core
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"medshare/internal/bx"
+	"medshare/internal/chain"
 	"medshare/internal/contract/sharereg"
 	"medshare/internal/identity"
 	"medshare/internal/reldb"
@@ -193,13 +194,43 @@ func (p *Peer) ProposeUpdate(ctx context.Context, shareID string) (ProposalResul
 	}
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
-	src, err := p.snapshotTable(s.SourceTable)
+	st, err := p.stageProposal(s)
 	if err != nil {
 		return ProposalResult{}, err
 	}
+	if _, err := p.submitAndWait(ctx, st.tx); err != nil {
+		p.rollbackProposal(st)
+		return ProposalResult{}, fmt.Errorf("core: update on %s denied: %w", shareID, err)
+	}
+	return p.finalizeProposal(st), nil
+}
+
+// stagedProposal carries one share's update between optimistic staging
+// and the commit verdict. The share's opMu is held by the caller for the
+// staged proposal's whole lifetime.
+type stagedProposal struct {
+	s       *Share
+	tx      *chain.Tx
+	baseSeq uint64
+	oldView *reldb.Table
+	kind    string
+	cols    []string
+}
+
+// stageProposal materializes the share's fresh view, diffs it against the
+// replica, builds the request_update transaction, and optimistically
+// installs the new view with the pre-proposal state kept as the rollback
+// point. The caller holds s.opMu and must resolve the staged proposal
+// with finalizeProposal or rollbackProposal once the transaction's fate
+// is known.
+func (p *Peer) stageProposal(s *Share) (*stagedProposal, error) {
+	src, err := p.snapshotTable(s.SourceTable)
+	if err != nil {
+		return nil, err
+	}
 	newView, err := s.Lens.Get(src)
 	if err != nil {
-		return ProposalResult{}, fmt.Errorf("core: get on %s: %w", shareID, err)
+		return nil, fmt.Errorf("core: get on %s: %w", s.ID, err)
 	}
 	// The freshly materialized view is rebuilt under the share's priority
 	// secret before it is hashed, diffed, or stored: the payload hash the
@@ -207,14 +238,14 @@ func (p *Peer) ProposeUpdate(ctx context.Context, shareID string) (ProposalResul
 	newView = s.seedView(newView)
 	oldView, err := p.snapshotTable(s.ViewName)
 	if err != nil {
-		return ProposalResult{}, err
+		return nil, err
 	}
 	cs, err := oldView.Diff(newView)
 	if err != nil {
-		return ProposalResult{}, err
+		return nil, err
 	}
 	if cs.Empty() {
-		return ProposalResult{}, ErrNoChanges
+		return nil, ErrNoChanges
 	}
 	colSet := cs.ChangedColumns(oldView.Schema())
 	cols := make([]string, 0, len(colSet))
@@ -229,15 +260,15 @@ func (p *Peer) ProposeUpdate(ctx context.Context, shareID string) (ProposalResul
 	s.stMu.Unlock()
 
 	ua := sharereg.UpdateArgs{
-		ShareID:     shareID,
+		ShareID:     s.ID,
 		Cols:        cols,
 		PayloadHash: hashHex(newView),
 		Kind:        kind,
 		BaseSeq:     baseSeq,
 	}
-	tx, err := p.buildTx(sharereg.FnRequestUpdate, shareID, ua)
+	tx, err := p.buildTx(sharereg.FnRequestUpdate, s.ID, ua)
 	if err != nil {
-		return ProposalResult{}, err
+		return nil, err
 	}
 
 	// Refresh the replica and advance the applied sequence *before* the
@@ -253,34 +284,111 @@ func (p *Peer) ProposeUpdate(ctx context.Context, shareID string) (ProposalResul
 	s.prev = &shareBackup{seq: baseSeq, view: oldView}
 	s.AppliedSeq = baseSeq + 1
 	s.stMu.Unlock()
+	return &stagedProposal{s: s, tx: tx, baseSeq: baseSeq, oldView: oldView, kind: kind, cols: cols}, nil
+}
 
-	if _, err := p.submitAndWait(ctx, tx); err != nil {
-		// Denied (permission, pending gate, stale base): roll back. The
-		// view returns to the pre-proposal snapshot while the source keeps
-		// the local edit, so the pair is diverged until a full put.
-		s.stMu.Lock()
-		s.AppliedSeq = baseSeq
-		s.backup = nil
-		s.prev = nil
-		s.diverged = true
-		s.stMu.Unlock()
-		p.cfg.DB.PutTable(oldView.Renamed(s.ViewName))
-		return ProposalResult{}, fmt.Errorf("core: update on %s denied: %w", shareID, err)
-	}
+// rollbackProposal undoes a staged proposal after a denial (permission,
+// pending gate, stale base). The view returns to the pre-proposal
+// snapshot while the source keeps the local edit, so the pair is
+// diverged until a full put.
+func (p *Peer) rollbackProposal(st *stagedProposal) {
+	s := st.s
+	s.stMu.Lock()
+	s.AppliedSeq = st.baseSeq
+	s.backup = nil
+	s.prev = nil
+	s.diverged = true
+	s.stMu.Unlock()
+	p.cfg.DB.PutTable(st.oldView.Renamed(s.ViewName))
+}
+
+// finalizeProposal records a staged proposal whose request committed.
+func (p *Peer) finalizeProposal(st *stagedProposal) ProposalResult {
+	s := st.s
 	s.stMu.Lock()
 	s.diverged = false // replica refreshed from Get(src); pair aligned
 	s.stMu.Unlock()
-	p.record(HistoryEntry{ShareID: shareID, Seq: baseSeq + 1, Kind: kind, Cols: cols, From: p.Address()})
-	p.logf("proposed update on %s seq %d (cols %v)", shareID, baseSeq+1, cols)
-	return ProposalResult{ShareID: shareID, Seq: baseSeq + 1, Cols: cols, TxID: tx.IDString()}, nil
+	p.record(HistoryEntry{ShareID: s.ID, Seq: st.baseSeq + 1, Kind: st.kind, Cols: st.cols, From: p.Address()})
+	p.logf("proposed update on %s seq %d (cols %v)", s.ID, st.baseSeq+1, st.cols)
+	return ProposalResult{ShareID: s.ID, Seq: st.baseSeq + 1, Cols: st.cols, TxID: st.tx.IDString()}
 }
 
-// SyncShares runs ProposeUpdate on every share derived from the given
+// ProposeUpdates proposes updates on many shares as one group commit:
+// every changed share is staged, all request transactions are submitted
+// in a single batch (one mempool pass, one gossip broadcast, one
+// producer kick), and the commits are awaited collectively — so N
+// independent updates cost one block and one cascade fan-out round
+// instead of N block intervals. Per-share sequence ordering is untouched
+// (each share stages under its own opMu with its own BaseSeq), and a
+// denial on one share rolls back only that share.
+//
+// Share opMu locks are acquired in sorted ID order and held across the
+// collective wait; because every multi-share acquirer uses the same
+// order and single-share paths hold only one, this cannot deadlock.
+//
+// Shares with no changes are skipped. Successful proposals are returned
+// sorted by share ID; per-share failures are joined into the returned
+// error alongside the partial results.
+func (p *Peer) ProposeUpdates(ctx context.Context, shareIDs []string) ([]ProposalResult, error) {
+	ids := append([]string(nil), shareIDs...)
+	sort.Strings(ids)
+	var errs []error
+	var staged []*stagedProposal
+	unlock := func() {
+		for _, st := range staged {
+			st.s.opMu.Unlock()
+		}
+	}
+	for i, id := range ids {
+		if i > 0 && id == ids[i-1] {
+			continue
+		}
+		s, err := p.share(id)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		s.opMu.Lock()
+		st, err := p.stageProposal(s)
+		if err != nil {
+			s.opMu.Unlock()
+			if err != ErrNoChanges {
+				errs = append(errs, fmt.Errorf("core: update on %s denied: %w", id, err))
+			}
+			continue
+		}
+		staged = append(staged, st)
+	}
+	if len(staged) == 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	txs := make([]*chain.Tx, len(staged))
+	for i, st := range staged {
+		txs[i] = st.tx
+	}
+	verdicts := p.submitAndWaitMany(ctx, txs)
+
+	out := make([]ProposalResult, 0, len(staged))
+	for i, st := range staged {
+		if err := verdicts[i]; err != nil {
+			p.rollbackProposal(st)
+			errs = append(errs, fmt.Errorf("core: update on %s denied: %w", st.s.ID, err))
+			continue
+		}
+		out = append(out, p.finalizeProposal(st))
+	}
+	unlock()
+	return out, errors.Join(errs...)
+}
+
+// SyncShares proposes updates on every share derived from the given
 // source table, returning the successful proposals sorted by share ID.
-// Shares whose views are unaffected are skipped. Independent shares are
-// proposed concurrently (bounded by Config.FanoutWorkers), overlapping
-// their commit waits — the many-shares fan-out of a hospital-scale peer.
-// Every share is attempted even when some fail; the errors are joined.
+// Shares whose views are unaffected are skipped. All changed shares ride
+// one group commit (ProposeUpdates): a single batch submission, one
+// block, one cascade fan-out round — the many-shares fan-out of a
+// hospital-scale peer. Every share is attempted even when some fail; the
+// errors are joined.
 func (p *Peer) SyncShares(ctx context.Context, sourceTable string) ([]ProposalResult, error) {
 	p.mu.Lock()
 	var ids []string
@@ -290,27 +398,7 @@ func (p *Peer) SyncShares(ctx context.Context, sourceTable string) ([]ProposalRe
 		}
 	}
 	p.mu.Unlock()
-	sort.Strings(ids)
-
-	var (
-		mu  sync.Mutex
-		out []ProposalResult
-	)
-	err := forEachShare(ids, p.cfg.FanoutWorkers, func(id string) error {
-		res, err := p.ProposeUpdate(ctx, id)
-		if err == ErrNoChanges {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		out = append(out, res)
-		mu.Unlock()
-		return nil
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].ShareID < out[j].ShareID })
-	return out, err
+	return p.ProposeUpdates(ctx, ids)
 }
 
 // UpdateView edits the shared view directly (entry-level CRUD of Fig. 4 on

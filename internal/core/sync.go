@@ -5,10 +5,10 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"medshare/internal/identity"
 	"medshare/internal/p2p"
@@ -28,11 +28,32 @@ import (
 // O(d log n) summaries plus the divergent rows, instead of the whole
 // view, and nothing the requester already holds crosses the wire (the
 // provider ships rows only on explicit request, never speculatively).
-// Responses travel in a compact binary frame (raw digests and storage
-// keys, varint sizes) instead of base64-inflated JSON. The
+// Requests and responses travel in compact binary frames (raw digests
+// and storage keys, varint sizes) instead of base64-inflated JSON. The
 // reconstructed table is verified against the on-chain payload hash
 // exactly like a full fetch, so a corrupt or malicious sync stream
 // cannot install bad data.
+//
+// Two request-side mechanisms attack the walk's latency floor (one
+// round-trip per divergent tree level):
+//
+//   - span expansion: a request carries a Span, and the provider
+//     answers each wanted subtree root with the node AND its divergence-
+//     eligible descendants down span extra levels (BFS, never descending
+//     into subtrees small enough for inline row fetch). The requester
+//     grafts whatever it turns out to already hold, so speculation costs
+//     bounded summary bytes — one matched sibling per lone divergent
+//     path level — while each exchange advances span+1 levels instead of
+//     one, dividing the round count.
+//   - pipelined waves: each wave's frontier is split into chunks fetched
+//     concurrently (bounded by SyncOptions.Parallel, wired to
+//     Config.FanoutWorkers on the peer path), so a wave costs one RTT
+//     regardless of frontier width, and independent divergent subtrees
+//     proceed without queueing behind each other on the wire.
+//
+// SyncStats.Rounds counts sequential waves (the RTT critical path);
+// SyncStats.Requests counts request messages (≥ Rounds when a wave was
+// chunked).
 
 // syncInlineRows is the subtree size at or below which the requester
 // asks for rows wholesale instead of descending node by node.
@@ -40,11 +61,31 @@ const syncInlineRows = 16
 
 // syncBaseRounds bounds the top-down walk before the provider's tree
 // size is known; after the first round the bound grows with the
-// provider-reported size (the walk needs one round per tree level, and
-// a random treap's max depth is ~3·log2 n), so structural sync never
-// silently hits the cliff on very large views while a malicious
-// provider still cannot keep a requester walking forever.
+// provider-reported size (the walk needs at most one round per tree
+// level, and a random treap's max depth is ~3·log2 n), so structural
+// sync never silently hits the cliff on very large views while a
+// malicious provider still cannot keep a requester walking forever.
 const syncBaseRounds = 64
+
+// syncDefaultSpan is the speculative expansion depth the peer sync path
+// requests: each exchange advances two tree levels for at most one
+// wasted sibling summary per lone divergent path level. Deeper spans
+// trade more speculative bytes for fewer rounds (see SyncOptions).
+const syncDefaultSpan = 1
+
+// syncMaxSpan caps the span a provider honors (and a decoder accepts),
+// bounding the response amplification any single request can demand to
+// 2^(span+1)-1 nodes per wanted key.
+const syncMaxSpan = 4
+
+// syncDefaultParallel bounds concurrent wave-chunk requests when the
+// caller didn't wire a worker budget.
+const syncDefaultParallel = 4
+
+// syncMinChunk is the smallest frontier slice worth a dedicated
+// request: waves narrower than parallel·syncMinChunk use fewer chunks,
+// so concurrency never inflates the message count of shallow walks.
+const syncMinChunk = 4
 
 // ErrSyncAborted marks a structural sync that could not complete (the
 // provider's view changed mid-walk, the round bound was hit, or the
@@ -53,26 +94,32 @@ var ErrSyncAborted = errors.New("core: structural sync aborted")
 
 // SyncRequest asks a counterparty for row-tree nodes and small-subtree
 // rows of a share's current view. Authentication mirrors FetchRequest:
-// the request is signed and only sharing peers are served.
+// the request is signed and only sharing peers are served. It travels
+// as a binary frame (see syncwire.go), not JSON.
 type SyncRequest struct {
-	ShareID string `json:"shareId"`
+	ShareID string
 	// MinSeq is the lowest acceptable version.
-	MinSeq uint64 `json:"minSeq"`
+	MinSeq uint64
+	// Span asks the provider to expand each wanted subtree root this
+	// many extra levels per response (capped at syncMaxSpan).
+	Span int
 	// Keys are the storage-key encodings of the wanted subtree roots;
 	// both lists empty means the tree root (the first round).
-	Keys [][]byte `json:"keys,omitempty"`
+	Keys [][]byte
 	// RowKeys are subtree roots whose rows the requester wants shipped
 	// wholesale (divergent subtrees of ≤ syncInlineRows rows).
-	RowKeys   [][]byte         `json:"rowKeys,omitempty"`
-	Requester identity.Address `json:"requester"`
-	PubKey    []byte           `json:"pubKey"`
-	TsMicro   int64            `json:"ts"`
-	Sig       []byte           `json:"sig"`
+	RowKeys   [][]byte
+	Requester identity.Address
+	PubKey    []byte
+	TsMicro   int64
+	Sig       []byte
 }
 
 // signingBytes is the canonical byte string covered by Sig. The wanted
 // keys (node and row requests, domain-separated) are committed through
-// a digest so rounds cannot be replayed with altered walk targets.
+// a digest so rounds cannot be replayed with altered walk targets; the
+// span is covered so a relay cannot inflate (or collapse) the response
+// amplification of a captured request.
 func (r *SyncRequest) signingBytes() []byte {
 	h := sha256.New()
 	for _, k := range r.Keys {
@@ -92,6 +139,7 @@ func (r *SyncRequest) signingBytes() []byte {
 	out = append(out, "medshare-sync:"...)
 	out = append(out, r.ShareID...)
 	out = binary.BigEndian.AppendUint64(out, r.MinSeq)
+	out = binary.BigEndian.AppendUint64(out, uint64(r.Span))
 	out = h.Sum(out)
 	out = append(out, r.Requester[:]...)
 	out = binary.BigEndian.AppendUint64(out, uint64(r.TsMicro))
@@ -145,8 +193,13 @@ type SyncResponse struct {
 // SyncStats reports what one structural sync transferred — the
 // experiment and test substrate for the "divergent subtrees only" claim.
 type SyncStats struct {
-	// Rounds is the number of request/response exchanges.
+	// Rounds is the number of sequential request waves — the walk's
+	// round-trip critical path. A wave split into concurrent chunk
+	// requests still counts once.
 	Rounds int
+	// Requests is the total number of request messages sent (≥ Rounds
+	// when waves were chunked across concurrent requests).
+	Requests int
 	// NodesFetched counts served tree nodes (divergent-path interiors).
 	NodesFetched int
 	// RowsInline counts rows shipped as requested subtree batches —
@@ -163,16 +216,47 @@ type SyncStats struct {
 
 // syncNodesFor serves one round's node requests against a view
 // snapshot; initial selects the tree root. Unknown keys are skipped —
-// the requester's final payload-hash check arbitrates.
-func syncNodesFor(view *reldb.Table, keys [][]byte, initial bool) []SyncNode {
+// the requester's final payload-hash check arbitrates. A positive span
+// additionally expands each wanted root BFS down span extra levels
+// (parents before children, within-response dedup), never descending
+// into subtrees small enough for inline row fetch — those the requester
+// either grafts or asks for wholesale, so their interiors never earn
+// their bytes.
+func syncNodesFor(view *reldb.Table, keys [][]byte, initial bool, span int) []SyncNode {
 	if initial {
 		keys = [][]byte{nil}
 	}
-	out := make([]SyncNode, 0, len(keys))
+	if span < 0 {
+		span = 0
+	}
+	if span > syncMaxSpan {
+		span = syncMaxSpan
+	}
+	type item struct {
+		key   []byte
+		depth int
+	}
+	queue := make([]item, 0, len(keys))
 	for _, k := range keys {
-		n, ok := view.MerkleNodeAt(k)
+		queue = append(queue, item{key: k})
+	}
+	var seen map[string]bool
+	if span > 0 {
+		seen = make(map[string]bool, len(keys))
+	}
+	out := make([]SyncNode, 0, len(keys))
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		n, ok := view.MerkleNodeAt(it.key)
 		if !ok {
 			continue
+		}
+		if seen != nil {
+			if seen[string(n.Key)] {
+				continue
+			}
+			seen[string(n.Key)] = true
 		}
 		out = append(out, SyncNode{
 			Key:   n.Key,
@@ -180,6 +264,14 @@ func syncNodesFor(view *reldb.Table, keys [][]byte, initial bool) []SyncNode {
 			Left:  wireChild(n.Left),
 			Right: wireChild(n.Right),
 		})
+		if it.depth >= span {
+			continue
+		}
+		for _, c := range []*reldb.MerkleChild{n.Left, n.Right} {
+			if c != nil && c.Size > syncInlineRows {
+				queue = append(queue, item{key: c.Key, depth: it.depth + 1})
+			}
+		}
 	}
 	return out
 }
@@ -208,8 +300,8 @@ func syncSubtreesFor(view *reldb.Table, rowKeys [][]byte) []SyncSubtree {
 
 // serveSync is the provider side of the anti-entropy RPC.
 func (p *Peer) serveSync(msg p2p.Message) (p2p.Message, error) {
-	var req SyncRequest
-	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+	req, err := decodeSyncRequest(msg.Payload)
+	if err != nil {
 		return p2p.Message{}, fmt.Errorf("core: bad sync request: %w", err)
 	}
 	s, seq, err := p.authorizeShareRequest(req.ShareID, req.Requester, req.PubKey, req.signingBytes(), req.Sig, req.MinSeq)
@@ -226,7 +318,7 @@ func (p *Peer) serveSync(msg p2p.Message) (p2p.Message, error) {
 	root := view.RowsRoot()
 	resp := SyncResponse{ShareID: req.ShareID, Seq: seq, Root: root[:], Empty: view.Len() == 0}
 	if !resp.Empty {
-		resp.Nodes = syncNodesFor(view, req.Keys, len(req.Keys) == 0 && len(req.RowKeys) == 0)
+		resp.Nodes = syncNodesFor(view, req.Keys, len(req.Keys) == 0 && len(req.RowKeys) == 0, req.Span)
 		resp.Subtrees = syncSubtreesFor(view, req.RowKeys)
 	}
 	raw, err := appendSyncResponse(nil, &resp)
@@ -236,35 +328,180 @@ func (p *Peer) serveSync(msg p2p.Message) (p2p.Message, error) {
 	return p2p.Message{Kind: p2p.KindSync, Payload: raw}, nil
 }
 
-// syncFetchFn performs one round of the walk: wanted subtree-root keys
-// (node requests) and row requests in, served nodes and subtrees out.
+// syncFetchFn performs one request of the walk: wanted subtree-root
+// keys (node requests) and row requests in, served nodes and subtrees
+// out. assembleSync calls it from concurrent goroutines when a wave is
+// chunked, so implementations must be safe for concurrent use.
 type syncFetchFn func(keys, rowKeys [][]byte) (SyncResponse, error)
+
+// SyncOptions tunes the anti-entropy walk's latency/byte trade.
+type SyncOptions struct {
+	// Span is the speculative expansion depth requested per exchange:
+	// the provider answers each wanted subtree root with span extra
+	// levels, cutting rounds to ~depth/(span+1) at the cost of shipping
+	// summaries the requester may already hold. 0 means the default
+	// (syncDefaultSpan); negative disables expansion — the byte-optimal
+	// one-level-per-round walk.
+	Span int
+	// Parallel bounds concurrent requests per wave: wide frontiers are
+	// chunked across up to Parallel in-flight requests. 0 means the
+	// default (syncDefaultParallel); values ≤ 1 keep waves to a single
+	// request.
+	Parallel int
+}
+
+func (o SyncOptions) normalized() SyncOptions {
+	switch {
+	case o.Span == 0:
+		o.Span = syncDefaultSpan
+	case o.Span < 0:
+		o.Span = 0
+	case o.Span > syncMaxSpan:
+		o.Span = syncMaxSpan
+	}
+	if o.Parallel == 0 {
+		o.Parallel = syncDefaultParallel
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 1
+	}
+	return o
+}
+
+// syncWave is one chunk of a wave's frontier: the node and row requests
+// carried by a single request message.
+type syncWave struct {
+	keys    [][]byte
+	rowKeys [][]byte
+}
+
+// chunkWave splits a wave's frontier round-robin across up to parallel
+// requests, never slicing below syncMinChunk keys per request.
+func chunkWave(keys, rowKeys [][]byte, parallel int) []syncWave {
+	total := len(keys) + len(rowKeys)
+	chunks := (total + syncMinChunk - 1) / syncMinChunk
+	if chunks > parallel {
+		chunks = parallel
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	out := make([]syncWave, chunks)
+	// Round-robin keeps sibling subtrees (adjacent in the frontier) on
+	// different requests, balancing per-request response sizes.
+	for i, k := range keys {
+		w := &out[i%chunks]
+		w.keys = append(w.keys, k)
+	}
+	for i, k := range rowKeys {
+		w := &out[i%chunks]
+		w.rowKeys = append(w.rowKeys, k)
+	}
+	return out
+}
+
+// fetchWave issues one wave's chunk requests concurrently and returns
+// the responses (in chunk order). Any chunk's error fails the wave.
+func fetchWave(fetch syncFetchFn, waves []syncWave) ([]SyncResponse, error) {
+	if len(waves) == 1 {
+		resp, err := fetch(waves[0].keys, waves[0].rowKeys)
+		if err != nil {
+			return nil, err
+		}
+		return []SyncResponse{resp}, nil
+	}
+	resps := make([]SyncResponse, len(waves))
+	errs := make([]error, len(waves))
+	var wg sync.WaitGroup
+	for i, w := range waves {
+		wg.Add(1)
+		go func(i int, w syncWave) {
+			defer wg.Done()
+			resps[i], errs[i] = fetch(w.keys, w.rowKeys)
+		}(i, w)
+	}
+	wg.Wait()
+	return resps, errors.Join(errs...)
+}
 
 // assembleSync drives the top-down walk against fetch and reconstructs
 // the provider's view over base (the local replica supplying grafts and
 // the schema). It returns the rebuilt table and the provider's version.
 // The caller MUST verify the result against an authoritative hash
 // before installing it.
-func assembleSync(base *reldb.Table, fetch syncFetchFn, stats *SyncStats) (*reldb.Table, uint64, error) {
+func assembleSync(base *reldb.Table, fetch syncFetchFn, stats *SyncStats, opts SyncOptions) (*reldb.Table, uint64, error) {
+	opts = opts.normalized()
 	asm := reldb.NewMerkleAssembler(base)
 	nodes := make(map[string]SyncNode)
 	subtrees := make(map[string][]reldb.Row)
+	// requested remembers every key already asked for (as node or rows),
+	// so a provider that skips an unknown key is never re-asked — the
+	// walk ends and the missing-node check arbitrates during assembly.
+	requested := make(map[string]bool)
+	// triaged marks nodes whose children have been classified, so
+	// span-expanded nodes arriving ahead of their walk position are
+	// triaged exactly once, when the walk reaches them.
+	triaged := make(map[string]bool)
 	var rootKey []byte
 	var root []byte
 	var seq uint64
 
+	// triage classifies n's children — graft (already held locally),
+	// inline rows, or descend — recursing immediately into children the
+	// provider already expanded into this or an earlier response, so the
+	// next wave's frontier starts where received structure ends.
+	var wantNodes, wantRows [][]byte
+	var triage func(n SyncNode)
+	triage = func(n SyncNode) {
+		if triaged[string(n.Key)] {
+			return
+		}
+		triaged[string(n.Key)] = true
+		for _, c := range []*SyncChild{n.Left, n.Right} {
+			if c == nil {
+				continue
+			}
+			if d, ok := childDigest(c); ok && asm.HasLocal(d) {
+				continue // grafted during assembly
+			}
+			if _, have := subtrees[string(c.Key)]; have {
+				continue
+			}
+			if cn, have := nodes[string(c.Key)]; have {
+				triage(cn)
+				continue
+			}
+			if requested[string(c.Key)] {
+				continue
+			}
+			requested[string(c.Key)] = true
+			if c.Size <= syncInlineRows {
+				wantRows = append(wantRows, c.Key)
+			} else {
+				wantNodes = append(wantNodes, c.Key)
+			}
+		}
+	}
+
 	maxRounds := syncBaseRounds
-	var wantNodes, wantRows [][]byte // both nil first round: the tree root
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return nil, 0, fmt.Errorf("%w: round bound exceeded", ErrSyncAborted)
 		}
-		resp, err := fetch(wantNodes, wantRows)
+		var waves []syncWave
+		if round == 0 {
+			waves = []syncWave{{}} // empty lists: the tree root
+		} else {
+			waves = chunkWave(wantNodes, wantRows, opts.Parallel)
+		}
+		resps, err := fetchWave(fetch, waves)
 		if err != nil {
 			return nil, 0, err
 		}
 		stats.Rounds++
+		stats.Requests += len(waves)
 		if round == 0 {
+			resp := resps[0]
 			seq = resp.Seq
 			root = resp.Root
 			if resp.Empty {
@@ -276,7 +513,7 @@ func assembleSync(base *reldb.Table, fetch syncFetchFn, stats *SyncStats) (*reld
 			}
 			rn := resp.Nodes[0]
 			rootKey = rn.Key
-			// One round per tree level: scale the bound with the
+			// At most one round per tree level: scale the bound with the
 			// provider-reported size (root children cover all but one
 			// row; a random treap's max depth is ~3·log2 n, allow 4).
 			n := 1
@@ -286,45 +523,46 @@ func assembleSync(base *reldb.Table, fetch syncFetchFn, stats *SyncStats) (*reld
 				}
 			}
 			maxRounds = syncBaseRounds + 4*bits.Len(uint(n))
-		} else if !bytes.Equal(resp.Root, root) {
-			// The provider's view changed mid-walk; already-fetched
-			// digests no longer fit together. The root — canonical for
-			// the contents — is the exact detector, immune to the
-			// seq-label/view-install race on the provider.
-			return nil, 0, fmt.Errorf("%w: provider view changed mid-walk", ErrSyncAborted)
+		}
+		// Merge every response before triage: span expansion ships
+		// children in the same frame as their parent, and triage must
+		// see them to recurse instead of re-requesting.
+		for _, resp := range resps {
+			if !bytes.Equal(resp.Root, root) {
+				// The provider's view changed mid-walk; already-fetched
+				// digests no longer fit together. The root — canonical
+				// for the contents — is the exact detector, immune to
+				// the seq-label/view-install race on the provider.
+				return nil, 0, fmt.Errorf("%w: provider view changed mid-walk", ErrSyncAborted)
+			}
+			for _, st := range resp.Subtrees {
+				if _, dup := subtrees[string(st.Key)]; dup {
+					continue
+				}
+				subtrees[string(st.Key)] = st.Rows
+				stats.RowsInline += len(st.Rows)
+			}
+			for _, n := range resp.Nodes {
+				if _, dup := nodes[string(n.Key)]; dup {
+					continue
+				}
+				nodes[string(n.Key)] = n
+				stats.NodesFetched++
+			}
+		}
+		// Triage grows from what was actually *asked for* this wave —
+		// known-divergent roots — and recurses through their expanded
+		// descendants. Expanded nodes NOT reachable that way are the
+		// speculation waste (their subtree matched locally); triaging
+		// them directly would walk into grafted territory.
+		frontier := wantNodes
+		if round == 0 {
+			frontier = [][]byte{rootKey}
 		}
 		wantNodes, wantRows = nil, nil
-		for _, st := range resp.Subtrees {
-			if _, dup := subtrees[string(st.Key)]; dup {
-				continue
-			}
-			subtrees[string(st.Key)] = st.Rows
-			stats.RowsInline += len(st.Rows)
-		}
-		for _, n := range resp.Nodes {
-			if _, dup := nodes[string(n.Key)]; dup {
-				continue
-			}
-			nodes[string(n.Key)] = n
-			stats.NodesFetched++
-			for _, c := range []*SyncChild{n.Left, n.Right} {
-				if c == nil {
-					continue
-				}
-				if d, ok := childDigest(c); ok && asm.HasLocal(d) {
-					continue // grafted during assembly
-				}
-				if _, have := nodes[string(c.Key)]; have {
-					continue
-				}
-				if _, have := subtrees[string(c.Key)]; have {
-					continue
-				}
-				if c.Size <= syncInlineRows {
-					wantRows = append(wantRows, c.Key)
-				} else {
-					wantNodes = append(wantNodes, c.Key)
-				}
+		for _, k := range frontier {
+			if n, ok := nodes[string(k)]; ok {
+				triage(n)
 			}
 		}
 		if len(wantNodes)+len(wantRows) == 0 {
@@ -401,10 +639,16 @@ func (p *Peer) syncFrom(ctx context.Context, from identity.Address, shareID stri
 	if !ok {
 		return nil, 0, stats, fmt.Errorf("core: no endpoint known for %s", from)
 	}
+	opts := SyncOptions{Parallel: p.cfg.FanoutWorkers}.normalized()
+	// Wave chunks fetch concurrently, so the closure guards the shared
+	// byte counters; channelRequest is already safe for concurrent use
+	// (the cascade fan-out exercises it).
+	var statsMu sync.Mutex
 	fetch := func(keys, rowKeys [][]byte) (SyncResponse, error) {
 		req := SyncRequest{
 			ShareID:   shareID,
 			MinSeq:    minSeq,
+			Span:      opts.Span,
 			Keys:      keys,
 			RowKeys:   rowKeys,
 			Requester: p.Address(),
@@ -412,23 +656,26 @@ func (p *Peer) syncFrom(ctx context.Context, from identity.Address, shareID stri
 			TsMicro:   p.cfg.Clock.Now().UnixMicro(),
 		}
 		req.Sig = p.cfg.Identity.Sign(req.signingBytes())
-		payload, err := json.Marshal(req)
-		if err != nil {
-			return SyncResponse{}, err
-		}
+		payload := appendSyncRequest(nil, &req)
+		statsMu.Lock()
 		stats.BytesSent += len(payload)
+		statsMu.Unlock()
 		msg, err := p.channelRequest(ctx, endpoint, p2p.Message{Kind: p2p.KindSync, Payload: payload})
 		if err != nil {
 			return SyncResponse{}, fmt.Errorf("core: syncing %s from %s: %w", shareID, from, err)
 		}
+		statsMu.Lock()
 		stats.BytesReceived += len(msg.Payload)
+		statsMu.Unlock()
 		resp, err := decodeSyncResponse(msg.Payload)
 		if err != nil {
 			return SyncResponse{}, fmt.Errorf("core: bad sync response: %w", err)
 		}
 		return resp, nil
 	}
-	t, seq, err := assembleSync(base, fetch, &stats)
+	t, seq, err := assembleSync(base, fetch, &stats, opts)
+	p.stats.syncRounds.Add(uint64(stats.Rounds))
+	p.stats.syncRequests.Add(uint64(stats.Requests))
 	if err != nil {
 		return nil, 0, stats, err
 	}
@@ -454,33 +701,44 @@ func (p *Peer) StructuralSync(ctx context.Context, from identity.Address, shareI
 }
 
 // SimulateStructuralSync runs the anti-entropy exchange between two
-// in-memory tables through the real wire encoding (JSON requests, the
-// binary response frame, no transport or chain) — the measurement
-// harness behind E13 and the byte-count assertions. provider plays the
+// in-memory tables through the real wire encoding (binary request and
+// response frames, no transport or chain) — the measurement harness
+// behind E13 and the byte-count assertions. provider plays the
 // updater's view, base the stale local replica; the returned stats
 // count exactly the bytes the TCP path would carry in message payloads.
+// It runs the byte-optimal serial walk (no span expansion, one request
+// per wave) so the byte numbers it pins are the protocol floor; use
+// SimulateStructuralSyncOpts to measure the latency-optimized
+// operating points.
 func SimulateStructuralSync(provider, base *reldb.Table) (*reldb.Table, SyncStats, error) {
+	return SimulateStructuralSyncOpts(provider, base, SyncOptions{Span: -1, Parallel: -1})
+}
+
+// SimulateStructuralSyncOpts is SimulateStructuralSync under explicit
+// walk options — the round-count and span-overhead measurement harness.
+func SimulateStructuralSyncOpts(provider, base *reldb.Table, opts SyncOptions) (*reldb.Table, SyncStats, error) {
+	opts = opts.normalized()
 	var stats SyncStats
+	var mu sync.Mutex
 	fetch := func(keys, rowKeys [][]byte) (SyncResponse, error) {
-		req := SyncRequest{Keys: keys, RowKeys: rowKeys}
-		rawReq, err := json.Marshal(req)
-		if err != nil {
-			return SyncResponse{}, err
-		}
-		stats.BytesSent += len(rawReq)
+		req := SyncRequest{Span: opts.Span, Keys: keys, RowKeys: rowKeys}
+		rawReq := appendSyncRequest(nil, &req)
 		root := provider.RowsRoot()
 		resp := SyncResponse{Seq: 1, Root: root[:], Empty: provider.Len() == 0}
 		if !resp.Empty {
-			resp.Nodes = syncNodesFor(provider, keys, len(keys) == 0 && len(rowKeys) == 0)
+			resp.Nodes = syncNodesFor(provider, keys, len(keys) == 0 && len(rowKeys) == 0, req.Span)
 			resp.Subtrees = syncSubtreesFor(provider, rowKeys)
 		}
 		rawResp, err := appendSyncResponse(nil, &resp)
 		if err != nil {
 			return SyncResponse{}, err
 		}
+		mu.Lock()
+		stats.BytesSent += len(rawReq)
 		stats.BytesReceived += len(rawResp)
+		mu.Unlock()
 		return decodeSyncResponse(rawResp)
 	}
-	t, _, err := assembleSync(base, fetch, &stats)
+	t, _, err := assembleSync(base, fetch, &stats, opts)
 	return t, stats, err
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"testing"
 	"time"
@@ -441,10 +440,7 @@ func TestServeSyncRejectsUnauthorized(t *testing.T) {
 		TsMicro:   time.Now().UnixMicro(),
 	}
 	req.Sig = outsider.Sign(req.signingBytes())
-	payload, err := json.Marshal(req)
-	if err != nil {
-		t.Fatal(err)
-	}
+	payload := appendSyncRequest(nil, &req)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	ep := mem.Endpoint("M")
@@ -455,8 +451,74 @@ func TestServeSyncRejectsUnauthorized(t *testing.T) {
 	req.Requester = h.b.Address()
 	req.PubKey = append([]byte(nil), h.b.cfg.Identity.PublicKey()...)
 	req.Sig = []byte("bogus")
-	payload, _ = json.Marshal(req)
+	payload = appendSyncRequest(nil, &req)
 	if _, err := ep.Request(ctx, "A", p2p.Message{Kind: p2p.KindSync, Payload: payload}); err == nil {
 		t.Fatal("bad signature served")
+	}
+	// A member with a valid signature over a tampered span is rejected:
+	// the span is part of the signing preimage, so a relay cannot
+	// inflate a captured request's response amplification.
+	req.Span = 1
+	req.Sig = h.b.cfg.Identity.Sign(req.signingBytes())
+	req.Span = 3
+	payload = appendSyncRequest(nil, &req)
+	if _, err := ep.Request(ctx, "A", p2p.Message{Kind: p2p.KindSync, Payload: payload}); err == nil {
+		t.Fatal("span-tampered request served")
+	}
+	// The old JSON request encoding is no longer accepted.
+	req.Span = 1
+	if _, err := ep.Request(ctx, "A", p2p.Message{Kind: p2p.KindSync, Payload: []byte(`{"shareId":"S"}`)}); err == nil {
+		t.Fatal("JSON sync request served")
+	}
+}
+
+// TestSyncSpanCutsRounds pins the tentpole latency claim: for a 16-row
+// divergence, the span-expanded pipelined walk completes in strictly
+// fewer round-trips than the serial one-level-per-round walk, while
+// converging to the same root and shipping the same inline rows.
+func TestSyncSpanCutsRounds(t *testing.T) {
+	const rows, d = 10000, 16
+	provider := syncTestTable(rows)
+	base := provider.Clone()
+	for i := 0; i < d; i++ {
+		if err := base.Update(reldb.Row{reldb.I(int64(i * 613))}, map[string]reldb.Value{"v": reldb.S("stale")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialOut, serial, err := SimulateStructuralSyncOpts(provider, base, SyncOptions{Span: -1, Parallel: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastOut, fast, err := SimulateStructuralSyncOpts(provider, base, SyncOptions{Span: 2, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialOut.RowsRoot() != provider.RowsRoot() || fastOut.RowsRoot() != provider.RowsRoot() {
+		t.Fatal("sync did not converge")
+	}
+	if fast.Rounds >= serial.Rounds {
+		t.Fatalf("span-expanded walk took %d rounds, serial walk %d: expansion did not cut the round count", fast.Rounds, serial.Rounds)
+	}
+	// The serial walk sends exactly one request per round; the pipelined
+	// walk may chunk a wave but never sends more than Parallel per wave.
+	if serial.Requests != serial.Rounds {
+		t.Fatalf("serial walk sent %d requests over %d rounds", serial.Requests, serial.Rounds)
+	}
+	if fast.Requests < fast.Rounds || fast.Requests > 8*fast.Rounds {
+		t.Fatalf("pipelined walk sent %d requests over %d rounds", fast.Requests, fast.Rounds)
+	}
+	// Speculation costs bounded summary bytes, never extra rows: the
+	// inline row set is exactly the divergent small subtrees either way.
+	if fast.RowsInline != serial.RowsInline {
+		t.Fatalf("span walk shipped %d inline rows, serial %d", fast.RowsInline, serial.RowsInline)
+	}
+	if fast.RowsGrafted != serial.RowsGrafted {
+		t.Fatalf("span walk grafted %d rows, serial %d", fast.RowsGrafted, serial.RowsGrafted)
+	}
+	// Waste bound: expansion ships at most one matched sibling per
+	// expanded level of a lone divergent path, so the node count stays
+	// within a small multiple of the serial walk's.
+	if fast.NodesFetched > 3*serial.NodesFetched {
+		t.Fatalf("span walk fetched %d nodes, serial %d: speculation overhead exceeds 3x", fast.NodesFetched, serial.NodesFetched)
 	}
 }

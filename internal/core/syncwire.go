@@ -16,11 +16,15 @@ import (
 // a field name to 33 bytes). Rows still travel as their canonical JSON
 // encoding (length-prefixed) — they are typed values with an
 // established codec, and row bytes are divergence-proportional rather
-// than per-node overhead. Requests stay JSON: they are small, carry
-// auth fields, and their canonical signing bytes are computed
-// separately (SyncRequest.signingBytes).
+// than per-node overhead. Requests use the same varint framing (see
+// appendSyncRequest below): a pipelined walk sends one request per wave
+// chunk, so per-request key lists are no longer negligible, and
+// base64-in-JSON storage keys cost ~1.4x the raw bytes. The request's
+// canonical signing bytes are still computed separately
+// (SyncRequest.signingBytes) — the frame is transport encoding, not the
+// signature preimage.
 //
-// Frame layout (all integers varint unless noted):
+// Response frame layout (all integers varint unless noted):
 //
 //	version byte (syncWireVersion)
 //	shareID: len ‖ bytes
@@ -248,6 +252,112 @@ func decodeSyncResponse(raw []byte) (SyncResponse, error) {
 			st.Rows = append(st.Rows, row)
 		}
 		out.Subtrees = append(out.Subtrees, st)
+	}
+	if len(r.buf) != 0 {
+		return out, errSyncWire
+	}
+	return out, nil
+}
+
+// The request frame mirrors the response frame's varint style:
+//
+//	version byte (syncWireVersion)
+//	shareID: len ‖ bytes
+//	minSeq
+//	span
+//	node-key count, then per key: len ‖ bytes
+//	row-key count, then per key: len ‖ bytes
+//	requester: len ‖ raw address bytes (must be identity.AddressLen)
+//	pubKey: len ‖ bytes
+//	tsMicro (int64 as uint64)
+//	sig: len ‖ bytes
+
+// appendSyncRequest encodes r into the binary request frame.
+func appendSyncRequest(dst []byte, r *SyncRequest) []byte {
+	dst = append(dst, syncWireVersion)
+	dst = appendBytes(dst, []byte(r.ShareID))
+	dst = binary.AppendUvarint(dst, r.MinSeq)
+	dst = binary.AppendUvarint(dst, uint64(r.Span))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Keys)))
+	for _, k := range r.Keys {
+		dst = appendBytes(dst, k)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.RowKeys)))
+	for _, k := range r.RowKeys {
+		dst = appendBytes(dst, k)
+	}
+	dst = appendBytes(dst, r.Requester[:])
+	dst = appendBytes(dst, r.PubKey)
+	dst = binary.AppendUvarint(dst, uint64(r.TsMicro))
+	return appendBytes(dst, r.Sig)
+}
+
+func (r *syncWireReader) keyList() ([][]byte, error) {
+	n, err := r.uvarint()
+	if err != nil || n > syncWireMaxLen {
+		return nil, errSyncWire
+	}
+	// A key is at least one length byte; reject counts the buffer cannot
+	// possibly satisfy before allocating.
+	if n > uint64(len(r.buf)) {
+		return nil, errSyncWire
+	}
+	out := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// decodeSyncRequest parses a frame produced by appendSyncRequest.
+func decodeSyncRequest(raw []byte) (SyncRequest, error) {
+	r := syncWireReader{buf: raw}
+	var out SyncRequest
+	ver, err := r.byte()
+	if err != nil || ver != syncWireVersion {
+		return out, errSyncWire
+	}
+	id, err := r.bytes()
+	if err != nil {
+		return out, err
+	}
+	out.ShareID = string(id)
+	if out.MinSeq, err = r.uvarint(); err != nil {
+		return out, err
+	}
+	span, err := r.uvarint()
+	if err != nil || span > syncMaxSpan {
+		return out, errSyncWire
+	}
+	out.Span = int(span)
+	if out.Keys, err = r.keyList(); err != nil {
+		return out, err
+	}
+	if out.RowKeys, err = r.keyList(); err != nil {
+		return out, err
+	}
+	addr, err := r.bytes()
+	if err != nil {
+		return out, err
+	}
+	if len(addr) != len(out.Requester) {
+		return out, errSyncWire
+	}
+	copy(out.Requester[:], addr)
+	if out.PubKey, err = r.bytes(); err != nil {
+		return out, err
+	}
+	ts, err := r.uvarint()
+	if err != nil {
+		return out, err
+	}
+	out.TsMicro = int64(ts)
+	if out.Sig, err = r.bytes(); err != nil {
+		return out, err
 	}
 	if len(r.buf) != 0 {
 		return out, errSyncWire

@@ -19,6 +19,19 @@ func (n *Node) gossipTx(tx *chain.Tx) {
 	_ = n.cfg.Transport.Broadcast(p2p.Message{Kind: p2p.KindTx, Payload: payload})
 }
 
+// gossipTxBatch broadcasts a group of transactions in one message,
+// amortizing the per-broadcast overhead across the whole batch.
+func (n *Node) gossipTxBatch(txs []*chain.Tx) {
+	if n.cfg.Transport == nil {
+		return
+	}
+	payload, err := json.Marshal(txs)
+	if err != nil {
+		return
+	}
+	_ = n.cfg.Transport.Broadcast(p2p.Message{Kind: p2p.KindTxBatch, Payload: payload})
+}
+
 // gossipBlock broadcasts a sealed block to the network.
 func (n *Node) gossipBlock(b *chain.Block) {
 	if n.cfg.Transport == nil {
@@ -46,6 +59,21 @@ func (n *Node) handleGossip(msg p2p.Message) {
 		known := n.committedTxs[tx.IDString()]
 		if !known {
 			n.mempool.add(&tx)
+		}
+		n.mu.Unlock()
+	case p2p.KindTxBatch:
+		var txs []*chain.Tx
+		if err := json.Unmarshal(msg.Payload, &txs); err != nil {
+			return
+		}
+		n.mu.Lock()
+		for _, tx := range txs {
+			if tx == nil || tx.Verify() != nil {
+				continue
+			}
+			if !n.committedTxs[tx.IDString()] {
+				n.mempool.add(tx)
+			}
 		}
 		n.mu.Unlock()
 	case p2p.KindBlock:

@@ -38,6 +38,16 @@ type Config struct {
 	BlockInterval time.Duration
 	// MaxTxPerBlock bounds block size (0 means 256).
 	MaxTxPerBlock int
+	// GroupCommitWindow, when non-zero, makes block production
+	// demand-driven: a submitted transaction kicks the producer, which
+	// waits this long for more arrivals to accumulate and then produces
+	// one block for the whole batch — amortizing consensus, sealing, and
+	// state-root work across every transaction that arrived in the
+	// window, with BlockInterval demoted to the idle fallback. Negative
+	// produces immediately on the first kick (minimum latency, batching
+	// only what arrived in the same instant). Zero keeps the pure
+	// interval-paced producer.
+	GroupCommitWindow time.Duration
 	// ProduceEmptyBlocks keeps producing blocks with no transactions
 	// (like Ethereum); when false the producer skips empty rounds.
 	ProduceEmptyBlocks bool
@@ -64,6 +74,11 @@ type Node struct {
 	nonce        uint64
 
 	events *eventBus
+
+	// kickCh (capacity 1) wakes the producer when transactions arrive
+	// and GroupCommitWindow is enabled; a pending token covers any
+	// number of submissions.
+	kickCh chan struct{}
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -99,6 +114,7 @@ func New(cfg Config) (*Node, error) {
 		txWaiters:    make(map[string][]chan contract.Receipt),
 		committedTxs: make(map[string]bool),
 		events:       newEventBus(),
+		kickCh:       make(chan struct{}, 1),
 		stopped:      make(chan struct{}),
 	}
 	if cfg.Transport != nil {
@@ -154,12 +170,38 @@ func (n *Node) produceLoop(ctx context.Context) {
 		case <-n.stopped:
 			return
 		case <-n.cfg.Clock.After(n.cfg.BlockInterval):
+		case <-n.kickCh:
+			// Demand-driven production: hold the accumulation window so
+			// submissions arriving on its heels share the block, then
+			// produce without waiting out the interval.
+			if w := n.cfg.GroupCommitWindow; w > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-n.stopped:
+					return
+				case <-n.cfg.Clock.After(w):
+				}
+			}
 		}
 		if err := n.TryProduce(ctx); err != nil &&
 			err != errNotOurTurn && err != errNothingToDo {
 			// Production errors are not fatal; the next round retries.
 			continue
 		}
+	}
+}
+
+// kick nudges the producer after a submission when demand-driven
+// production is enabled. Non-blocking: a pending kick already covers
+// this arrival.
+func (n *Node) kick() {
+	if n.cfg.GroupCommitWindow == 0 {
+		return
+	}
+	select {
+	case n.kickCh <- struct{}{}:
+	default:
 	}
 }
 
@@ -233,6 +275,39 @@ func (n *Node) SubmitTx(tx *chain.Tx) error {
 	n.mu.Unlock()
 	if added {
 		n.gossipTx(tx)
+		n.kick()
+	}
+	return nil
+}
+
+// SubmitTxBatch validates and admits a group of transactions in one
+// mempool pass, gossips them as a single batch message, and kicks the
+// producer once — the group-commit entry point: callers staging many
+// independent share updates hand them over together so one block (and
+// one gossip broadcast) carries them all. Any transaction failing
+// signature verification fails the whole batch before admission;
+// already-committed or duplicate transactions are skipped silently (the
+// per-tx receipt is the arbiter callers wait on).
+func (n *Node) SubmitTxBatch(txs []*chain.Tx) error {
+	for _, tx := range txs {
+		if err := tx.Verify(); err != nil {
+			return err
+		}
+	}
+	fresh := make([]*chain.Tx, 0, len(txs))
+	n.mu.Lock()
+	for _, tx := range txs {
+		if n.committedTxs[tx.IDString()] {
+			continue
+		}
+		if n.mempool.add(tx) {
+			fresh = append(fresh, tx)
+		}
+	}
+	n.mu.Unlock()
+	if len(fresh) > 0 {
+		n.gossipTxBatch(fresh)
+		n.kick()
 	}
 	return nil
 }

@@ -17,7 +17,10 @@ import (
 
 // Message kinds used by the system. Transports treat kinds opaquely.
 const (
-	KindTx        = "tx"
+	KindTx = "tx"
+	// KindTxBatch carries many transactions in one broadcast — the gossip
+	// half of group commit: a batch submitted together travels together.
+	KindTxBatch   = "txbatch"
 	KindBlock     = "block"
 	KindDataFetch = "data.fetch"
 	// KindSync carries the structural anti-entropy exchange: peers walk

@@ -218,7 +218,7 @@ func (t *Transient[V]) insert(n *node[V], k string, p uint64, v V) (*node[V], bo
 	}
 	if higher(p, k, n.pri, n.key) {
 		// k cannot occur below n (same argument as set).
-		l, _, _, r := split(n, k)
+		l, r := t.split(n, k)
 		return t.alloc(l, k, p, v, r), true
 	}
 	if k < n.key {
@@ -276,7 +276,7 @@ func (t *Transient[V]) set(n *node[V], k string, p uint64, v V) (*node[V], bool)
 	if higher(p, k, n.pri, n.key) {
 		// Same argument as the persistent set: the new entry outranks
 		// this subtree's root and k cannot occur below n.
-		l, _, _, r := split(n, k)
+		l, r := t.split(n, k)
 		return t.alloc(l, k, p, v, r), false
 	}
 	if k < n.key {
@@ -329,7 +329,47 @@ func (t *Transient[V]) del(n *node[V], k string) (*node[V], bool) {
 		}
 		return t.rebuild(n, n.left, r), true
 	default:
-		return join(n.left, n.right), true
+		return t.join(n.left, n.right), true
+	}
+}
+
+// split is the transient counterpart of the shared split: the same
+// partitioning recursion, minus the value probe the transient call sites
+// never use, with path nodes re-pointed in place when owned and drawn
+// from the slab arena otherwise — no per-node heap allocation through mk.
+// In-place reuse is sound for the same reason rebuild's is: an owned
+// node is reachable only through this transient's tree, and split moves
+// it wholesale into exactly one of the two halves.
+func (t *Transient[V]) split(n *node[V], k string) (l, r *node[V]) {
+	if n == nil {
+		return nil, nil
+	}
+	switch {
+	case k < n.key:
+		ll, lr := t.split(n.left, k)
+		return ll, t.rebuild(n, lr, n.right)
+	case k > n.key:
+		rl, rr := t.split(n.right, k)
+		return t.rebuild(n, n.left, rl), rr
+	default:
+		return n.left, n.right
+	}
+}
+
+// join is the transient counterpart of the shared join: the descent
+// order (and therefore the resulting canonical shape) is identical, but
+// spine nodes owned by this transient are re-pointed in place and copies
+// come from the slab arena.
+func (t *Transient[V]) join(l, r *node[V]) *node[V] {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case higher(l.pri, l.key, r.pri, r.key):
+		return t.rebuild(l, l.left, t.join(l.right, r))
+	default:
+		return t.rebuild(r, t.join(l, r.left), r.right)
 	}
 }
 

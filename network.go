@@ -48,6 +48,11 @@ type NetworkConfig struct {
 	BlockInterval time.Duration
 	// MaxTxPerBlock bounds block size (default 256).
 	MaxTxPerBlock int
+	// GroupCommitWindow enables demand-driven block production on every
+	// node: submissions kick the producer, which accumulates arrivals for
+	// this window and commits them as one block (BlockInterval becomes
+	// the idle fallback). Zero keeps interval-paced production.
+	GroupCommitWindow time.Duration
 	// Latency and Jitter configure the simulated network's one-way delay.
 	Latency, Jitter time.Duration
 	// DropRate is the one-way gossip loss probability.
@@ -163,6 +168,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 			Registry:           contract.NewRegistry(sharereg.New()),
 			BlockInterval:      cfg.BlockInterval,
 			MaxTxPerBlock:      cfg.MaxTxPerBlock,
+			GroupCommitWindow:  cfg.GroupCommitWindow,
 			ProduceEmptyBlocks: cfg.ProduceEmptyBlocks,
 			Clock:              clk,
 			Transport:          transport,
@@ -211,6 +217,11 @@ type PeerOptions struct {
 	// negative forces sequential fan-out (the pre-concurrency behavior,
 	// kept for baselines and experiments).
 	FanoutWorkers int
+	// EventShards partitions the peer's event runtime into that many
+	// per-shard loops (hash(shareID) → shard). 0 derives it from
+	// FanoutWorkers/GOMAXPROCS; negative forces the single sequential
+	// loop.
+	EventShards int
 }
 
 // NewPeer creates a stakeholder attached to the given node, with a fresh
@@ -262,6 +273,7 @@ func (nw *Network) NewPeerWithOptions(name string, nodeIndex int, opts PeerOptio
 		Retry:          nw.cfg.PeerRetry,
 		Health:         nw.cfg.PeerHealth,
 		FanoutWorkers:  opts.FanoutWorkers,
+		EventShards:    opts.EventShards,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,8 @@
+//go:build race
+
+package medshare
+
+// raceDetectorOn reports whether this test binary was built with the
+// race detector, whose 5–20x slowdown on CPU-bound work invalidates
+// wall-clock performance ratios.
+const raceDetectorOn = true

@@ -346,6 +346,12 @@ type ChaosConfig struct {
 	RepairInterval time.Duration
 	// DataTransport is DataTransportMem (default) or DataTransportTCP.
 	DataTransport string
+	// GroupCommit runs the chain with demand-driven batched block
+	// production (NetworkConfig.GroupCommitWindow): the storm's
+	// multi-share proposals ride group commits instead of one block
+	// interval each, so the suite exercises the batched commit path
+	// under the same faults.
+	GroupCommit bool
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -401,8 +407,13 @@ type ChaosScenario struct {
 // endpoint quarantine, background repair loop).
 func NewChaosScenario(ctx context.Context, cfg ChaosConfig) (*ChaosScenario, error) {
 	cfg = cfg.withDefaults()
+	var window time.Duration
+	if cfg.GroupCommit {
+		window = 500 * time.Microsecond
+	}
 	nw, err := NewNetwork(NetworkConfig{
 		BlockInterval:      cfg.BlockInterval,
+		GroupCommitWindow:  window,
 		Seed:               cfg.Seed,
 		FaultInjection:     true,
 		DataTransport:      cfg.DataTransport,

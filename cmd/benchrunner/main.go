@@ -26,7 +26,7 @@ import (
 
 var (
 	quick        = flag.Bool("quick", false, "reduced parameter sweeps")
-	only         = flag.String("only", "", "run only the named experiment (E1..E16)")
+	only         = flag.String("only", "", "run only the named experiment (E1..E17)")
 	baseline     = flag.String("baseline", "BENCH_baseline.json", "write machine-readable results to this file (empty disables)")
 	compare      = flag.String("compare", "", "diff this run against a committed baseline JSON and exit non-zero on regressions")
 	threshold    = flag.Float64("threshold", 0.25, "relative regression threshold for -compare (0.25 = 25% worse)")
@@ -68,6 +68,7 @@ func main() {
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
 		{"E13", runE13}, {"E14", runE14}, {"E15", runE15}, {"E16", runE16},
+		{"E17", runE17},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
@@ -641,6 +642,37 @@ func runE16(ctx context.Context) error {
 				}
 				fmt.Fprintf(w, "%d\t%d\t%.0f\t%v\t%.1f\t%d\t%.1fx\n", r.BatchSize, r.Rounds,
 					r.UpdatesPerSec, r.P50Time.Round(10*time.Microsecond), r.MeanBatch, r.BlocksUsed, speedup)
+			}
+		})
+	return nil
+}
+
+func runE17(ctx context.Context) error {
+	rates := []float64{100, 250, 500}
+	duration := 3 * time.Second
+	if *quick {
+		rates = []float64{150}
+		duration = 1500 * time.Millisecond
+	}
+	// 90% reads mirrors a records-serving clinic hub: views are read
+	// constantly, cells change occasionally.
+	const readFrac = 0.9
+	results := make([]medshare.E17Result, 0, len(rates))
+	for _, rate := range rates {
+		r, err := medshare.RunE17Serving(ctx, rate, duration, readFrac)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	baselineData["E17"] = results
+	table("E17 — serving edge under open-loop load: RPS and tail latency (90% reads)",
+		"rate\toffered\terr%\treads/s\tread p50\tread p99\tread p999\twrites/s\twrite p50\twrite p99\twrite p999", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%.0f\t%d\t%.2f\t%.0f\t%v\t%v\t%v\t%.0f\t%v\t%v\t%v\n",
+					r.Rate, r.Offered, 100*r.ErrorRate,
+					r.ReadsPerSec, r.ReadP50.Round(10*time.Microsecond), r.ReadP99.Round(10*time.Microsecond), r.ReadP999.Round(10*time.Microsecond),
+					r.WritesPerSec, r.WriteP50.Round(10*time.Microsecond), r.WriteP99.Round(10*time.Microsecond), r.WriteP999.Round(10*time.Microsecond))
 			}
 		})
 	return nil

@@ -1,0 +1,276 @@
+// Command loadr drives an open-loop load against the medshare serving
+// edge and reports RPS, error rate, and HDR-style latency percentiles.
+// Open loop means arrivals follow a fixed schedule and every request's
+// latency clock starts at its SCHEDULED arrival: a slow server cannot
+// suppress its own tail by making the generator wait (coordinated
+// omission).
+//
+//	loadr -selfhost -rate 200 -duration 10s        # in-process scenario
+//	loadr -api http://127.0.0.1:8344 -rate 50      # against medshared -api
+//	loadr -selfhost -rate 150 -slo-p99 250ms -slo-error-rate 0.02
+//
+// With -slo-p99 / -slo-error-rate set, loadr exits non-zero when the
+// run breaches either bound — the CI load-smoke gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"medshare"
+	"medshare/internal/api"
+	"medshare/internal/loadgen"
+	"medshare/internal/reldb"
+)
+
+func main() {
+	var (
+		apiURL   = flag.String("api", "", "base URL of a running medshared -api server")
+		selfhost = flag.Bool("selfhost", false, "spin up an in-process serving scenario instead of targeting -api")
+		rate     = flag.Float64("rate", 100, "peak arrival rate, requests/s")
+		duration = flag.Duration("duration", 5*time.Second, "run length")
+		curve    = flag.String("curve", "sustained", "arrival curve: sustained, ramp, or burst")
+		readFrac = flag.Float64("read-frac", 0.9, "fraction of arrivals that read (rest write)")
+		workers  = flag.Int("workers", 64, "max in-flight requests")
+		shares   = flag.Int("shares", 8, "shares to serve (selfhost)")
+		records  = flag.Int("records", 64, "rows per share view (selfhost)")
+		shareIDs = flag.String("share", "", "comma-separated share IDs to target (-api mode; default: all)")
+		sloP99   = flag.Duration("slo-p99", 0, "fail the run if any kind's p99 exceeds this (0 = off)")
+		sloErr   = flag.Float64("slo-error-rate", -1, "fail the run if the error rate exceeds this (-1 = off)")
+	)
+	flag.Parse()
+	if err := run(*apiURL, *selfhost, *rate, *duration, *curve, *readFrac,
+		*workers, *shares, *records, *shareIDs, *sloP99, *sloErr); err != nil {
+		fmt.Fprintln(os.Stderr, "loadr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(apiURL string, selfhost bool, rate float64, duration time.Duration, curve string,
+	readFrac float64, workers, shares, records int, shareIDs string,
+	sloP99 time.Duration, sloErr float64) error {
+	switch loadgen.Curve(curve) {
+	case loadgen.Sustained, loadgen.Ramp, loadgen.Burst:
+	default:
+		return fmt.Errorf("unknown -curve %q (want sustained, ramp, or burst)", curve)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var op loadgen.Op
+	switch {
+	case selfhost:
+		fmt.Fprintf(os.Stderr, "building in-process scenario: %d shares x %d rows...\n", shares, records)
+		sc, err := medshare.NewServingScenario(ctx, medshare.ServingConfig{Shares: shares, Records: records})
+		if err != nil {
+			return err
+		}
+		defer sc.Stop()
+		if err := sc.Warm(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serving on %s\n", sc.URL)
+		op = sc.Op(readFrac)
+	case apiURL != "":
+		client := &api.Client{BaseURL: apiURL, HTTPClient: &http.Client{
+			Transport: &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512},
+		}}
+		var err error
+		if op, err = remoteOp(ctx, client, shareIDs, readFrac); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -selfhost or -api is required")
+	}
+
+	plan := loadgen.Plan{Rate: rate, Duration: duration, Curve: loadgen.Curve(curve), Workers: workers}
+	fmt.Fprintf(os.Stderr, "open loop: %.0f req/s %s for %v, %.0f%% reads\n", rate, curve, duration, 100*readFrac)
+	st := loadgen.Run(ctx, plan, op)
+	report(st)
+	return checkSLO(st, sloP99, sloErr)
+}
+
+// target is one share a remote run can hit: its row keys (both as the
+// comma-key query syntax and as JSON update tuples) and one writable
+// non-key cell per row.
+type target struct {
+	id       string
+	keyParts [][]string
+	keys     [][]any
+	col      string
+	colKind  reldb.Kind
+}
+
+// remoteOp discovers the server's shares and view contents, then
+// returns the same read/write mix ServingScenario.Op drives: whether
+// writes succeed depends on the serving peer's on-chain write
+// permission for the chosen column — denials count as errors, which is
+// the honest reading of an unauthorized load.
+func remoteOp(ctx context.Context, client *api.Client, shareIDs string, readFrac float64) (loadgen.Op, error) {
+	var ids []string
+	if shareIDs != "" {
+		ids = strings.Split(shareIDs, ",")
+	} else {
+		sts, err := client.Shares(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("discovering shares: %w", err)
+		}
+		for _, st := range sts {
+			ids = append(ids, st.ID)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no shares to target (register some, or pass -share)")
+	}
+	targets := make([]target, 0, len(ids))
+	for _, id := range ids {
+		view, err := client.Rows(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("prefetching %s: %w", id, err)
+		}
+		t := target{id: id}
+		sch := view.Schema()
+		keyIdx := sch.KeyIndexes()
+		for _, c := range sch.Columns {
+			if !sch.IsKeyColumn(c.Name) && writableKind(c.Type) {
+				t.col, t.colKind = c.Name, c.Type
+				break
+			}
+		}
+		view.Scan(func(r reldb.Row) (bool, error) {
+			parts := make([]string, 0, len(keyIdx))
+			tuple := make([]any, 0, len(keyIdx))
+			for _, i := range keyIdx {
+				parts = append(parts, keyQueryPart(r[i]))
+				tuple = append(tuple, jsonScalar(r[i]))
+			}
+			t.keyParts = append(t.keyParts, parts)
+			t.keys = append(t.keys, tuple)
+			return true, nil
+		})
+		if len(t.keyParts) == 0 {
+			return nil, fmt.Errorf("share %s has no rows to target", id)
+		}
+		targets = append(targets, t)
+	}
+	return func(ctx context.Context, seq int) loadgen.Result {
+		t := targets[seq%len(targets)]
+		row := seq % len(t.keyParts)
+		u := float64(uint32(seq)*2654435761%1_000_000) / 1e6
+		if u < readFrac || t.col == "" {
+			if seq%2 == 0 {
+				_, err := client.Rows(ctx, t.id)
+				return loadgen.Result{Err: err, Kind: "read"}
+			}
+			res, err := client.Row(ctx, t.id, t.keyParts[row], true)
+			if err == nil {
+				ok, verr := api.VerifyRow(res)
+				if verr != nil {
+					err = verr
+				} else if !ok {
+					err = fmt.Errorf("proof for %s failed against root %s", t.id, res.Root)
+				}
+			}
+			return loadgen.Result{Err: err, Kind: "read"}
+		}
+		_, err := client.Update(ctx, t.id, []api.RowOp{{
+			Op: "set", Key: t.keys[row],
+			Set: map[string]any{t.col: writeValue(t.colKind, seq)},
+		}})
+		return loadgen.Result{Err: err, Kind: "write"}
+	}, nil
+}
+
+func writableKind(k reldb.Kind) bool {
+	switch k {
+	case reldb.KindString, reldb.KindInt, reldb.KindFloat, reldb.KindBool:
+		return true
+	}
+	return false
+}
+
+func writeValue(k reldb.Kind, seq int) any {
+	switch k {
+	case reldb.KindInt, reldb.KindFloat:
+		return float64(seq)
+	case reldb.KindBool:
+		return seq%2 == 0
+	default:
+		return fmt.Sprintf("w-%d", seq)
+	}
+}
+
+// keyQueryPart renders a key value for the ?key=a,b query syntax.
+func keyQueryPart(v reldb.Value) string {
+	if s, ok := v.Str(); ok {
+		return s
+	}
+	return v.String()
+}
+
+// jsonScalar renders a key value as the JSON scalar the update endpoint
+// coerces back through the schema.
+func jsonScalar(v reldb.Value) any {
+	switch v.Kind() {
+	case reldb.KindInt:
+		i, _ := v.Int()
+		return float64(i)
+	case reldb.KindFloat:
+		f, _ := v.Float()
+		return f
+	case reldb.KindBool:
+		b, _ := v.Bool()
+		return b
+	case reldb.KindTime:
+		t, _ := v.Time()
+		return t.Format(time.RFC3339Nano)
+	default:
+		s, _ := v.Str()
+		return s
+	}
+}
+
+func report(st loadgen.Stats) {
+	fmt.Printf("offered %d, completed %d, errors %d (%.2f%%), elapsed %v\n",
+		st.Offered, st.Completed, st.Errors, 100*st.ErrorRate, st.Elapsed.Round(time.Millisecond))
+	fmt.Printf("all    %s\n", st.Latency)
+	for _, kind := range []string{"read", "write"} {
+		ks, ok := st.Kinds[kind]
+		if !ok {
+			continue
+		}
+		rps := float64(ks.Completed-ks.Errors) / st.Elapsed.Seconds()
+		fmt.Printf("%-6s %s  %.0f/s, %d errors\n", kind, ks.Latency, rps, ks.Errors)
+	}
+}
+
+func checkSLO(st loadgen.Stats, sloP99 time.Duration, sloErr float64) error {
+	var breaches []string
+	if sloP99 > 0 {
+		if st.Latency.P99 > sloP99 {
+			breaches = append(breaches, fmt.Sprintf("p99 %v > SLO %v", st.Latency.P99, sloP99))
+		}
+		for kind, ks := range st.Kinds {
+			if ks.Latency.P99 > sloP99 {
+				breaches = append(breaches, fmt.Sprintf("%s p99 %v > SLO %v", kind, ks.Latency.P99, sloP99))
+			}
+		}
+	}
+	if sloErr >= 0 && st.ErrorRate > sloErr {
+		breaches = append(breaches, fmt.Sprintf("error rate %.4f > SLO %.4f", st.ErrorRate, sloErr))
+	}
+	if st.Completed == 0 {
+		breaches = append(breaches, "no operations completed")
+	}
+	if len(breaches) > 0 {
+		return fmt.Errorf("SLO breached: %s", strings.Join(breaches, "; "))
+	}
+	fmt.Println("SLO: ok")
+	return nil
+}

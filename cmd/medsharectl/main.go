@@ -39,6 +39,16 @@ func main() {
 		err = gen(os.Args[2:])
 	case "inspect":
 		err = inspect(os.Args[2:])
+	case "register":
+		err = register(os.Args[2:])
+	case "attach":
+		err = attach(os.Args[2:])
+	case "fetch":
+		err = fetch(os.Args[2:])
+	case "update":
+		err = update(os.Args[2:])
+	case "audit":
+		err = auditCmd(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -50,7 +60,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: medsharectl {keygen|demo|gen|inspect} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: medsharectl {keygen|demo|gen|inspect|register|attach|fetch|update|audit} [flags]")
 }
 
 func keygen(args []string) error {

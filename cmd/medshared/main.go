@@ -21,11 +21,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"medshare/internal/api"
 	"medshare/internal/bx"
 	"medshare/internal/consensus"
 	"medshare/internal/contract"
@@ -80,19 +83,21 @@ func main() {
 		fig1     = flag.Bool("fig1", false, "preload this role's Fig. 1 table (Doctor/Patient/Researcher)")
 		records  = flag.Int("records", 0, "synthetic records for -fig1 (0 = the exact Fig. 1 rows)")
 		seedFlag = flag.Int64("seed", 1, "workload seed for -fig1")
+		apiAddr  = flag.String("api", "", "serve the HTTP API on this address (empty = no API)")
+		groupMs  = flag.Int("group-commit-ms", 0, "group-commit window in milliseconds (0 = per-interval blocks)")
 	)
 	flag.Parse()
 	if *name == "" || *parts == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*name, *listen, *parts, *network, *blockMs, *fig1, *records, *seedFlag); err != nil {
+	if err := run(*name, *listen, *parts, *network, *blockMs, *fig1, *records, *seedFlag, *apiAddr, *groupMs); err != nil {
 		fmt.Fprintln(os.Stderr, "medshared:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, listen, parts, network string, blockMs int, fig1 bool, records int, seed int64) error {
+func run(name, listen, parts, network string, blockMs int, fig1 bool, records int, seed int64, apiAddr string, groupMs int) error {
 	participants, err := parseParticipants(parts)
 	if err != nil {
 		return err
@@ -131,12 +136,13 @@ func run(name, listen, parts, network string, blockMs int, fig1 bool, records in
 	fmt.Printf("%s listening on %s (address %s)\n", name, transport.Addr(), ids[name].Address().Short())
 
 	n, err := node.New(node.Config{
-		NetworkName:   network,
-		Identity:      ids[name],
-		Engine:        consensus.NewPoA(true, authorities...),
-		Registry:      contract.NewRegistry(sharereg.New()),
-		BlockInterval: time.Duration(blockMs) * time.Millisecond,
-		Transport:     transport,
+		NetworkName:       network,
+		Identity:          ids[name],
+		Engine:            consensus.NewPoA(true, authorities...),
+		Registry:          contract.NewRegistry(sharereg.New()),
+		BlockInterval:     time.Duration(blockMs) * time.Millisecond,
+		GroupCommitWindow: time.Duration(groupMs) * time.Millisecond,
+		Transport:         transport,
 	})
 	if err != nil {
 		return err
@@ -167,6 +173,29 @@ func run(name, listen, parts, network string, blockMs int, fig1 bool, records in
 	}
 	peer.Start()
 	defer peer.Stop()
+
+	if apiAddr != "" {
+		srv, err := api.New(api.Config{
+			Peer:           peer,
+			Node:           n,
+			CoalesceWindow: time.Duration(groupMs) * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		l, err := net.Listen("tcp", apiAddr)
+		if err != nil {
+			return fmt.Errorf("api listen: %w", err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := hs.Serve(l); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "medshared: api:", err)
+			}
+		}()
+		defer hs.Close()
+		fmt.Printf("%s serving API on http://%s\n", name, l.Addr())
+	}
 
 	return shell(ctx, &daemon{name: name, ids: ids, node: n, peer: peer, db: db})
 }

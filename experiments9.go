@@ -1,0 +1,288 @@
+package medshare
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"medshare/internal/api"
+	"medshare/internal/bx"
+	"medshare/internal/core"
+	"medshare/internal/identity"
+	"medshare/internal/loadgen"
+	"medshare/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// E17 — serving edge under open-loop load: RPS and tail latency across
+// the share lifecycle. E1–E16 measure the protocol's internal costs
+// (lens math, cascade hops, block batching); E17 measures what a client
+// actually experiences against the HTTP serving edge: proof-carrying
+// reads riding the marshaled-view and membership-proof caches, and
+// writes riding the HTTP coalescer into group commits. The generator is
+// open-loop — arrivals follow a fixed schedule and every request's
+// latency clock starts at its SCHEDULED arrival — so a slow server
+// cannot silence its own tail by applying backpressure (coordinated
+// omission). Sweeping the arrival rate exposes where p99/p999 leave the
+// floor while median reads stay cache-flat.
+
+// ServingConfig sizes a serving scenario. Zero values pick defaults.
+type ServingConfig struct {
+	// Shares is how many independent shares the hub serves (default 8).
+	Shares int
+	// Records is the row count of each share's view (default 64).
+	Records int
+	// BlockInterval paces fallback block production (default 10ms).
+	BlockInterval time.Duration
+	// GroupCommitWindow enables demand-driven production on the node
+	// (default 1ms).
+	GroupCommitWindow time.Duration
+	// CoalesceWindow is the HTTP write coalescer's accumulation window
+	// (default 2ms).
+	CoalesceWindow time.Duration
+}
+
+func (c *ServingConfig) defaults() {
+	if c.Shares <= 0 {
+		c.Shares = 8
+	}
+	if c.Records <= 0 {
+		c.Records = 64
+	}
+	if c.BlockInterval <= 0 {
+		c.BlockInterval = 10 * time.Millisecond
+	}
+	if c.GroupCommitWindow <= 0 {
+		c.GroupCommitWindow = time.Millisecond
+	}
+	if c.CoalesceWindow <= 0 {
+		c.CoalesceWindow = 2 * time.Millisecond
+	}
+}
+
+// ServingScenario is a complete serving-edge fixture: a hub peer with
+// Shares registered shares (one projected column each, a counterparty
+// attached to every one), the HTTP API served on a real TCP listener,
+// and a client aimed at it. Both RunE17Serving and `loadr -selfhost`
+// build on it.
+type ServingScenario struct {
+	Net     *Network
+	Hub     *core.Peer
+	Partner *core.Peer
+	API     *api.Server
+	Client  *api.Client
+	URL     string
+	// Shares holds the registered share IDs; Op round-robins over them.
+	Shares  []string
+	Records int
+
+	hs  *http.Server
+	lis net.Listener
+}
+
+// NewServingScenario builds and starts the fixture. Call Stop when
+// done.
+func NewServingScenario(ctx context.Context, cfg ServingConfig) (*ServingScenario, error) {
+	cfg.defaults()
+	nw, err := NewNetwork(NetworkConfig{
+		BlockInterval:     cfg.BlockInterval,
+		GroupCommitWindow: cfg.GroupCommitWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc := &ServingScenario{Net: nw, Records: cfg.Records}
+	fail := func(err error) (*ServingScenario, error) {
+		sc.Stop()
+		return nil, err
+	}
+	if sc.Hub, err = nw.NewPeer("hub", 0); err != nil {
+		return fail(err)
+	}
+	if sc.Partner, err = nw.NewPeer("partner", 0); err != nil {
+		return fail(err)
+	}
+	// Hub and counterparty start from the same synthetic source, so
+	// every attach's locally derived view matches the registered root.
+	src := workload.GenerateManyShares("T", cfg.Shares, cfg.Records, 1)
+	sc.Hub.DB().PutTable(src)
+	sc.Partner.DB().PutTable(workload.GenerateManyShares("T", cfg.Shares, cfg.Records, 1))
+	for i := 0; i < cfg.Shares; i++ {
+		col := workload.ManyShareCol(i)
+		id := fmt.Sprintf("S%02d", i)
+		err = sc.Hub.RegisterShare(ctx, core.RegisterShareArgs{
+			ID: id, SourceTable: "T", Lens: bx.Project(id+"h", []string{"k", col}, nil), ViewName: id + "h",
+			Peers:     []identity.Address{sc.Hub.Address(), sc.Partner.Address()},
+			WritePerm: map[string][]identity.Address{col: {sc.Hub.Address()}},
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if err = sc.Partner.AttachShare(id, "T", bx.Project(id+"p", []string{"k", col}, nil), id+"p"); err != nil {
+			return fail(err)
+		}
+		sc.Shares = append(sc.Shares, id)
+	}
+	if sc.API, err = api.New(api.Config{Peer: sc.Hub, Node: nw.Node(0), CoalesceWindow: cfg.CoalesceWindow}); err != nil {
+		return fail(err)
+	}
+	if sc.lis, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+		return fail(err)
+	}
+	sc.hs = &http.Server{Handler: sc.API.Handler()}
+	go sc.hs.Serve(sc.lis) //nolint:errcheck // Serve returns ErrServerClosed on Stop
+	sc.URL = "http://" + sc.lis.Addr().String()
+	sc.Client = &api.Client{BaseURL: sc.URL, HTTPClient: &http.Client{
+		// One keep-alive pool sized past the worker count so connection
+		// setup never pollutes the measured tail.
+		Transport: &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512},
+	}}
+	return sc, nil
+}
+
+// Stop tears the fixture down.
+func (sc *ServingScenario) Stop() {
+	if sc.hs != nil {
+		sc.hs.Close()
+	}
+	if sc.Net != nil {
+		sc.Net.Stop()
+	}
+}
+
+// Warm runs one write and one read against every share: the writes
+// exercise the full propose path once (and are waited to finality so
+// the measured run never opens against a pending update), the reads
+// fill the marshaled-view cache.
+func (sc *ServingScenario) Warm(ctx context.Context) error {
+	for i, id := range sc.Shares {
+		res, err := sc.Client.Update(ctx, id, []api.RowOp{{
+			Op: "set", Key: []any{float64(0)},
+			Set: map[string]any{workload.ManyShareCol(i): "warm"},
+		}})
+		if err != nil {
+			return fmt.Errorf("warm write %s: %w", id, err)
+		}
+		if !res.NoChange {
+			if err := sc.Hub.WaitFinal(ctx, id, res.Seq); err != nil {
+				return fmt.Errorf("warm finality %s: %w", id, err)
+			}
+		}
+		if _, err := sc.Client.Rows(ctx, id); err != nil {
+			return fmt.Errorf("warm read %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Op returns the mixed read/write operation for an open-loop run: a
+// readFrac slice of arrivals read (alternating whole-view fetches with
+// proof-carrying single-row fetches that are verified client-side), the
+// rest write one cell through the coalescer. Shares and row keys
+// round-robin by arrival index, so consecutive writes land on different
+// shares and never race one share's pending window.
+func (sc *ServingScenario) Op(readFrac float64) loadgen.Op {
+	n := len(sc.Shares)
+	return func(ctx context.Context, seq int) loadgen.Result {
+		id := sc.Shares[seq%n]
+		// A multiplicative hash spreads the read/write decision evenly
+		// through the schedule without a racy RNG.
+		u := float64(uint32(seq)*2654435761%1_000_000) / 1e6
+		if u < readFrac {
+			if seq%2 == 0 {
+				_, err := sc.Client.Rows(ctx, id)
+				return loadgen.Result{Err: err, Kind: "read"}
+			}
+			key := fmt.Sprint(seq % sc.Records)
+			res, err := sc.Client.Row(ctx, id, []string{key}, true)
+			if err == nil {
+				ok, verr := api.VerifyRow(res)
+				if verr != nil {
+					err = verr
+				} else if !ok {
+					err = fmt.Errorf("proof for %s key %s failed against root %s", id, key, res.Root)
+				}
+			}
+			return loadgen.Result{Err: err, Kind: "read"}
+		}
+		_, err := sc.Client.Update(ctx, id, []api.RowOp{{
+			Op: "set", Key: []any{float64(seq % sc.Records)},
+			Set: map[string]any{workload.ManyShareCol(seq % n): fmt.Sprintf("w-%d", seq)},
+		}})
+		return loadgen.Result{Err: err, Kind: "write"}
+	}
+}
+
+// E17Result reports one open-loop run at a given offered arrival rate.
+type E17Result struct {
+	// Rate is the offered arrival rate, requests/s (sweep config).
+	Rate float64
+	// Seconds is the measured run length (config echo).
+	Seconds float64
+	// ReadFrac is the fraction of arrivals that read (config echo).
+	ReadFrac float64
+	// Shares is how many shares the hub serves (config echo).
+	Shares int
+	// Offered and Completed count scheduled arrivals and operations
+	// that ran; an overloaded server shows Completed << Offered.
+	Offered   int
+	Completed int
+	// ErrorRate is failed operations / completed.
+	ErrorRate float64
+	// ReadsPerSec and WritesPerSec are successful operations per second
+	// of elapsed run time.
+	ReadsPerSec  float64
+	WritesPerSec float64
+	// Read latency percentiles, measured open-loop from each request's
+	// scheduled arrival (coordinated-omission safe). Reads are
+	// cache-served, so the median should sit near the HTTP floor.
+	ReadP50  time.Duration
+	ReadP99  time.Duration
+	ReadP999 time.Duration
+	// Write latency percentiles: edit admitted on-chain (request
+	// commit), finalization cascading asynchronously.
+	WriteP50  time.Duration
+	WriteP99  time.Duration
+	WriteP999 time.Duration
+	// MeanCoalesced is HTTP write requests per coalescer flush.
+	MeanCoalesced float64
+}
+
+// RunE17Serving drives the serving scenario with an open-loop arrival
+// schedule at `rate` requests/s for `duration`, `readFrac` of arrivals
+// reading.
+func RunE17Serving(ctx context.Context, rate float64, duration time.Duration, readFrac float64) (E17Result, error) {
+	out := E17Result{Rate: rate, Seconds: duration.Seconds(), ReadFrac: readFrac}
+	sc, err := NewServingScenario(ctx, ServingConfig{})
+	if err != nil {
+		return out, err
+	}
+	defer sc.Stop()
+	out.Shares = len(sc.Shares)
+	if err := sc.Warm(ctx); err != nil {
+		return out, err
+	}
+
+	b0, w0 := sc.API.CoalesceStats()
+	st := loadgen.Run(ctx, loadgen.Plan{Rate: rate, Duration: duration, Workers: 64}, sc.Op(readFrac))
+	b1, w1 := sc.API.CoalesceStats()
+
+	out.Offered = st.Offered
+	out.Completed = st.Completed
+	out.ErrorRate = st.ErrorRate
+	el := st.Elapsed.Seconds()
+	if r, ok := st.Kinds["read"]; ok && el > 0 {
+		out.ReadsPerSec = float64(r.Completed-r.Errors) / el
+		out.ReadP50, out.ReadP99, out.ReadP999 = r.Latency.P50, r.Latency.P99, r.Latency.P999
+	}
+	if w, ok := st.Kinds["write"]; ok && el > 0 {
+		out.WritesPerSec = float64(w.Completed-w.Errors) / el
+		out.WriteP50, out.WriteP99, out.WriteP999 = w.Latency.P50, w.Latency.P99, w.Latency.P999
+	}
+	if db := b1 - b0; db > 0 {
+		out.MeanCoalesced = float64(w1-w0) / float64(db)
+	}
+	return out, nil
+}

@@ -257,3 +257,35 @@ func TestRunE15(t *testing.T) {
 		t.Fatalf("recovery machinery unused: %+v", r)
 	}
 }
+
+// TestRunE17 smoke-drives the serving edge under a short open-loop
+// run: the scenario must serve reads and admit writes with a near-zero
+// error rate, and the proof-carrying reads must verify (the Op fails
+// them otherwise, which would show up as errors here). Re-measured once
+// before failing — on shared hardware a load storm can starve the
+// scheduler enough to time out requests.
+func TestRunE17(t *testing.T) {
+	measure := func() (E17Result, error) {
+		return RunE17Serving(testCtx(t), 80, 1500*time.Millisecond, 0.9)
+	}
+	ok := func(r E17Result) bool {
+		return r.ErrorRate <= 0.02 && r.ReadsPerSec > 0 && r.WritesPerSec > 0 &&
+			r.ReadP50 > 0 && r.WriteP50 > 0 && r.ReadP50 <= r.ReadP999
+	}
+	r, err := measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok(r) {
+		r, err = measure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok(r) {
+			t.Fatalf("result = %+v", r)
+		}
+	}
+	if r.Offered == 0 || r.Completed == 0 {
+		t.Fatalf("nothing ran: %+v", r)
+	}
+}

@@ -1,0 +1,398 @@
+package api_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"medshare/internal/api"
+	"medshare/internal/bx"
+	"medshare/internal/consensus"
+	"medshare/internal/contract"
+	"medshare/internal/contract/sharereg"
+	"medshare/internal/core"
+	"medshare/internal/identity"
+	"medshare/internal/node"
+	"medshare/internal/p2p"
+	"medshare/internal/reldb"
+)
+
+// harness is two peers over a memnet sharing one PoA node, with an
+// httptest server fronting peer A — the API tests' world.
+type harness struct {
+	node   *node.Node
+	a, b   *core.Peer
+	server *api.Server
+	ts     *httptest.Server
+	client *api.Client
+	ctx    context.Context
+}
+
+func newHarness(t *testing.T, coalesce time.Duration) *harness {
+	t.Helper()
+	nid := identity.MustNew("node")
+	n, err := node.New(node.Config{
+		NetworkName:   "api-test",
+		Identity:      nid,
+		Engine:        consensus.NewPoA(false, nid.Address()),
+		Registry:      contract.NewRegistry(sharereg.New()),
+		BlockInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	n.Start(ctx)
+	t.Cleanup(n.Stop)
+
+	mem := p2p.NewMemNetwork()
+	dir := core.NewDirectory()
+	mk := func(name string) *core.Peer {
+		id := identity.MustNew(name)
+		db := reldb.NewDatabase(name)
+		tbl := reldb.MustNewTable(reldb.Schema{
+			Name: "T",
+			Columns: []reldb.Column{
+				{Name: "k", Type: reldb.KindInt},
+				{Name: "v", Type: reldb.KindString},
+			},
+			Key: []string{"k"},
+		})
+		for i := int64(0); i < 8; i++ {
+			tbl.MustInsert(reldb.Row{reldb.I(i), reldb.S("v0")})
+		}
+		db.PutTable(tbl)
+		p, err := core.NewPeer(core.Config{
+			Identity: id, DB: db, Node: n,
+			Transport: mem.Endpoint(name), Directory: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		t.Cleanup(p.Stop)
+		return p
+	}
+	h := &harness{node: n, a: mk("A"), b: mk("B"), ctx: ctx}
+
+	srv, err := api.New(api.Config{Peer: h.a, Node: n, CoalesceWindow: coalesce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.server = srv
+	h.ts = httptest.NewServer(srv.Handler())
+	t.Cleanup(h.ts.Close)
+	h.client = &api.Client{BaseURL: h.ts.URL}
+	return h
+}
+
+func lensSpec(t *testing.T, view string) json.RawMessage {
+	t.Helper()
+	data, err := bx.Spec{Op: bx.OpProject, ViewName: view, Cols: []string{"k", "v"}, OnDelete: bx.PolicyApply, OnInsert: bx.PolicyApply}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// registerShare registers share "S" over HTTP with both peers and
+// attaches it on B.
+func (h *harness) registerShare(t *testing.T) {
+	t.Helper()
+	st, err := h.client.Register(h.ctx, api.RegisterRequest{
+		ID:          "S",
+		SourceTable: "T",
+		ViewName:    "Sa",
+		LensSpec:    lensSpec(t, "Sa"),
+		Peers:       []string{h.a.Address().String(), h.b.Address().String()},
+		WritePerm: map[string][]string{
+			"k": {h.a.Address().String(), h.b.Address().String()},
+			"v": {h.a.Address().String(), h.b.Address().String()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "S" || st.ViewName != "Sa" {
+		t.Fatalf("register status = %+v", st)
+	}
+	lens, err := bx.Spec{Op: bx.OpProject, ViewName: "Sb", Cols: []string{"k", "v"}, OnDelete: bx.PolicyApply, OnInsert: bx.PolicyApply}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.b.AttachShare("S", "T", lens, "Sb"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLifecycleOverHTTP(t *testing.T) {
+	h := newHarness(t, 0)
+	h.registerShare(t)
+
+	if err := h.client.Healthz(h.ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if err := h.client.Readyz(h.ctx); err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+
+	shares, err := h.client.Shares(h.ctx)
+	if err != nil || len(shares) != 1 || shares[0].ID != "S" {
+		t.Fatalf("shares = %+v, err %v", shares, err)
+	}
+
+	view, err := h.client.Rows(h.ctx, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 8 {
+		t.Fatalf("rows len = %d", view.Len())
+	}
+
+	// Write through the API, then read the row back proof-carrying.
+	res, err := h.client.Update(h.ctx, "S", []api.RowOp{
+		{Op: "set", Key: []any{float64(3)}, Set: map[string]any{"v": "updated"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoChange || res.Seq == 0 {
+		t.Fatalf("update result = %+v", res)
+	}
+
+	row, err := h.client.Row(h.ctx, "S", []string{"3"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := row.Row[1].Str(); got != "updated" {
+		t.Fatalf("row = %+v", row.Row)
+	}
+	ok, err := api.VerifyRow(row)
+	if err != nil || !ok {
+		t.Fatalf("proof did not verify: ok=%v err=%v", ok, err)
+	}
+	if row.Seq != res.Seq {
+		t.Fatalf("row seq %d != update seq %d", row.Seq, res.Seq)
+	}
+
+	// Repeat proven read: the proof cache must serve it.
+	if _, err := h.client.Row(h.ctx, "S", []string{"3"}, true); err != nil {
+		t.Fatal(err)
+	}
+	st := h.a.Stats()
+	if st.ProofCacheMisses == 0 || st.ProofCacheHits == 0 {
+		t.Fatalf("proof cache: hits=%d misses=%d", st.ProofCacheHits, st.ProofCacheMisses)
+	}
+
+	// A no-op write reports NoChange instead of burning a proposal.
+	res, err = h.client.Update(h.ctx, "S", []api.RowOp{
+		{Op: "set", Key: []any{float64(3)}, Set: map[string]any{"v": "updated"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NoChange {
+		t.Fatalf("expected NoChange, got %+v", res)
+	}
+
+	// The audit trail shows the registration and the update.
+	recs, err := h.client.Audit(h.ctx, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := map[string]bool{}
+	for _, r := range recs {
+		fns[r.Fn] = true
+	}
+	if !fns["register"] || !fns["request_update"] {
+		t.Fatalf("audit fns = %v", fns)
+	}
+}
+
+func TestRowsViewCache(t *testing.T) {
+	h := newHarness(t, 0)
+	h.registerShare(t)
+
+	for i := 0; i < 3; i++ {
+		if _, err := h.client.Rows(h.ctx, "S"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := h.client.Metrics(h.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, "medshare_api_view_cache_hits_total 2") {
+		t.Fatalf("expected 2 view-cache hits in metrics:\n%s", grepLines(m, "view_cache"))
+	}
+	// An update moves the root: next read re-marshals.
+	if _, err := h.client.Update(h.ctx, "S", []api.RowOp{
+		{Op: "upsert", Row: []any{float64(100), "new"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	view, err := h.client.Rows(h.ctx, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := view.Get(reldb.Row{reldb.I(100)}); !ok {
+		t.Fatal("updated row missing from cached read")
+	}
+	m, _ = h.client.Metrics(h.ctx)
+	if !strings.Contains(m, "medshare_api_view_cache_misses_total 2") {
+		t.Fatalf("expected 2 view-cache misses after update:\n%s", grepLines(m, "view_cache"))
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	h := newHarness(t, 0)
+	h.registerShare(t)
+
+	if _, err := h.client.Update(h.ctx, "S", []api.RowOp{{Op: "explode"}}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("bad op error = %v", err)
+	}
+	if _, err := h.client.Update(h.ctx, "nope", []api.RowOp{{Op: "delete", Key: []any{float64(1)}}}); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown share error = %v", err)
+	}
+	if _, err := h.client.Row(h.ctx, "S", []string{"not-an-int"}, false); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("bad key error = %v", err)
+	}
+	if _, err := h.client.Row(h.ctx, "S", []string{"99"}, false); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("missing row error = %v", err)
+	}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	h := newHarness(t, 40*time.Millisecond)
+	h.registerShare(t)
+
+	// Four concurrent writers on distinct rows: the coalescer must fold
+	// them into far fewer flushes than writers, and every edit must
+	// land.
+	const writers = 4
+	results := make([]api.UpdateResult, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := h.client.Update(h.ctx, "S", []api.RowOp{
+				{Op: "set", Key: []any{float64(i)}, Set: map[string]any{"v": "w"}},
+			})
+			if err != nil {
+				t.Errorf("writer %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	maxBatch := 0
+	for _, r := range results {
+		if r.Coalesced > maxBatch {
+			maxBatch = r.Coalesced
+		}
+	}
+	if maxBatch < 2 {
+		t.Fatalf("no coalescing observed: %+v", results)
+	}
+	view, err := h.client.Rows(h.ctx, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < writers; i++ {
+		row, ok := view.Get(reldb.Row{reldb.I(int64(i))})
+		if !ok {
+			t.Fatalf("row %d missing", i)
+		}
+		if got, _ := row[1].Str(); got != "w" {
+			t.Fatalf("row %d = %v, write lost in coalescing", i, row)
+		}
+	}
+}
+
+func TestReadyzFlipsDuringResync(t *testing.T) {
+	h := newHarness(t, 0)
+	h.registerShare(t)
+
+	// Snapshot A's binding at seq 0, let B finalize an update, then
+	// restore A to the stale snapshot: A now lags the chain.
+	snap, err := h.a.SnapshotShare("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.b.UpdateView(h.ctx, "S", func(tbl *reldb.Table) error {
+		return tbl.Update(reldb.Row{reldb.I(2)}, map[string]reldb.Value{"v": reldb.S("fromB")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.a.WaitFinal(h.ctx, "S", res.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.client.Readyz(h.ctx); err != nil {
+		t.Fatalf("ready before fault: %v", err)
+	}
+
+	if err := h.a.RestoreShare(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.client.Readyz(h.ctx); err == nil {
+		t.Fatal("readyz reported ready while lagging the chain")
+	}
+
+	if err := h.a.Resync(h.ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.client.Readyz(h.ctx); err != nil {
+		t.Fatalf("readyz after resync: %v", err)
+	}
+	m, err := h.client.Metrics(h.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, "medshare_api_not_ready_total 1") {
+		t.Fatalf("not-ready probe not counted:\n%s", grepLines(m, "not_ready"))
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	h := newHarness(t, 0)
+	h.registerShare(t)
+	if _, err := h.client.Rows(h.ctx, "S"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.client.Metrics(h.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`medshare_api_requests_total{kind="rows"} 1`,
+		`medshare_api_requests_total{kind="register"} 1`,
+		"# TYPE medshare_api_latency_seconds summary",
+		"medshare_peer_proof_cache_hits_total",
+		"medshare_peer_batch_commits_total",
+		"medshare_chain_height",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// grepLines filters exposition lines for failure messages.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,174 @@
+// Package api is the serving edge: an HTTP/JSON front door over a
+// core.Peer exposing the full share lifecycle — register, attach,
+// proof-carrying reads, coalesced writes, audit — plus the operational
+// endpoints (/healthz, /readyz, /metrics) a deployment needs to put the
+// node behind a load balancer and hold an SLO against it.
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"medshare/internal/audit"
+	"medshare/internal/core"
+	"medshare/internal/loadgen"
+	"medshare/internal/node"
+)
+
+// Config configures a Server. Peer and Node are required.
+type Config struct {
+	Peer *core.Peer
+	Node *node.Node
+	// Auditor answers /audit queries; nil builds one over Node's store
+	// and registry.
+	Auditor *audit.Auditor
+	// CoalesceWindow is how long the first concurrent write waits for
+	// companions before flushing one group commit. It should sit at or
+	// below node.Config.GroupCommitWindow. Zero flushes immediately
+	// (writes still batch with whatever arrived while the previous
+	// flush was in flight... nothing, since the opener flushes inline —
+	// zero simply disables HTTP-level coalescing).
+	CoalesceWindow time.Duration
+	// MaxQueueDepth is the shard-event backlog above which /readyz
+	// reports not-ready. 0 means 256.
+	MaxQueueDepth uint64
+	// RequestTimeout bounds one API request's work, chain commits
+	// included. 0 means 30s.
+	RequestTimeout time.Duration
+}
+
+// Server serves the API over one peer.
+type Server struct {
+	cfg     Config
+	peer    *core.Peer
+	node    *node.Node
+	auditor *audit.Auditor
+	mux     *http.ServeMux
+	coal    *coalescer
+	views   viewCache
+	m       serverMetrics
+}
+
+// serverMetrics is the HTTP layer's own instrumentation: request and
+// error counts plus a latency summary per request kind, exported at
+// /metrics next to the peer's counters.
+type serverMetrics struct {
+	kinds map[string]*kindMetrics
+	// notReady counts /readyz probes answered 503.
+	notReady atomic.Uint64
+}
+
+type kindMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	latency  loadgen.Histogram
+}
+
+// requestKinds enumerates the instrumented request kinds, in the order
+// /metrics exports them.
+var requestKinds = []string{
+	"health", "ready", "metrics",
+	"shares_list", "register", "attach",
+	"share_get", "rows", "row", "update", "audit",
+}
+
+// New builds a Server over the peer.
+func New(cfg Config) (*Server, error) {
+	if cfg.Peer == nil || cfg.Node == nil {
+		return nil, errors.New("api: Config.Peer and Config.Node are required")
+	}
+	if cfg.Auditor == nil {
+		cfg.Auditor = audit.New(cfg.Node.Store(), cfg.Node.Registry())
+	}
+	if cfg.MaxQueueDepth == 0 {
+		cfg.MaxQueueDepth = 256
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		peer:    cfg.Peer,
+		node:    cfg.Node,
+		auditor: cfg.Auditor,
+		mux:     http.NewServeMux(),
+		coal:    newCoalescer(cfg.Peer, cfg.CoalesceWindow),
+		m:       serverMetrics{kinds: make(map[string]*kindMetrics, len(requestKinds))},
+	}
+	for _, k := range requestKinds {
+		s.m.kinds[k] = &kindMetrics{}
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.instrument("health", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("ready", s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/shares", s.instrument("shares_list", s.handleSharesList))
+	s.mux.HandleFunc("POST /v1/shares", s.instrument("register", s.handleRegister))
+	s.mux.HandleFunc("POST /v1/shares/{id}/attach", s.instrument("attach", s.handleAttach))
+	s.mux.HandleFunc("GET /v1/shares/{id}", s.instrument("share_get", s.handleShareGet))
+	s.mux.HandleFunc("GET /v1/shares/{id}/rows", s.instrument("rows", s.handleRows))
+	s.mux.HandleFunc("GET /v1/shares/{id}/row", s.instrument("row", s.handleRow))
+	s.mux.HandleFunc("POST /v1/shares/{id}/update", s.instrument("update", s.handleUpdate))
+	s.mux.HandleFunc("GET /v1/shares/{id}/audit", s.instrument("audit", s.handleAudit))
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CoalesceStats reports the write coalescer's flush count and the
+// total HTTP write requests those flushes carried; writes/batches is
+// the realized coalescing factor.
+func (s *Server) CoalesceStats() (batches, writes uint64) {
+	return s.coal.batches.Load(), s.coal.writes.Load()
+}
+
+// httpError carries a status code out of a handler.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// statusOf maps a handler error to its HTTP status: explicit statuses
+// win; unknown shares are 404; everything else is a 500.
+func statusOf(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	if strings.Contains(err.Error(), "unknown share") || strings.Contains(err.Error(), "no such share") {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+// instrument wraps a handler with per-kind request counting, latency
+// recording, and uniform error rendering.
+func (s *Server) instrument(kind string, fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	km := s.m.kinds[kind]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		km.requests.Add(1)
+		ctx, cancel := contextWithTimeout(r, s.cfg.RequestTimeout)
+		defer cancel()
+		err := fn(w, r.WithContext(ctx))
+		km.latency.Record(time.Since(start))
+		if err != nil {
+			km.errors.Add(1)
+			writeJSONStatus(w, statusOf(err), ErrorResponse{Error: err.Error()})
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package api
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"medshare/internal/reldb"
+)
+
+// viewCache memoizes the JSON wire form of whole views, keyed by the
+// view's content hash. Serving GET /rows is the hot read path; between
+// updates the view is immutable (tables are replaced wholesale, and the
+// pmap caches subtree digests, so Hash() is O(1) amortized), which
+// makes "hash unchanged → bytes unchanged" exact: repeat reads reuse
+// the marshaled buffer with zero re-encoding and zero allocation on
+// the happy path.
+type viewCache struct {
+	mu      sync.Mutex
+	entries map[string]*viewEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type viewEntry struct {
+	hash [32]byte
+	data []byte
+}
+
+// bufPool recycles response-assembly buffers across requests (update
+// results, audit pages, metrics exposition).
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+func getBuf() []byte  { return bufPool.Get().([]byte)[:0] }
+func putBuf(b []byte) { bufPool.Put(b) } //nolint:staticcheck // slice header copy is fine here
+
+// marshaled returns the cached JSON encoding of the view, re-encoding
+// only when the content hash moved. The returned bytes are shared and
+// must not be mutated.
+func (c *viewCache) marshaled(shareID string, view *reldb.Table) ([]byte, error) {
+	h := view.Hash()
+	c.mu.Lock()
+	if e, ok := c.entries[shareID]; ok && e.hash == h {
+		data := e.data
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return data, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	data, err := reldb.MarshalTable(view)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[string]*viewEntry)
+	}
+	c.entries[shareID] = &viewEntry{hash: h, data: data}
+	c.mu.Unlock()
+	return data, nil
+}

@@ -203,6 +203,11 @@ type Share struct {
 	// whole view and realigns the pair) instead of the delta path (which
 	// would silently preserve the divergence).
 	diverged bool
+
+	// proofs memoizes membership proofs for the serving edge's
+	// proof-carrying reads, invalidated wholesale when the applied
+	// sequence (and hence the row root) advances. See prove.go.
+	proofs proofCache
 }
 
 // seedView returns the table reseeded under the share's priority secret.
@@ -290,8 +295,10 @@ func NewPeer(cfg Config) (*Peer, error) {
 func (p *Peer) serveRequest(msg p2p.Message) (p2p.Message, error) {
 	switch msg.Kind {
 	case p2p.KindDataFetch:
+		p.stats.fetchesServed.Add(1)
 		return p.serveDataFetch(msg)
 	case p2p.KindSync:
+		p.stats.syncsServed.Add(1)
 		return p.serveSync(msg)
 	default:
 		return p2p.Message{}, fmt.Errorf("core: unexpected message kind %q", msg.Kind)

@@ -160,6 +160,17 @@ type Stats struct {
 	// BatchTxs/BatchCommits is the realized mean batch size.
 	BatchCommits uint64
 	BatchTxs     uint64
+	// FetchesServed and SyncsServed count data-channel requests this
+	// peer answered, by kind (payload fetch vs structural sync round) —
+	// the peer-side view of serve traffic the /metrics endpoint exports.
+	FetchesServed uint64
+	SyncsServed   uint64
+	// ProofCacheHits/Misses split ProveView calls between memoized
+	// proofs and fresh O(log n) tree walks; the cache resets on every
+	// applied-sequence advance, so the hit rate is also a measure of
+	// how read-hot shares are between updates.
+	ProofCacheHits   uint64
+	ProofCacheMisses uint64
 	// ShardQueueDepth is a gauge: events currently queued across the
 	// sharded event runtime at snapshot time.
 	ShardQueueDepth uint64
@@ -178,6 +189,10 @@ type statsCounters struct {
 	syncRequests      atomic.Uint64
 	batchCommits      atomic.Uint64
 	batchTxs          atomic.Uint64
+	fetchesServed     atomic.Uint64
+	syncsServed       atomic.Uint64
+	proofCacheHits    atomic.Uint64
+	proofCacheMisses  atomic.Uint64
 }
 
 func (c *statsCounters) snapshot() Stats {
@@ -193,6 +208,10 @@ func (c *statsCounters) snapshot() Stats {
 		SyncRequests:      c.syncRequests.Load(),
 		BatchCommits:      c.batchCommits.Load(),
 		BatchTxs:          c.batchTxs.Load(),
+		FetchesServed:     c.fetchesServed.Load(),
+		SyncsServed:       c.syncsServed.Load(),
+		ProofCacheHits:    c.proofCacheHits.Load(),
+		ProofCacheMisses:  c.proofCacheMisses.Load(),
 	}
 }
 

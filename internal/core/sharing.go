@@ -411,27 +411,36 @@ func (p *Peer) UpdateView(ctx context.Context, shareID string, mutate func(*reld
 	if err != nil {
 		return ProposalResult{}, err
 	}
+	if err := p.embedViewEdit(s, mutate); err != nil {
+		return ProposalResult{}, err
+	}
+	return p.ProposeUpdate(ctx, shareID)
+}
+
+// embedViewEdit applies a view-level edit and embeds it into the local
+// source (the first half of UpdateView, shared with the group-commit
+// path). The delta path is only sound while the stored replica equals
+// the lens's current view of the source. After a rejection or denial
+// rollback the two deliberately diverge (the view is restored, the
+// source keeps the user's edit) — the share tracks that in its diverged
+// flag, and the full put re-embeds the whole view there, exactly as
+// before the delta optimization, instead of silently re-proposing the
+// rejected rows alongside the new edit. The put runs inside the
+// source's atomic replacement so it cannot overwrite a concurrent embed
+// by another share over the same source.
+func (p *Peer) embedViewEdit(s *Share, mutate func(*reldb.Table) error) error {
 	view, err := p.snapshotTable(s.ViewName)
 	if err != nil {
-		return ProposalResult{}, err
+		return err
 	}
 	edited := view.Clone()
 	if err := mutate(edited); err != nil {
-		return ProposalResult{}, err
+		return err
 	}
 	cs, err := view.Diff(edited)
 	if err != nil {
-		return ProposalResult{}, err
+		return err
 	}
-	// The delta path is only sound while the stored replica equals the
-	// lens's current view of the source. After a rejection or denial
-	// rollback the two deliberately diverge (the view is restored, the
-	// source keeps the user's edit) — the share tracks that in its
-	// diverged flag, and the full put re-embeds the whole view there,
-	// exactly as before the delta optimization, instead of silently
-	// re-proposing the rejected rows alongside the new edit. The put
-	// runs inside the source's atomic replacement so it cannot overwrite
-	// a concurrent embed by another share over the same source.
 	s.stMu.Lock()
 	diverged := s.diverged
 	s.stMu.Unlock()
@@ -449,9 +458,59 @@ func (p *Peer) UpdateView(ctx context.Context, shareID string, mutate func(*reld
 		return newSrc.Renamed(s.SourceTable), nil
 	})
 	if err != nil {
-		return ProposalResult{}, fmt.Errorf("core: put on %s: %w", shareID, err)
+		return fmt.Errorf("core: put on %s: %w", s.ID, err)
 	}
-	return p.ProposeUpdate(ctx, shareID)
+	return nil
+}
+
+// ViewEdit is one share's view-level mutation for UpdateViews.
+type ViewEdit struct {
+	ShareID string
+	// Mutate edits a clone of the current view replica; its changes are
+	// diffed and embedded into the source along the delta path.
+	Mutate func(*reldb.Table) error
+}
+
+// UpdateViews applies view-level edits on many shares and proposes all
+// of them as ONE group commit: every edit is embedded into its source
+// (UpdateView's first half), then the changed shares ride a single
+// ProposeUpdates batch — one block, one gossip broadcast, one cascade
+// round. This is the serving edge's write-coalescing hook: concurrent
+// API writes that land in the same coalescing window become one batch
+// here instead of N independent block commits.
+//
+// Multiple edits targeting the same share are applied in order within
+// one proposal. An edit whose mutation or embed fails is dropped from
+// the batch (its error is joined into the returned error); the
+// remaining shares still commit. Successful proposals are returned
+// sorted by share ID, exactly like ProposeUpdates.
+func (p *Peer) UpdateViews(ctx context.Context, edits []ViewEdit) ([]ProposalResult, error) {
+	var errs []error
+	var ids []string
+	seen := make(map[string]bool, len(edits))
+	for _, e := range edits {
+		s, err := p.share(e.ShareID)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := p.embedViewEdit(s, e.Mutate); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if !seen[e.ShareID] {
+			seen[e.ShareID] = true
+			ids = append(ids, e.ShareID)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, errors.Join(errs...)
+	}
+	props, err := p.ProposeUpdates(ctx, ids)
+	if err != nil {
+		errs = append(errs, err)
+	}
+	return props, errors.Join(errs...)
 }
 
 // WaitForShare blocks until the share's metadata is visible on this

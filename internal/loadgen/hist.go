@@ -1,0 +1,186 @@
+// Package loadgen is the open-loop load-generation toolkit behind
+// cmd/loadr and the E17 serving experiment: an HDR-style latency
+// histogram plus an arrival-schedule driver.
+//
+// Open loop means requests are launched on a fixed schedule that does
+// NOT wait for previous responses, and every latency is measured from
+// the request's *scheduled* arrival time, not from when a worker got
+// around to sending it. A closed-loop harness (send, wait, send) slows
+// its own arrival rate the moment the server stalls, silently erasing
+// the very queueing delay a tail-latency study exists to observe —
+// the coordinated-omission trap. Here a stalled server keeps receiving
+// arrivals and every queued request's wait shows up in p99/p999.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear bucketing in the style of HDR histograms: values below
+// subBuckets land in exact 1ns buckets; above that, each power-of-two
+// range [2^(5+e), 2^(6+e)) splits into subBuckets/2 linear sub-buckets,
+// bounding relative quantile error at ~1/32 ≈ 3% across the whole
+// range. Coverage runs to 2^(6+maxExp) ns ≈ 17s; anything slower
+// clamps into the top bucket (a request that slow has already blown
+// any SLO this repo will ever set).
+const (
+	subBucketBits = 6
+	subBuckets    = 1 << subBucketBits // 64
+	maxExp        = 28
+	histBuckets   = subBuckets + maxExp*(subBuckets/2) // 960
+)
+
+// bucketOf maps a latency in nanoseconds to its bucket index.
+func bucketOf(ns uint64) int {
+	if ns < subBuckets {
+		return int(ns)
+	}
+	e := bits.Len64(ns) - subBucketBits // ≥ 1
+	if e > maxExp {
+		e = maxExp
+	}
+	sub := ns >> uint(e) // in [subBuckets/2, subBuckets) unless clamped
+	if sub >= subBuckets {
+		sub = subBuckets - 1
+	}
+	return subBuckets + (e-1)*(subBuckets/2) + int(sub) - subBuckets/2
+}
+
+// bucketLowNS returns the bucket's lower bound in nanoseconds — the
+// value quantile lookups report, so they never overstate a latency.
+func bucketLowNS(i int) uint64 {
+	if i < subBuckets {
+		return uint64(i)
+	}
+	e := (i-subBuckets)/(subBuckets/2) + 1
+	sub := uint64((i-subBuckets)%(subBuckets/2) + subBuckets/2)
+	return sub << uint(e)
+}
+
+// Histogram is a lock-free log-linear latency histogram. Record is two
+// atomic adds, safe for any number of concurrent recorders; the whole
+// structure is a few KB of fixed memory regardless of value spread.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds; ~584 years before overflow
+	max    atomic.Uint64
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean latency, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest recorded latency.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Sum returns the total of all recorded latencies (Prometheus summary
+// exposition needs the running sum alongside the quantiles).
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile returns the latency at quantile q in [0,1] (0.99 → p99),
+// reported as the lower bound of the bucket holding that rank. The max
+// is tracked exactly, so q high enough to select the last observation
+// returns it exactly. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= n {
+		return h.Max()
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketLowNS(i))
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds other's observations into h. Not atomic with respect to
+// concurrent Records into other; merge after recording has stopped.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	om := other.max.Load()
+	for {
+		old := h.max.Load()
+		if om <= old || h.max.CompareAndSwap(old, om) {
+			break
+		}
+	}
+}
+
+// Summary is a fixed quantile digest of a histogram, the unit the E17
+// experiment and loadr report.
+type Summary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+	Max   time.Duration
+}
+
+// Summarize digests the histogram into its standard quantiles.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the summary on one line for CLI output.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s p999=%s max=%s",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P90.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.P999.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}

@@ -1,0 +1,240 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and
+	// bounds must be strictly increasing.
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		low := bucketLowNS(i)
+		if got := bucketOf(low); got != i {
+			t.Fatalf("bucket %d: low %d maps to bucket %d", i, low, got)
+		}
+		if int64(low) <= prev {
+			t.Fatalf("bucket %d: low %d not increasing (prev %d)", i, low, prev)
+		}
+		prev = int64(low)
+	}
+	// Values beyond coverage clamp into the top bucket.
+	if got := bucketOf(1 << 62); got != histBuckets-1 {
+		t.Fatalf("overflow value mapped to bucket %d, want %d", got, histBuckets-1)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 1..1000 microseconds, shuffled.
+	vals := make([]time.Duration, 1000)
+	for i := range vals {
+		vals[i] = time.Duration(i+1) * time.Microsecond
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000*time.Microsecond {
+		t.Fatalf("max = %s", h.Max())
+	}
+	// Log-linear buckets bound relative error at ~1/32; allow 5%.
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.90, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo := c.want - c.want/10 // quantile reports bucket lower bound
+		if got < lo || got > c.want {
+			t.Errorf("q%.2f = %s, want in [%s, %s]", c.q, got, lo, c.want)
+		}
+	}
+	// p999 rank 999 ≤ max; must not exceed max and not undershoot p99.
+	if p := h.Quantile(0.999); p > h.Max() || p < h.Quantile(0.99) {
+		t.Errorf("p999 = %s out of order (p99=%s max=%s)", p, h.Quantile(0.99), h.Max())
+	}
+}
+
+func TestHistogramConcurrentAndMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				a.Record(time.Duration(r.Intn(1e6)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	b.Record(5 * time.Second)
+	b.Merge(a)
+	if b.Count() != 4001 {
+		t.Fatalf("merged count = %d", b.Count())
+	}
+	if b.Max() != 5*time.Second {
+		t.Fatalf("merged max = %s", b.Max())
+	}
+}
+
+func TestOpenLoopSustained(t *testing.T) {
+	// 200/s for 500ms → ~100 arrivals; the op sleeps 1ms so the run
+	// cannot keep up closed-loop with 1 worker, but with default
+	// workers it must complete everything it offered.
+	plan := Plan{Rate: 200, Duration: 500 * time.Millisecond, Workers: 32}
+	n := 0
+	var mu sync.Mutex
+	st := Run(context.Background(), plan, func(ctx context.Context, seq int) Result {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return Result{}
+	})
+	if st.Offered < 50 || st.Offered > 150 {
+		t.Fatalf("offered = %d, want ~100", st.Offered)
+	}
+	if st.Completed != st.Offered || n != st.Offered {
+		t.Fatalf("completed = %d, offered = %d, ops = %d", st.Completed, st.Offered, n)
+	}
+	if st.Errors != 0 || st.ErrorRate != 0 {
+		t.Fatalf("unexpected errors: %+v", st)
+	}
+	if st.Latency.Count != uint64(st.Completed) {
+		t.Fatalf("latency count %d != completed %d", st.Latency.Count, st.Completed)
+	}
+	if st.Latency.P50 < 500*time.Microsecond {
+		t.Fatalf("p50 %s below op sleep", st.Latency.P50)
+	}
+}
+
+func TestOpenLoopChargesQueueDelay(t *testing.T) {
+	// One worker, 10ms ops, arrivals every 5ms: a closed-loop harness
+	// would report ~10ms p50; the open loop must charge waiting
+	// arrivals their queue time, pushing the tail well above the
+	// service time.
+	plan := Plan{Rate: 200, Duration: 300 * time.Millisecond, Workers: 1}
+	st := Run(context.Background(), plan, func(ctx context.Context, seq int) Result {
+		time.Sleep(10 * time.Millisecond)
+		return Result{}
+	})
+	if st.Completed < 10 {
+		t.Fatalf("too few completions: %+v", st)
+	}
+	if st.Latency.Max < 30*time.Millisecond {
+		t.Fatalf("max latency %s does not reflect queueing (want ≥ 30ms)", st.Latency.Max)
+	}
+	if st.Latency.Max <= st.Latency.P50 {
+		t.Fatalf("no latency spread: p50=%s max=%s", st.Latency.P50, st.Latency.Max)
+	}
+}
+
+func TestOpenLoopErrors(t *testing.T) {
+	boom := errors.New("boom")
+	plan := Plan{Rate: 400, Duration: 250 * time.Millisecond, Workers: 8}
+	st := Run(context.Background(), plan, func(ctx context.Context, seq int) Result {
+		if seq%4 == 0 {
+			return Result{Err: boom}
+		}
+		return Result{}
+	})
+	if st.Errors == 0 {
+		t.Fatal("expected errors")
+	}
+	if st.ErrorRate < 0.15 || st.ErrorRate > 0.35 {
+		t.Fatalf("error rate = %.3f, want ~0.25", st.ErrorRate)
+	}
+	if st.Latency.Count != uint64(st.Completed-st.Errors) {
+		t.Fatalf("failed ops leaked into latency histogram: %+v", st)
+	}
+}
+
+func TestInstantRateCurves(t *testing.T) {
+	d := 10 * time.Second
+	if r := instantRate(Sustained, 100, 5*time.Second, d); r != 100 {
+		t.Fatalf("sustained: %f", r)
+	}
+	if r := instantRate(Ramp, 100, 5*time.Second, d); r < 49 || r > 51 {
+		t.Fatalf("ramp midpoint: %f", r)
+	}
+	if r := instantRate(Ramp, 100, 0, d); r != 0 {
+		t.Fatalf("ramp start: %f", r)
+	}
+	if r := instantRate(Burst, 100, 4500*time.Millisecond, d); r != 100 {
+		t.Fatalf("burst spike: %f", r)
+	}
+	if r := instantRate(Burst, 100, 2*time.Second, d); r != 25 {
+		t.Fatalf("burst baseline: %f", r)
+	}
+	// Curves must be sorted into the spike correctly across periods.
+	rates := []float64{}
+	for ms := 0; ms < 10000; ms += 100 {
+		rates = append(rates, instantRate(Burst, 100, time.Duration(ms)*time.Millisecond, d))
+	}
+	sort.Float64s(rates)
+	if rates[0] != 25 || rates[len(rates)-1] != 100 {
+		t.Fatalf("burst range [%f, %f]", rates[0], rates[len(rates)-1])
+	}
+}
+
+// TestOpenLoopRamp pins the ramp scheduler: the instantaneous rate
+// near t=0 is almost zero, and a scheduler that commits to the naive
+// inter-arrival gap there sleeps for hours instead of re-evaluating as
+// the rate climbs (a real hang, found the hard way). The ramp's
+// integral is Rate*Duration/2 arrivals.
+func TestOpenLoopRamp(t *testing.T) {
+	done := make(chan Stats, 1)
+	go func() {
+		done <- Run(context.Background(), Plan{Rate: 200, Duration: time.Second, Curve: Ramp, Workers: 4},
+			func(ctx context.Context, seq int) Result { return Result{} })
+	}()
+	select {
+	case st := <-done:
+		if st.Offered < 60 || st.Offered > 140 {
+			t.Fatalf("ramp offered %d arrivals, want ~100", st.Offered)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ramp run hung (scheduler committed to a near-zero-rate gap)")
+	}
+}
+
+// TestOpenLoopKinds checks the per-kind split: each kind gets its own
+// histogram and error count.
+func TestOpenLoopKinds(t *testing.T) {
+	st := Run(context.Background(), Plan{Rate: 400, Duration: 300 * time.Millisecond, Workers: 8},
+		func(ctx context.Context, seq int) Result {
+			if seq%4 == 0 {
+				return Result{Kind: "write", Err: errors.New("boom")}
+			}
+			return Result{Kind: "read"}
+		})
+	r, w := st.Kinds["read"], st.Kinds["write"]
+	if r.Completed == 0 || w.Completed == 0 {
+		t.Fatalf("kinds not split: %+v", st.Kinds)
+	}
+	if r.Errors != 0 || w.Errors != w.Completed {
+		t.Fatalf("errors misattributed: read %d/%d, write %d/%d", r.Errors, r.Completed, w.Errors, w.Completed)
+	}
+	if r.Latency.Count != uint64(r.Completed) || w.Latency.Count != 0 {
+		t.Fatalf("latency counts: read %d want %d, write %d want 0", r.Latency.Count, r.Completed, w.Latency.Count)
+	}
+	if st.Completed != r.Completed+w.Completed {
+		t.Fatalf("totals: %d != %d+%d", st.Completed, r.Completed, w.Completed)
+	}
+}

@@ -1,0 +1,248 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Curve shapes how the arrival rate evolves over a run.
+type Curve string
+
+const (
+	// Sustained holds Rate constant for the whole duration.
+	Sustained Curve = "sustained"
+	// Ramp grows linearly from 0 at t=0 to Rate at t=Duration,
+	// sweeping the load axis in one run to expose the knee.
+	Ramp Curve = "ramp"
+	// Burst alternates: baseline Rate/4 with 1-second spikes at Rate
+	// every 5 seconds — the bursty-clinic-traffic shape, where tail
+	// latency hides.
+	Burst Curve = "burst"
+)
+
+// Plan describes one open-loop run.
+type Plan struct {
+	// Rate is the peak arrival rate, requests per second.
+	Rate float64
+	// Duration is total run length.
+	Duration time.Duration
+	// Curve shapes the instantaneous rate (default Sustained).
+	Curve Curve
+	// Workers bounds in-flight concurrency. In a pure open loop this
+	// would be unbounded; a cap keeps a melted-down server from
+	// exhausting sockets while still letting queueing delay show up
+	// in latency, because every request's clock starts at its
+	// SCHEDULED arrival even if it waited for a worker slot.
+	// Default 256.
+	Workers int
+}
+
+// Result is one operation's outcome, reported to the driver.
+type Result struct {
+	// Err is non-nil when the operation failed; failures count toward
+	// the error rate and are excluded from the latency histogram (an
+	// instant connection-refused would otherwise drag the tail down).
+	Err error
+	// Kind optionally classifies the operation ("read", "write"); each
+	// kind gets its own latency histogram in Stats.Kinds so a fast read
+	// path can't mask a melting write tail.
+	Kind string
+}
+
+// Op performs one request. seq is the arrival's index in the schedule;
+// implementations use it to pick keys, spread populations, or decide
+// read vs write.
+type Op func(ctx context.Context, seq int) Result
+
+// Stats is the digest of one open-loop run.
+type Stats struct {
+	Offered   int     // arrivals scheduled
+	Completed int     // operations that ran (ok + failed)
+	Errors    int     // operations with non-nil Err
+	ErrorRate float64 // Errors / Completed
+	Elapsed   time.Duration
+	// Latency is over successful operations only, measured from each
+	// request's scheduled arrival time (coordinated-omission safe).
+	Latency Summary
+	// Kinds breaks the run down by Result.Kind (absent for ops that
+	// leave Kind empty).
+	Kinds map[string]KindStats
+}
+
+// KindStats is the per-kind slice of a run.
+type KindStats struct {
+	Completed int
+	Errors    int
+	Latency   Summary
+}
+
+// Run drives op on plan's arrival schedule until the plan duration (or
+// ctx) expires, then waits for in-flight operations to drain. The
+// returned histogram-backed stats measure every successful operation
+// from scheduled arrival to completion.
+func Run(ctx context.Context, plan Plan, op Op) Stats {
+	workers := plan.Workers
+	if workers <= 0 {
+		workers = 256
+	}
+	curve := plan.Curve
+	if curve == "" {
+		curve = Sustained
+	}
+
+	type arrival struct {
+		seq int
+		due time.Time
+	}
+	// The queue is deep enough that the scheduler never blocks on slow
+	// workers within a burst; if it fills anyway, the scheduler still
+	// stamps `due` from the schedule, so waiting in this channel is
+	// (correctly) charged as latency.
+	queue := make(chan arrival, workers*4)
+
+	hist := &Histogram{}
+	type kindAgg struct {
+		hist            *Histogram
+		completed, errs int
+	}
+	kinds := make(map[string]*kindAgg)
+	var mu sync.Mutex
+	completed, errs := 0, 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range queue {
+				res := op(ctx, a.seq)
+				lat := time.Since(a.due)
+				mu.Lock()
+				completed++
+				if res.Err != nil {
+					errs++
+				}
+				var kh *Histogram
+				if res.Kind != "" {
+					ka := kinds[res.Kind]
+					if ka == nil {
+						ka = &kindAgg{hist: &Histogram{}}
+						kinds[res.Kind] = ka
+					}
+					ka.completed++
+					if res.Err != nil {
+						ka.errs++
+					}
+					kh = ka.hist
+				}
+				mu.Unlock()
+				if res.Err == nil {
+					hist.Record(lat)
+					if kh != nil {
+						kh.Record(lat)
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	end := start.Add(plan.Duration)
+	offered := 0
+	// Generate the schedule incrementally: at each step compute the
+	// next inter-arrival gap from the instantaneous rate, sleep until
+	// that absolute instant, and enqueue. Absolute targets (not
+	// relative sleeps) prevent scheduler drift from eroding the rate.
+	// The gap is re-derived from the CURRENT rate on every wakeup
+	// rather than committed once: early in a ramp the instantaneous
+	// rate is near zero and the naive gap spans hours — napping a
+	// quantum and re-evaluating lets the next arrival pull closer as
+	// the rate climbs.
+	const quantum = 10 * time.Millisecond
+	prev := start // the last scheduled arrival
+schedule:
+	for {
+		now := time.Now()
+		if !now.Before(end) {
+			break
+		}
+		r := instantRate(curve, plan.Rate, now.Sub(start), plan.Duration)
+		var next time.Time
+		if r > 0 {
+			next = prev.Add(time.Duration(float64(time.Second) / r))
+			if next.Before(now) {
+				// The scheduler itself fell behind (GC pause, CPU
+				// starvation): don't bunch the backlog into an
+				// artificial burst; resume from now.
+				next = now
+			}
+		}
+		if r <= 0 || next.Sub(now) > quantum {
+			// Zero or low-rate stretch: nothing due within a quantum,
+			// so nap and re-check with a fresher rate.
+			select {
+			case <-time.After(quantum):
+			case <-ctx.Done():
+				break schedule
+			}
+			continue
+		}
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				break schedule
+			}
+		}
+		select {
+		case queue <- arrival{seq: offered, due: next}:
+			offered++
+			prev = next
+		case <-ctx.Done():
+			break schedule
+		}
+	}
+	close(queue)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := Stats{
+		Offered:   offered,
+		Completed: completed,
+		Errors:    errs,
+		Elapsed:   elapsed,
+		Latency:   hist.Summarize(),
+	}
+	if completed > 0 {
+		st.ErrorRate = float64(errs) / float64(completed)
+	}
+	if len(kinds) > 0 {
+		st.Kinds = make(map[string]KindStats, len(kinds))
+		for k, ka := range kinds {
+			st.Kinds[k] = KindStats{Completed: ka.completed, Errors: ka.errs, Latency: ka.hist.Summarize()}
+		}
+	}
+	return st
+}
+
+// instantRate returns the arrival rate at elapsed time t of a run with
+// peak rate and total duration d.
+func instantRate(c Curve, rate float64, t, d time.Duration) float64 {
+	switch c {
+	case Ramp:
+		if d <= 0 {
+			return rate
+		}
+		return rate * float64(t) / float64(d)
+	case Burst:
+		// 5-second period: 4s at rate/4, then a 1s spike at full rate.
+		phase := t % (5 * time.Second)
+		if phase >= 4*time.Second {
+			return rate
+		}
+		return rate / 4
+	default:
+		return rate
+	}
+}

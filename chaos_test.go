@@ -2,10 +2,13 @@ package medshare
 
 import (
 	"context"
+	"encoding/hex"
 	"testing"
 	"time"
 
+	"medshare/internal/contract/sharereg"
 	"medshare/internal/core"
+	"medshare/internal/store"
 )
 
 // runChaos executes the full chaos suite — lossy update storm, three-way
@@ -112,4 +115,83 @@ func TestChaosConvergenceTCP(t *testing.T) {
 		t.Skip("TCP chaos suite skipped in -short mode")
 	}
 	runChaos(t, DataTransportTCP, false)
+}
+
+// TestChaosConvergenceDurable runs the full chaos suite with every peer
+// backed by a durable store, then treats each peer's filesystem clone as
+// a kill -9 image: reopening it must yield, for every share the peer
+// held, a Merkle-verified view whose hash equals the on-chain payload
+// hash at the on-chain sequence. This closes the loop between the
+// self-healing convergence criterion (live replicas match the chain)
+// and the durability criterion (a crashed replica's recovered state
+// matches the chain too).
+func TestChaosConvergenceDurable(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	sc, err := NewChaosScenario(ctx, ChaosConfig{Seed: 42, Durable: true})
+	if err != nil {
+		t.Fatalf("NewChaosScenario: %v", err)
+	}
+	defer sc.Network.Stop()
+
+	report, err := sc.Run(ctx)
+	if err != nil {
+		t.Fatalf("chaos run: %v (report %+v)", err, report)
+	}
+	t.Logf("report: updates=%d elapsed=%v converge=%v", report.Updates, report.Elapsed, report.ConvergeAfterHeal)
+
+	// The on-chain truth, captured while the network is still up.
+	wantMeta := map[string]*sharereg.Meta{}
+	for _, id := range []string{sc.ShareD13, sc.ShareD23} {
+		m, err := sc.Doctor.Meta(id)
+		if err != nil {
+			t.Fatalf("meta %s: %v", id, err)
+		}
+		if m.LastPayloadHash == "" {
+			t.Fatalf("share %s never updated", id)
+		}
+		wantMeta[id] = m
+	}
+
+	for _, name := range []string{"Doctor", "Patient", "Researcher"} {
+		fs := sc.Network.PeerFS(name)
+		if fs == nil {
+			t.Fatalf("%s has no durable filesystem", name)
+		}
+		// Clone without stopping anything: a byte-exact kill -9 image of
+		// the converged peer.
+		st, err := store.Open(store.Options{FS: fs.Clone()})
+		if err != nil {
+			t.Fatalf("%s: reopen kill -9 image: %v", name, err)
+		}
+		shares := st.Shares()
+		if len(shares) == 0 {
+			t.Fatalf("%s: recovered store holds no shares", name)
+		}
+		for id, sm := range shares {
+			if sm.View == "" {
+				continue // tombstone
+			}
+			want, ok := wantMeta[id]
+			if !ok {
+				t.Fatalf("%s: recovered unknown share %s", name, id)
+			}
+			view, err := st.LoadTable(sm.View)
+			if err != nil {
+				t.Fatalf("%s/%s: recovered view fails verification: %v", name, id, err)
+			}
+			if sm.Seq != want.Seq {
+				t.Fatalf("%s/%s: recovered at seq %d, chain at %d", name, id, sm.Seq, want.Seq)
+			}
+			h := view.Hash()
+			if got := hex.EncodeToString(h[:]); got != want.LastPayloadHash {
+				t.Fatalf("%s/%s: recovered view hash %s != on-chain %s", name, id, got[:12], want.LastPayloadHash[:12])
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("%s: close recovered store: %v", name, err)
+		}
+		t.Logf("%s: recovered %d shares from kill -9 image, all at the on-chain root", name, len(shares))
+	}
 }

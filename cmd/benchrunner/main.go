@@ -26,7 +26,7 @@ import (
 
 var (
 	quick        = flag.Bool("quick", false, "reduced parameter sweeps")
-	only         = flag.String("only", "", "run only the named experiment (E1..E17)")
+	only         = flag.String("only", "", "run only the named experiment (E1..E18)")
 	baseline     = flag.String("baseline", "BENCH_baseline.json", "write machine-readable results to this file (empty disables)")
 	compare      = flag.String("compare", "", "diff this run against a committed baseline JSON and exit non-zero on regressions")
 	threshold    = flag.Float64("threshold", 0.25, "relative regression threshold for -compare (0.25 = 25% worse)")
@@ -68,7 +68,7 @@ func main() {
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
 		{"E13", runE13}, {"E14", runE14}, {"E15", runE15}, {"E16", runE16},
-		{"E17", runE17},
+		{"E17", runE17}, {"E18", runE18},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
@@ -673,6 +673,35 @@ func runE17(ctx context.Context) error {
 					r.Rate, r.Offered, 100*r.ErrorRate,
 					r.ReadsPerSec, r.ReadP50.Round(10*time.Microsecond), r.ReadP99.Round(10*time.Microsecond), r.ReadP999.Round(10*time.Microsecond),
 					r.WritesPerSec, r.WriteP50.Round(10*time.Microsecond), r.WriteP99.Round(10*time.Microsecond), r.WriteP999.Round(10*time.Microsecond))
+			}
+		})
+	return nil
+}
+
+func runE18(ctx context.Context) error {
+	type point struct{ rows, depth int }
+	points := []point{
+		{256, 16}, {256, 64}, {1024, 16}, {1024, 64}, {4096, 16}, {4096, 64},
+	}
+	if *quick {
+		points = []point{{1024, 16}}
+	}
+	var results []medshare.E18Result
+	for _, p := range points {
+		r, err := medshare.RunE18Recovery(p.rows, p.depth, 7)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	baselineData["E18"] = results
+	table("E18 — cold-start recovery: open (scan) + load (Merkle verify) vs view size and commit depth",
+		"rows\tdepth\tlog bytes\tsegs\tbytes/commit\topen\tscanned\tload\tfetched", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.0f\t%v\t%d\t%v\t%d\n",
+					r.Rows, r.Depth, r.LogBytes, r.Segments, r.BytesPerCommit,
+					r.OpenTime.Round(time.Microsecond), r.ScannedBytes,
+					r.LoadTime.Round(time.Microsecond), r.FetchedBytes)
 			}
 		})
 	return nil

@@ -24,8 +24,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"medshare/internal/api"
@@ -38,6 +40,7 @@ import (
 	"medshare/internal/node"
 	"medshare/internal/p2p"
 	"medshare/internal/reldb"
+	"medshare/internal/store"
 	"medshare/internal/workload"
 )
 
@@ -85,19 +88,20 @@ func main() {
 		seedFlag = flag.Int64("seed", 1, "workload seed for -fig1")
 		apiAddr  = flag.String("api", "", "serve the HTTP API on this address (empty = no API)")
 		groupMs  = flag.Int("group-commit-ms", 0, "group-commit window in milliseconds (0 = per-interval blocks)")
+		dataDir  = flag.String("data-dir", "", "durable store directory (empty = in-memory only)")
 	)
 	flag.Parse()
 	if *name == "" || *parts == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*name, *listen, *parts, *network, *blockMs, *fig1, *records, *seedFlag, *apiAddr, *groupMs); err != nil {
+	if err := run(*name, *listen, *parts, *network, *blockMs, *fig1, *records, *seedFlag, *apiAddr, *groupMs, *dataDir); err != nil {
 		fmt.Fprintln(os.Stderr, "medshared:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, listen, parts, network string, blockMs int, fig1 bool, records int, seed int64, apiAddr string, groupMs int) error {
+func run(name, listen, parts, network string, blockMs int, fig1 bool, records int, seed int64, apiAddr string, groupMs int, dataDir string) error {
 	participants, err := parseParticipants(parts)
 	if err != nil {
 		return err
@@ -135,6 +139,25 @@ func run(name, listen, parts, network string, blockMs int, fig1 bool, records in
 	}
 	fmt.Printf("%s listening on %s (address %s)\n", name, transport.Addr(), ids[name].Address().Short())
 
+	// Durable store: opened before the node (node.New recovers from it) and
+	// closed after node.Stop (deferred earlier => runs later), so the clean
+	// checkpoint written on shutdown always reaches the log before Close.
+	var st *store.Store
+	if dataDir != "" {
+		st, err = store.Open(store.Options{Dir: dataDir})
+		if err != nil {
+			return fmt.Errorf("open data dir %s: %w", dataDir, err)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		if stats.CleanShutdown {
+			fmt.Printf("%s store %s: clean shutdown, checkpoint import (0 bytes replayed)\n", name, dataDir)
+		} else {
+			fmt.Printf("%s store %s: recovering (%d blocks, %d tail bytes truncated, torn=%v)\n",
+				name, dataDir, len(st.Blocks()), stats.TailBytes, stats.TornTail)
+		}
+	}
+
 	n, err := node.New(node.Config{
 		NetworkName:       network,
 		Identity:          ids[name],
@@ -143,11 +166,12 @@ func run(name, listen, parts, network string, blockMs int, fig1 bool, records in
 		BlockInterval:     time.Duration(blockMs) * time.Millisecond,
 		GroupCommitWindow: time.Duration(groupMs) * time.Millisecond,
 		Transport:         transport,
+		Store:             st,
 	})
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer cancel()
 	n.Start(ctx)
 	defer n.Stop()
@@ -164,6 +188,7 @@ func run(name, listen, parts, network string, blockMs int, fig1 bool, records in
 		Node:      n,
 		Transport: transport,
 		Directory: dir,
+		Store:     st,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},
@@ -197,7 +222,18 @@ func run(name, listen, parts, network string, blockMs int, fig1 bool, records in
 		fmt.Printf("%s serving API on http://%s\n", name, l.Addr())
 	}
 
-	return shell(ctx, &daemon{name: name, ids: ids, node: n, peer: peer, db: db})
+	// The shell blocks on stdin, which cannot be interrupted portably; run
+	// it in a goroutine and race it against SIGTERM/SIGINT so a signal
+	// still unwinds the defers (peer.Stop, n.Stop checkpoint, store close).
+	done := make(chan error, 1)
+	go func() { done <- shell(ctx, &daemon{name: name, ids: ids, node: n, peer: peer, db: db}) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		fmt.Printf("\n%s: signal received, shutting down\n", name)
+		return nil
+	}
 }
 
 // loadFig1 installs the role's Fig. 1 slice.

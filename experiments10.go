@@ -1,0 +1,108 @@
+package medshare
+
+// Experiment E18: cold-start recovery cost of the durable store —
+// the flip side of the O(changed nodes) write path. A replica's view
+// lives in an append-only content-addressed log; E18 measures what
+// reopening that log costs as the view grows (more live nodes to
+// verify) and as the commit history deepens (more incremental commits
+// to scan past), separating the two phases a restart actually pays:
+// Open (scan/index the segments, find the last durable commit) and
+// LoadTable (lazily fetch and Merkle-verify the live nodes of the
+// recovered root). BytesPerCommit is the write-amplification telemetry:
+// with content-addressed deduplication each one-row commit should
+// append O(log n) nodes, not the whole table.
+
+import (
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"medshare/internal/reldb"
+	"medshare/internal/store"
+	"medshare/internal/workload"
+)
+
+// E18Result is one cold-start measurement.
+type E18Result struct {
+	// Rows is the view size; Depth the number of one-row incremental
+	// commits layered on the initial full write.
+	Rows  int
+	Depth int
+	// LogBytes is the log size on disk at crash time; Segments how many
+	// segment files it spans; BytesPerCommit the mean append cost of one
+	// incremental commit (write amplification).
+	LogBytes       int64
+	Segments       int
+	BytesPerCommit float64
+	// OpenTime is the store.Open cost on the kill -9 image (segment
+	// scan + index load + torn-tail handling); ScannedBytes what it
+	// read and CRC-verified.
+	OpenTime     time.Duration
+	ScannedBytes int64
+	// LoadTime is the LoadTable cost (lazy node fetch + Merkle
+	// verification of the recovered view); FetchedBytes what it read.
+	LoadTime     time.Duration
+	FetchedBytes int64
+}
+
+// RunE18Recovery builds a commit history — one full table write plus
+// depth one-row updates, over small segments so rotation and the
+// segment index engage — then reopens a byte-exact crash image and
+// times both recovery phases, verifying the recovered view against the
+// live table's Merkle root.
+func RunE18Recovery(rows, depth int, seed int64) (E18Result, error) {
+	out := E18Result{Rows: rows, Depth: depth}
+	fs := store.NewMemFS()
+	s, err := store.Open(store.Options{FS: fs, SegmentBytes: 64 << 10})
+	if err != nil {
+		return out, err
+	}
+	tb := workload.Generate("view", rows, seed)
+	if err := s.Commit(func(b *store.Batch) error { return b.PutTable(tb) }); err != nil {
+		return out, err
+	}
+	baseBytes := s.Stats().TotalBytes
+	for i := 0; i < depth; i++ {
+		err := tb.Update(reldb.Row{reldb.I(int64(188 + i%rows))}, map[string]reldb.Value{
+			workload.ColDosage: reldb.S(fmt.Sprintf("dose-%d", i)),
+		})
+		if err != nil {
+			return out, err
+		}
+		if err := s.Commit(func(b *store.Batch) error { return b.PutTable(tb) }); err != nil {
+			return out, err
+		}
+	}
+	wantHash := tb.Hash()
+	st := s.Stats()
+	out.LogBytes = st.TotalBytes
+	out.Segments = st.Segments
+	if depth > 0 {
+		out.BytesPerCommit = float64(out.LogBytes-baseBytes) / float64(depth)
+	}
+
+	// The kill -9 image: no clean marker, no close — raw bytes only.
+	img := fs.Clone()
+	t0 := time.Now()
+	s2, err := store.Open(store.Options{FS: img, SegmentBytes: 64 << 10})
+	if err != nil {
+		return out, err
+	}
+	out.OpenTime = time.Since(t0)
+	defer s2.Close()
+	out.ScannedBytes = s2.Stats().ScannedBytes
+
+	t1 := time.Now()
+	view, err := s2.LoadTable("view")
+	if err != nil {
+		return out, fmt.Errorf("E18: recovered view: %w", err)
+	}
+	out.LoadTime = time.Since(t1)
+	out.FetchedBytes = s2.Stats().FetchedBytes
+	got, want := view.Hash(), wantHash
+	if got != want {
+		return out, fmt.Errorf("E18: recovered view hash %s != live %s",
+			hex.EncodeToString(got[:6]), hex.EncodeToString(want[:6]))
+	}
+	return out, nil
+}

@@ -298,6 +298,7 @@ func (p *Peer) applyIncomingLocked(ctx context.Context, s *Share, seq uint64, fr
 	s.AppliedSeq = seq
 	s.diverged = false // put realigned source and view
 	s.stMu.Unlock()
+	p.persistShare(s)
 	p.record(HistoryEntry{ShareID: shareID, Seq: seq, Kind: "applied", Cols: cols, From: from})
 	p.logf("applied update on %s seq %d from %s", shareID, seq, from.Short())
 
@@ -432,6 +433,7 @@ func (p *Peer) onUpdateRejected(ev sharereg.EventPayload) {
 		return // not our proposal (or already resolved)
 	}
 	p.cfg.DB.PutTable(bk.view.Renamed(s.ViewName))
+	p.persistShare(s)
 	p.record(HistoryEntry{
 		ShareID: ev.ShareID, Seq: ev.Seq, Kind: "rolled-back",
 		From: ev.From, Note: ev.Kind,
@@ -449,6 +451,7 @@ func (p *Peer) onRemoved(ev sharereg.EventPayload) {
 	p.mu.Unlock()
 	if ok && ev.From != p.Address() {
 		_ = p.cfg.DB.Drop(s.ViewName)
+		p.persistShareRemoval(ev.ShareID)
 		p.record(HistoryEntry{ShareID: ev.ShareID, Kind: "removed", From: ev.From})
 	}
 }
@@ -618,6 +621,7 @@ func (p *Peer) repairMismatch(ctx context.Context, s *Share) error {
 	s.prev = nil
 	s.diverged = false
 	s.stMu.Unlock()
+	p.persistShare(s)
 	p.record(HistoryEntry{ShareID: s.ID, Seq: meta.Seq, Kind: "repaired", From: from})
 	p.logf("repaired %s at seq %d from %s", s.ID, meta.Seq, from.Short())
 	return nil
@@ -704,6 +708,7 @@ func (p *Peer) resyncFinalized(ctx context.Context, s *Share, meta *sharereg.Met
 	s.AppliedSeq = seq
 	s.diverged = false // put realigned source and view
 	s.stMu.Unlock()
+	p.persistShare(s)
 	p.record(HistoryEntry{ShareID: s.ID, Seq: seq, Kind: "resynced", From: meta.LastFrom})
 	return nil
 }

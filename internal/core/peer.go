@@ -36,6 +36,7 @@ import (
 	"medshare/internal/node"
 	"medshare/internal/p2p"
 	"medshare/internal/reldb"
+	"medshare/internal/store"
 )
 
 // Errors returned by the sharing layer.
@@ -111,6 +112,11 @@ type Config struct {
 	// Logf, when set, receives progress lines (examples wire it to
 	// fmt.Printf; tests leave it nil).
 	Logf func(format string, args ...any)
+	// Store, when non-nil, makes share replicas durable: every applied
+	// update commits the view (O(changed nodes), content-addressed) to
+	// the log, and AttachShare / RegisterShare restore verified replicas
+	// from it on restart instead of re-deriving them. See persist.go.
+	Store *store.Store
 }
 
 // Peer is one stakeholder in the sharing network.
@@ -587,6 +593,7 @@ func (p *Peer) RestoreShare(snap ShareSnapshot) error {
 	s.prev = nil
 	s.diverged = false
 	s.stMu.Unlock()
+	p.persistShare(s)
 	p.record(HistoryEntry{ShareID: snap.ShareID, Seq: snap.Seq, Kind: "restored", Note: "state restored from snapshot"})
 	return nil
 }

@@ -38,7 +38,23 @@ type RegisterShareArgs struct {
 // RegisterShare derives the initial view, registers the share metadata on
 // the blockchain, and binds the share locally. It returns once the
 // registration transaction commits.
+//
+// Re-registering a share that already exists on-chain is idempotent
+// when this peer is among its sharing peers: the restart path. The
+// on-chain metadata is left untouched and the share is rebound locally
+// — from the durable store's verified replica when one is available,
+// else by re-deriving the view and letting resync catch it up.
 func (p *Peer) RegisterShare(ctx context.Context, a RegisterShareArgs) error {
+	if meta, err := p.Meta(a.ID); err == nil {
+		if !metaHasPeer(meta, p.Address()) {
+			return fmt.Errorf("%w: %s already registered without %s", ErrNotAuthorized, a.ID, p.Address())
+		}
+		viewName := a.ViewName
+		if viewName == "" {
+			viewName = a.ID
+		}
+		return p.AttachShare(a.ID, a.SourceTable, a.Lens, viewName)
+	}
 	src, err := p.snapshotTable(a.SourceTable)
 	if err != nil {
 		return err
@@ -83,15 +99,17 @@ func (p *Peer) RegisterShare(ctx context.Context, a RegisterShareArgs) error {
 		viewName = a.ID
 	}
 	p.cfg.DB.PutTable(view.Renamed(viewName))
-	p.mu.Lock()
-	p.shares[a.ID] = &Share{
+	s := &Share{
 		ID:          a.ID,
 		SourceTable: a.SourceTable,
 		Lens:        a.Lens,
 		ViewName:    viewName,
 		prioSeed:    prioSeed,
 	}
+	p.mu.Lock()
+	p.shares[a.ID] = s
 	p.mu.Unlock()
+	p.persistShare(s)
 	p.record(HistoryEntry{ShareID: a.ID, Kind: "register", Note: "registered on-chain"})
 	p.logf("registered share %s (view %s, %d rows)", a.ID, viewName, view.Len())
 	return nil
@@ -110,6 +128,23 @@ func (p *Peer) AttachShare(id, sourceTable string, lens bx.Lens, viewName string
 	if !metaHasPeer(meta, p.Address()) {
 		return fmt.Errorf("%w: %s is not a peer of %s", ErrNotAuthorized, p.Address(), id)
 	}
+	if viewName == "" {
+		viewName = id
+	}
+	// Restart path: a verified replica in the durable store beats
+	// re-deriving (the persisted view carries updates already applied on
+	// this binding; a fresh Get(src) does too, but the persisted source
+	// may itself be ahead of what the caller loaded).
+	if rv, rsrc, seq, ok := p.restoredShare(id, sourceTable, viewName, meta); ok {
+		p.mu.Lock()
+		_, dup := p.shares[id]
+		p.mu.Unlock()
+		if dup {
+			return fmt.Errorf("%w: %s", ErrShareBound, id)
+		}
+		p.bindRestoredShare(id, sourceTable, lens, viewName, meta, rv, rsrc, seq)
+		return nil
+	}
 	src, err := p.snapshotTable(sourceTable)
 	if err != nil {
 		return err
@@ -118,18 +153,10 @@ func (p *Peer) AttachShare(id, sourceTable string, lens bx.Lens, viewName string
 	if err != nil {
 		return fmt.Errorf("core: deriving view for %s: %w", id, err)
 	}
-	if viewName == "" {
-		viewName = id
-	}
 	// Store the replica under the share's priority secret so both sides'
 	// row trees — and hence their Merkle roots — agree.
 	view = view.Reseeded(meta.PrioSeed)
-	p.mu.Lock()
-	if _, dup := p.shares[id]; dup {
-		p.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrShareBound, id)
-	}
-	p.shares[id] = &Share{
+	s := &Share{
 		ID:          id,
 		SourceTable: sourceTable,
 		Lens:        lens,
@@ -137,8 +164,15 @@ func (p *Peer) AttachShare(id, sourceTable string, lens bx.Lens, viewName string
 		AppliedSeq:  meta.Seq,
 		prioSeed:    meta.PrioSeed,
 	}
+	p.mu.Lock()
+	if _, dup := p.shares[id]; dup {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrShareBound, id)
+	}
+	p.shares[id] = s
 	p.mu.Unlock()
 	p.cfg.DB.PutTable(view.Renamed(viewName))
+	p.persistShare(s)
 	p.record(HistoryEntry{ShareID: id, Kind: "attach", Seq: meta.Seq})
 	p.logf("attached share %s (view %s, %d rows)", id, viewName, view.Len())
 	return nil
@@ -300,6 +334,7 @@ func (p *Peer) rollbackProposal(st *stagedProposal) {
 	s.diverged = true
 	s.stMu.Unlock()
 	p.cfg.DB.PutTable(st.oldView.Renamed(s.ViewName))
+	p.persistShare(s)
 }
 
 // finalizeProposal records a staged proposal whose request committed.
@@ -308,6 +343,7 @@ func (p *Peer) finalizeProposal(st *stagedProposal) ProposalResult {
 	s.stMu.Lock()
 	s.diverged = false // replica refreshed from Get(src); pair aligned
 	s.stMu.Unlock()
+	p.persistShare(s)
 	p.record(HistoryEntry{ShareID: s.ID, Seq: st.baseSeq + 1, Kind: st.kind, Cols: st.cols, From: p.Address()})
 	p.logf("proposed update on %s seq %d (cols %v)", s.ID, st.baseSeq+1, st.cols)
 	return ProposalResult{ShareID: s.ID, Seq: st.baseSeq + 1, Cols: st.cols, TxID: st.tx.IDString()}
@@ -594,6 +630,7 @@ func (p *Peer) RemoveShare(ctx context.Context, shareID string) error {
 	p.mu.Unlock()
 	if ok {
 		_ = p.cfg.DB.Drop(s.ViewName)
+		p.persistShareRemoval(shareID)
 	}
 	p.record(HistoryEntry{ShareID: shareID, Kind: "remove"})
 	return nil

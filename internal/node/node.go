@@ -20,6 +20,7 @@ import (
 	"medshare/internal/identity"
 	"medshare/internal/p2p"
 	"medshare/internal/statedb"
+	"medshare/internal/store"
 )
 
 // Config configures a Node.
@@ -56,6 +57,11 @@ type Config struct {
 	// Transport connects the node to its network for gossip; nil runs the
 	// node standalone.
 	Transport p2p.Transport
+	// Store, when non-nil, makes the node durable: New recovers the block
+	// tree and world state from it (verifying every recovered root), every
+	// subsequently accepted block is appended to its log, and Stop writes
+	// a clean-shutdown state checkpoint so the next start replays nothing.
+	Store *store.Store
 }
 
 // Node is a single blockchain participant.
@@ -117,6 +123,21 @@ func New(cfg Config) (*Node, error) {
 		kickCh:       make(chan struct{}, 1),
 		stopped:      make(chan struct{}),
 	}
+	if cfg.Store != nil {
+		// Recover first, then register the persist hook: blocks re-added
+		// during recovery must not be re-appended to the log.
+		if err := n.recoverFromStore(cfg.Store); err != nil {
+			return nil, fmt.Errorf("node: recovery: %w", err)
+		}
+		n.store.SetPersist(func(b *chain.Block) {
+			// A write failure poisons the durable store (Commit keeps
+			// returning an error) but the node stays live from memory;
+			// the operator sees it on the next checkpoint attempt.
+			_ = cfg.Store.Commit(func(bt *store.Batch) error {
+				return bt.PutBlock(b)
+			})
+		})
+	}
 	if cfg.Transport != nil {
 		cfg.Transport.Handle(n.handleGossip)
 	}
@@ -156,10 +177,40 @@ func (n *Node) Start(ctx context.Context) {
 	}()
 }
 
-// Stop halts block production and waits for the loop to exit.
+// Stop halts block production and waits for the loop to exit. Durable
+// nodes then write a state checkpoint sealed with a clean-shutdown
+// marker, so the next Open replays zero WAL bytes and imports the
+// state instead of re-executing the chain.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() { close(n.stopped) })
 	n.wg.Wait()
+	if n.cfg.Store != nil {
+		// Best-effort: a poisoned store already reported its write error.
+		_ = n.WriteCheckpoint(true)
+	}
+}
+
+// WriteCheckpoint persists the current head and full world state to the
+// durable store; clean additionally seals it as a graceful shutdown.
+func (n *Node) WriteCheckpoint(clean bool) error {
+	if n.cfg.Store == nil {
+		return nil
+	}
+	head := n.store.Head()
+	return n.cfg.Store.Commit(func(b *store.Batch) error {
+		if err := b.PutState(store.StateCheckpoint{
+			Height:  head.Header.Height,
+			Head:    head.Hash(),
+			Root:    n.state.Root(),
+			Entries: n.state.Export(),
+		}); err != nil {
+			return err
+		}
+		if clean {
+			b.MarkClean()
+		}
+		return nil
+	})
 }
 
 func (n *Node) produceLoop(ctx context.Context) {

@@ -1,0 +1,86 @@
+package reldb
+
+import (
+	"fmt"
+
+	"medshare/internal/reldb/pmap"
+)
+
+// Content-addressed table persistence: the row tree is a Merkle DAG, so
+// a table persists as (digest → node record) facts plus a root digest.
+// ExportNodes emits only nodes whose digest the consumer does not hold
+// yet — after a k-row delta that is the O(k log n) path-copied spine —
+// and TableFromNodes rebuilds and *verifies*: keys and priorities are
+// recomputed from row content and seed, digest caches start empty, and
+// the recomputed Merkle root must equal the expected one. A rebuilt
+// table that passes is bit-identical to the exported original (shape
+// canonicity: the unique tree hashing to a root is the canonical
+// treap); one that does not is rejected, never silently installed.
+
+// NodeData is the persisted form of one row-tree node. The storage key
+// is deliberately absent: it is a pure function of the row's key
+// columns and is recomputed on import (a stored key would be the one
+// field the leaf digest does not commit to).
+type NodeData struct {
+	Digest [32]byte
+	Row    Row
+	Left   [32]byte // all-zero = empty child
+	Right  [32]byte
+}
+
+// ExportNodes walks the row tree bottom-up and calls emit for every
+// node whose subtree digest skip does not already know (nil skip
+// exports everything); whole already-known subtrees are pruned. emit
+// returning false aborts; the return value reports completion.
+func (t *Table) ExportNodes(skip func([32]byte) bool, emit func(NodeData) bool) bool {
+	return pmap.ExportNodes(t.rows, rowEntryLeaf, skip, func(n pmap.ExportedNode[*rowEntry]) bool {
+		return emit(NodeData{Digest: n.Digest, Row: n.Val.row, Left: n.Left, Right: n.Right})
+	})
+}
+
+// TableFromNodes reconstructs a table from its persisted DAG: schema,
+// priority secret, expected row-tree root, expected row count, and a
+// fetch function resolving node digests. Every structural fact is
+// rederived (keys from rows, priorities from the secret, sizes from
+// children) and the rebuilt tree's recomputed Merkle root must equal
+// root — so the result is either the exact original table or an error,
+// never silently wrong data.
+func TableFromNodes(schema Schema, secret []byte, root [32]byte, rows int, fetch func([32]byte) (NodeData, bool)) (*Table, error) {
+	t, err := NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	seed := pmap.NewSeed(secret)
+	var badRow error
+	m, err := pmap.FromExported(seed, root, rows, func(d pmap.Hash) (pmap.ExportedNode[*rowEntry], bool) {
+		nd, ok := fetch(d)
+		if !ok {
+			return pmap.ExportedNode[*rowEntry]{}, false
+		}
+		if err := t.schema.checkRow(nd.Row); err != nil {
+			badRow = fmt.Errorf("reldb: persisted row for table %s invalid: %w", schema.Name, err)
+			return pmap.ExportedNode[*rowEntry]{}, false
+		}
+		return pmap.ExportedNode[*rowEntry]{
+			Digest: nd.Digest,
+			Key:    t.keyOf(nd.Row),
+			Val:    &rowEntry{row: nd.Row},
+			Left:   nd.Left,
+			Right:  nd.Right,
+		}, true
+	})
+	if badRow != nil {
+		return nil, badRow
+	}
+	if err != nil {
+		return nil, err
+	}
+	if got := m.Len(); got != rows {
+		return nil, fmt.Errorf("reldb: recovered table %s has %d rows, expected %d", schema.Name, got, rows)
+	}
+	if got := m.MerkleRoot(rowEntryLeaf); got != root {
+		return nil, fmt.Errorf("reldb: recovered table %s root %x does not match expected %x", schema.Name, got[:8], root[:8])
+	}
+	t.rows = m
+	return t, nil
+}

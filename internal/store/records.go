@@ -1,0 +1,119 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"medshare/internal/chain"
+	"medshare/internal/reldb"
+	"medshare/internal/statedb"
+)
+
+// Typed record payloads riding the WAL frames. Node records are binary
+// (they dominate the log byte count); the low-rate metadata records —
+// table roots, share metas, blocks, state checkpoints, commit markers
+// — are JSON for evolvability.
+
+const (
+	kindNode      byte = 1 // one content-addressed row-tree node
+	kindTableRoot byte = 2 // a table's root digest + schema + seed
+	kindShareMeta byte = 3 // per-share replica metadata
+	kindBlock     byte = 4 // one accepted chain block
+	kindState     byte = 5 // world-state checkpoint
+	kindCommit    byte = 6 // commit marker sealing the preceding group
+)
+
+const digLen = 32
+
+// encodeNodeRec encodes a reldb node record: digest, left, right, then
+// the row's canonical JSON.
+func encodeNodeRec(n reldb.NodeData) ([]byte, error) {
+	row, err := json.Marshal(n.Row)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding row: %w", err)
+	}
+	out := make([]byte, 0, 3*digLen+len(row))
+	out = append(out, n.Digest[:]...)
+	out = append(out, n.Left[:]...)
+	out = append(out, n.Right[:]...)
+	return append(out, row...), nil
+}
+
+// decodeNodeRec decodes a node record payload.
+func decodeNodeRec(p []byte) (reldb.NodeData, error) {
+	var n reldb.NodeData
+	if len(p) < 3*digLen {
+		return n, fmt.Errorf("store: node record too short (%d bytes)", len(p))
+	}
+	copy(n.Digest[:], p[:digLen])
+	copy(n.Left[:], p[digLen:2*digLen])
+	copy(n.Right[:], p[2*digLen:3*digLen])
+	if err := json.Unmarshal(p[3*digLen:], &n.Row); err != nil {
+		return reldb.NodeData{}, fmt.Errorf("store: decoding row: %w", err)
+	}
+	return n, nil
+}
+
+// nodeRecDigest extracts just the digest key from a node record
+// payload (the open-time scan registers locations without decoding
+// rows).
+func nodeRecDigest(p []byte) ([digLen]byte, bool) {
+	var d [digLen]byte
+	if len(p) < 3*digLen {
+		return d, false
+	}
+	copy(d[:], p[:digLen])
+	return d, true
+}
+
+// TableRoot is the persisted commitment to one table: everything
+// needed to rebuild it from node records and verify the rebuild.
+type TableRoot struct {
+	Name   string       `json:"name"`
+	Schema reldb.Schema `json:"schema"`
+	// Secret keys the treap priorities (share replicas); empty for
+	// unkeyed tables.
+	Secret []byte   `json:"secret,omitempty"`
+	Root   [32]byte `json:"root"`
+	Rows   int      `json:"rows"`
+}
+
+// ShareMeta is the persisted per-share replica state: which tables
+// hold the replica and the sequence number it was applied at. The
+// authoritative metadata (on-chain hash, participants) lives on the
+// chain; this record only locates the local replica.
+type ShareMeta struct {
+	ID       string `json:"id"`
+	Seq      uint64 `json:"seq"`
+	Source   string `json:"source,omitempty"`
+	View     string `json:"view"`
+	PrioSeed []byte `json:"prioSeed,omitempty"`
+}
+
+// StateCheckpoint is a full world-state export at a block height,
+// written on clean shutdown so a graceful restart re-executes nothing.
+type StateCheckpoint struct {
+	Height  uint64          `json:"height"`
+	Head    [32]byte        `json:"head"`
+	Root    [32]byte        `json:"root"`
+	Entries []statedb.Entry `json:"entries"`
+}
+
+// commitRec seals the records appended since the previous marker into
+// one atomic group.
+type commitRec struct {
+	Seq uint64 `json:"seq"`
+	// Clean marks a shutdown checkpoint: the process stopped gracefully
+	// after this group.
+	Clean bool `json:"clean,omitempty"`
+}
+
+func encodeJSONRec(v any) ([]byte, error) { return json.Marshal(v) }
+
+func decodeBlockRec(p []byte) (*chain.Block, error) {
+	var b chain.Block
+	if err := json.Unmarshal(p, &b); err != nil {
+		return nil, fmt.Errorf("store: decoding block record: %w", err)
+	}
+	return &b, nil
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Sealed-segment index: when a segment rotates out of the active
+// position, the store writes a sidecar `<segment>.idx` mapping every
+// record to its frame offset (node records keyed by subtree digest).
+// Recovery then registers a sealed segment's nodes without reading
+// their payloads and re-verifies only the low-rate metadata records —
+// the "load the root, replay the tail" shape: full scans are paid only
+// for the active segment.
+//
+// The index is strictly an accelerator. It carries its own checksum,
+// and any decode or spot-check failure falls back to a full CRC scan
+// of the segment itself — recovery correctness never depends on an
+// index being present or intact.
+
+// segEntry locates one record within its segment.
+type segEntry struct {
+	kind byte
+	dig  [digLen]byte // node digest; zero for non-node records
+	off  int64        // frame offset within the segment
+	size int64        // full frame size (header + payload)
+}
+
+const (
+	segIndexMagic   = "MSIX"
+	segIndexVersion = 1
+	segEntryLen     = 1 + digLen + 8 + 8
+	// maxSegIndexEntries bounds allocation on corrupt counts.
+	maxSegIndexEntries = 1 << 26
+)
+
+var errBadSegIndex = errors.New("store: segment index corrupt")
+
+// encodeSegIndex serializes entries: magic, version, count, fixed-width
+// entries, trailing CRC32C over everything before it.
+func encodeSegIndex(entries []segEntry) []byte {
+	out := make([]byte, 0, len(segIndexMagic)+1+4+len(entries)*segEntryLen+4)
+	out = append(out, segIndexMagic...)
+	out = append(out, segIndexVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
+	for _, e := range entries {
+		out = append(out, e.kind)
+		out = append(out, e.dig[:]...)
+		out = binary.LittleEndian.AppendUint64(out, uint64(e.off))
+		out = binary.LittleEndian.AppendUint64(out, uint64(e.size))
+	}
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+}
+
+// decodeSegIndex parses an index file, rejecting any structural or
+// checksum damage.
+func decodeSegIndex(data []byte) ([]segEntry, error) {
+	hdr := len(segIndexMagic) + 1 + 4
+	if len(data) < hdr+4 {
+		return nil, fmt.Errorf("%w: %d bytes", errBadSegIndex, len(data))
+	}
+	if string(data[:4]) != segIndexMagic || data[4] != segIndexVersion {
+		return nil, fmt.Errorf("%w: bad magic/version", errBadSegIndex)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errBadSegIndex)
+	}
+	count := binary.LittleEndian.Uint32(data[5:9])
+	if count > maxSegIndexEntries || int(count)*segEntryLen != len(body)-hdr {
+		return nil, fmt.Errorf("%w: count %d does not match size", errBadSegIndex, count)
+	}
+	entries := make([]segEntry, count)
+	p := body[hdr:]
+	for i := range entries {
+		e := &entries[i]
+		e.kind = p[0]
+		copy(e.dig[:], p[1:1+digLen])
+		e.off = int64(binary.LittleEndian.Uint64(p[1+digLen : 9+digLen]))
+		e.size = int64(binary.LittleEndian.Uint64(p[9+digLen : 17+digLen]))
+		if e.off < 0 || e.size < frameHdrLen || e.size > frameHdrLen+maxPayload {
+			return nil, fmt.Errorf("%w: entry %d out of range", errBadSegIndex, i)
+		}
+		p = p[segEntryLen:]
+	}
+	return entries, nil
+}

@@ -15,6 +15,7 @@ import (
 	"medshare/internal/p2p"
 	"medshare/internal/p2p/faultnet"
 	"medshare/internal/reldb"
+	"medshare/internal/store"
 )
 
 // Consensus engine names for NetworkConfig.
@@ -82,19 +83,26 @@ type NetworkConfig struct {
 	PeerRPCTimeout time.Duration
 	PeerRetry      core.Backoff
 	PeerHealth     core.HealthPolicy
+	// DurablePeers gives every peer a durable replica store backed by an
+	// in-memory filesystem, reachable via Network.PeerFS /
+	// Network.PeerStore — crash tests clone the filesystem (a byte-exact
+	// kill -9 image) and reopen it to drive recovery.
+	DurablePeers bool
 }
 
 // Network is a running in-process medshare deployment.
 type Network struct {
-	cfg    NetworkConfig
-	mem    *p2p.MemNetwork
-	fab    *faultnet.Fabric
-	clk    clock.Clock
-	nodes  []*node.Node
-	dir    *core.Directory
-	peers  []*core.Peer
-	tcps   map[string]*p2p.TCPTransport
-	cancel context.CancelFunc
+	cfg        NetworkConfig
+	mem        *p2p.MemNetwork
+	fab        *faultnet.Fabric
+	clk        clock.Clock
+	nodes      []*node.Node
+	dir        *core.Directory
+	peers      []*core.Peer
+	tcps       map[string]*p2p.TCPTransport
+	peerFS     map[string]*store.MemFS
+	peerStores map[string]*store.Store
+	cancel     context.CancelFunc
 }
 
 // NewNetwork builds and starts an in-process network.
@@ -143,7 +151,12 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		addrs[i] = id.Address()
 	}
 
-	nw := &Network{cfg: cfg, mem: mem, clk: clk, dir: core.NewDirectory(), tcps: make(map[string]*p2p.TCPTransport)}
+	nw := &Network{
+		cfg: cfg, mem: mem, clk: clk, dir: core.NewDirectory(),
+		tcps:       make(map[string]*p2p.TCPTransport),
+		peerFS:     make(map[string]*store.MemFS),
+		peerStores: make(map[string]*store.Store),
+	}
 	if cfg.FaultInjection {
 		nw.fab = faultnet.New(cfg.Seed)
 	}
@@ -210,6 +223,15 @@ func (nw *Network) Fabric() *faultnet.Fabric { return nw.fab }
 // as name — the handle faultnet partitions and blackholes go by.
 func (nw *Network) PeerEndpoint(name string) string { return "peer-" + name }
 
+// PeerStore returns the durable replica store of the named peer, or nil
+// when the peer runs without one.
+func (nw *Network) PeerStore(name string) *store.Store { return nw.peerStores[name] }
+
+// PeerFS returns the in-memory filesystem behind the named peer's
+// durable store (NetworkConfig.DurablePeers only). Cloning it captures
+// a byte-exact kill -9 image for crash-recovery tests.
+func (nw *Network) PeerFS(name string) *store.MemFS { return nw.peerFS[name] }
+
 // PeerOptions tunes a peer beyond the network defaults.
 type PeerOptions struct {
 	// FanoutWorkers bounds the peer's concurrent share processing on
@@ -222,6 +244,13 @@ type PeerOptions struct {
 	// FanoutWorkers/GOMAXPROCS; negative forces the single sequential
 	// loop.
 	EventShards int
+	// Identity, when non-nil, binds the peer to a specific identity
+	// instead of generating a fresh one — the restart path: a recovered
+	// peer must present the same on-chain address its shares name.
+	Identity *identity.Identity
+	// Store, when non-nil, is the peer's durable replica store
+	// (overrides the NetworkConfig.DurablePeers default).
+	Store *store.Store
 }
 
 // NewPeer creates a stakeholder attached to the given node, with a fresh
@@ -235,9 +264,13 @@ func (nw *Network) NewPeerWithOptions(name string, nodeIndex int, opts PeerOptio
 	if nodeIndex < 0 || nodeIndex >= len(nw.nodes) {
 		return nil, fmt.Errorf("medshare: node index %d out of range", nodeIndex)
 	}
-	id, err := identity.New(name)
-	if err != nil {
-		return nil, err
+	id := opts.Identity
+	if id == nil {
+		var err error
+		id, err = identity.New(name)
+		if err != nil {
+			return nil, err
+		}
 	}
 	endpoint := nw.PeerEndpoint(name)
 	var transport p2p.Transport
@@ -261,6 +294,19 @@ func (nw *Network) NewPeerWithOptions(name string, nodeIndex int, opts PeerOptio
 	if nw.fab != nil {
 		transport = nw.fab.Wrap(transport)
 	}
+	st := opts.Store
+	if st == nil && nw.cfg.DurablePeers {
+		fs := store.NewMemFS()
+		var err error
+		st, err = store.Open(store.Options{FS: fs})
+		if err != nil {
+			return nil, err
+		}
+		nw.peerFS[name] = fs
+	}
+	if st != nil {
+		nw.peerStores[name] = st
+	}
 	p, err := core.NewPeer(core.Config{
 		Identity:       id,
 		DB:             reldb.NewDatabase(name),
@@ -274,6 +320,7 @@ func (nw *Network) NewPeerWithOptions(name string, nodeIndex int, opts PeerOptio
 		Health:         nw.cfg.PeerHealth,
 		FanoutWorkers:  opts.FanoutWorkers,
 		EventShards:    opts.EventShards,
+		Store:          st,
 	})
 	if err != nil {
 		return nil, err
@@ -294,5 +341,8 @@ func (nw *Network) Stop() {
 	nw.cancel()
 	for _, n := range nw.nodes {
 		n.Stop()
+	}
+	for _, st := range nw.peerStores {
+		_ = st.Close()
 	}
 }

@@ -352,6 +352,11 @@ type ChaosConfig struct {
 	// interval each, so the suite exercises the batched commit path
 	// under the same faults.
 	GroupCommit bool
+	// Durable backs every peer with an in-memory durable store
+	// (NetworkConfig.DurablePeers), so each replica commit is also a
+	// store commit and the run's final images can be inspected for
+	// crash-recovery correctness.
+	Durable bool
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -416,6 +421,7 @@ func NewChaosScenario(ctx context.Context, cfg ChaosConfig) (*ChaosScenario, err
 		GroupCommitWindow:  window,
 		Seed:               cfg.Seed,
 		FaultInjection:     true,
+		DurablePeers:       cfg.Durable,
 		DataTransport:      cfg.DataTransport,
 		PeerResyncInterval: cfg.RepairInterval,
 		PeerRPCTimeout:     150 * time.Millisecond,

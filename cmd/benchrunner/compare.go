@@ -240,7 +240,32 @@ func compareAgainst(path string, threshold, cpuThreshold, noiseFloor float64) (i
 	}
 	sort.Strings(keys)
 
+	// Experiments measured this run but entirely absent from the baseline
+	// (typically: the baseline predates a newly added experiment) are
+	// skipped loudly, not silently — an ungated experiment looks exactly
+	// like a passing one otherwise.
+	oldExps := map[string]bool{}
+	for k := range oldFlat {
+		oldExps[experimentOf(k)] = true
+	}
+	notInBaseline := map[string]bool{}
+	for _, k := range keys {
+		if e := experimentOf(k); e != "" && !oldExps[e] {
+			notInBaseline[e] = true
+		}
+	}
+
 	fmt.Printf("\n=== regression gate (threshold %.0f%%, baseline %s) ===\n", threshold*100, path)
+	if len(notInBaseline) > 0 {
+		miss := make([]string, 0, len(notInBaseline))
+		for e := range notInBaseline {
+			miss = append(miss, e)
+		}
+		sort.Strings(miss)
+		for _, e := range miss {
+			fmt.Printf("WARNING: %s is not in the baseline — skipped, not gated (regenerate %s to gate it)\n", e, path)
+		}
+	}
 	if normalizing {
 		fmt.Printf("cpu calibration: baseline/current ratio %.2f; CPU-bound metrics normalized and gated at %.0f%%\n",
 			1/calScale, cpuThreshold*100)

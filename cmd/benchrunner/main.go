@@ -26,7 +26,7 @@ import (
 
 var (
 	quick        = flag.Bool("quick", false, "reduced parameter sweeps")
-	only         = flag.String("only", "", "run only the named experiment (E1..E18)")
+	only         = flag.String("only", "", "run only the named experiment (E1..E19)")
 	baseline     = flag.String("baseline", "BENCH_baseline.json", "write machine-readable results to this file (empty disables)")
 	compare      = flag.String("compare", "", "diff this run against a committed baseline JSON and exit non-zero on regressions")
 	threshold    = flag.Float64("threshold", 0.25, "relative regression threshold for -compare (0.25 = 25% worse)")
@@ -68,7 +68,7 @@ func main() {
 		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
 		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12},
 		{"E13", runE13}, {"E14", runE14}, {"E15", runE15}, {"E16", runE16},
-		{"E17", runE17}, {"E18", runE18},
+		{"E17", runE17}, {"E18", runE18}, {"E19", runE19},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
@@ -673,6 +673,32 @@ func runE17(ctx context.Context) error {
 					r.Rate, r.Offered, 100*r.ErrorRate,
 					r.ReadsPerSec, r.ReadP50.Round(10*time.Microsecond), r.ReadP99.Round(10*time.Microsecond), r.ReadP999.Round(10*time.Microsecond),
 					r.WritesPerSec, r.WriteP50.Round(10*time.Microsecond), r.WriteP99.Round(10*time.Microsecond), r.WriteP999.Round(10*time.Microsecond))
+			}
+		})
+	return nil
+}
+
+func runE19(ctx context.Context) error {
+	sizes := []int{1000, 10000, 100000}
+	if *quick {
+		sizes = []int{1000, 10000}
+	}
+	var results []medshare.E19Result
+	for _, n := range sizes {
+		r, err := medshare.RunE19LightReader(ctx, n, 1)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	baselineData["E19"] = results
+	table("E19 — light-client reader cost vs full replication, as the view grows",
+		"rows\tfull replica bytes\tlight state bytes\tlight bootstrap bytes\tlight wire/read\tcold read\tcached read", func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\t%v\n",
+					r.Rows, r.FullReplicaBytes, r.LightStateBytes, r.LightBootstrapBytes,
+					r.LightWirePerRead,
+					r.LightColdRead.Round(time.Microsecond), r.LightCachedRead.Round(time.Microsecond))
 			}
 		})
 	return nil

@@ -204,6 +204,7 @@ func run(name, listen, parts, network string, blockMs int, fig1 bool, records in
 			Peer:           peer,
 			Node:           n,
 			CoalesceWindow: time.Duration(groupMs) * time.Millisecond,
+			Store:          st,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,126 @@
+package medshare
+
+// Experiment E19: what a reader costs, light vs full. A full replica
+// pays for the whole view — its state and its bootstrap transfer grow
+// linearly with the view — even if it only ever reads a handful of
+// rows. A light client keeps block headers plus one proven share head
+// and pays O(log n) proof bytes per row it actually reads, so both its
+// steady-state memory and its per-read wire cost should stay nearly
+// flat as the view grows three orders of magnitude. E19 measures both
+// sides on the real stack: a Fig. 1 network, the D13&D31 share at
+// sweep-size views, and a light client doing proof-verified reads
+// through the doctor's serving edge.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"medshare/internal/reldb"
+)
+
+// E19Result is one sweep point of the light-vs-full reader cost curve.
+type E19Result struct {
+	// Rows is the share view size.
+	Rows int
+	// FullReplicaBytes is the serialized view — both the steady-state
+	// memory of a full replica and the bytes a joining replica transfers
+	// before its first read (the reldb.MarshalTable payload the replica
+	// fetch path actually ships).
+	FullReplicaBytes int
+	// LightStateBytes is the light client's total retained state after
+	// the read set: verified headers, proven share head, row cache.
+	LightStateBytes int
+	// LightBootstrapBytes is the light client's cold-start wire cost:
+	// header sync plus the first proven head and first verified read.
+	LightBootstrapBytes int
+	// LightWirePerRead is the mean wire bytes of one steady-state
+	// uncached verified read (row + membership proof + framing).
+	LightWirePerRead int
+	// LightColdRead and LightCachedRead are mean per-read latencies for
+	// uncached (proof-verified) and cached (provably current) reads.
+	LightColdRead   time.Duration
+	LightCachedRead time.Duration
+}
+
+// RunE19LightReader measures one sweep point: a two-node Fig. 1 network
+// with a rows-sized share, one finalized update so the share has a
+// payload on-chain, then a light client bootstrapping and reading
+// through the doctor.
+func RunE19LightReader(ctx context.Context, rows int, seed int64) (E19Result, error) {
+	out := E19Result{Rows: rows}
+	nw, err := NewNetwork(NetworkConfig{Nodes: 2, BlockInterval: 2 * time.Millisecond, Seed: seed})
+	if err != nil {
+		return out, err
+	}
+	defer nw.Stop()
+	fig, err := PopulateFig1(ctx, nw, rows, seed)
+	if err != nil {
+		return out, err
+	}
+	if err := driveDosageWrite(ctx, fig, rows, 0); err != nil {
+		return out, err
+	}
+
+	view, err := fig.Doctor.View(fig.ShareD13)
+	if err != nil {
+		return out, err
+	}
+	raw, err := reldb.MarshalTable(view)
+	if err != nil {
+		return out, err
+	}
+	out.FullReplicaBytes = len(raw)
+
+	c, err := nw.NewLightClient("e19-reader", "Doctor")
+	if err != nil {
+		return out, err
+	}
+	c.Subscribe(fig.ShareD13)
+	if _, err := c.SyncHeaders(ctx); err != nil {
+		return out, err
+	}
+	// Bootstrap: first read proves the share head against a header and
+	// verifies one row — everything a cold light reader pays before its
+	// first answer.
+	if _, err := c.Read(ctx, fig.ShareD13, reldb.Row{reldb.I(188)}); err != nil {
+		return out, fmt.Errorf("E19: bootstrap read: %w", err)
+	}
+	boot := c.Stats()
+	out.LightBootstrapBytes = int(boot.WireBytes)
+
+	// Steady state: uncached reads over distinct keys (the head is
+	// already proven, so each read is row + proof only).
+	colds := 16
+	if colds > rows-1 {
+		colds = rows - 1
+	}
+	start := time.Now()
+	for i := 1; i <= colds; i++ {
+		if _, err := c.Read(ctx, fig.ShareD13, reldb.Row{reldb.I(int64(188 + i))}); err != nil {
+			return out, fmt.Errorf("E19: cold read %d: %w", i, err)
+		}
+	}
+	out.LightColdRead = time.Since(start) / time.Duration(colds)
+	after := c.Stats()
+	out.LightWirePerRead = int(after.WireBytes-boot.WireBytes) / colds
+
+	// Cached: same keys again, provably current, no wire traffic.
+	start = time.Now()
+	for i := 1; i <= colds; i++ {
+		if _, err := c.Read(ctx, fig.ShareD13, reldb.Row{reldb.I(int64(188 + i))}); err != nil {
+			return out, fmt.Errorf("E19: cached read %d: %w", i, err)
+		}
+	}
+	out.LightCachedRead = time.Since(start) / time.Duration(colds)
+
+	final := c.Stats()
+	if final.VerifyFailures != 0 {
+		return out, fmt.Errorf("E19: %d verification failures", final.VerifyFailures)
+	}
+	if final.CacheHits < uint64(colds) {
+		return out, fmt.Errorf("E19: cached pass hit the cache only %d/%d times", final.CacheHits, colds)
+	}
+	out.LightStateBytes = c.StateBytes()
+	return out, nil
+}

@@ -3,6 +3,8 @@ package api
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -169,6 +171,30 @@ func VerifyRow(res RowResult) (bool, error) {
 	var root [32]byte
 	copy(root[:], rb)
 	return reldb.VerifyRowProof(root, res.Row, *res.Proof), nil
+}
+
+// VerifyRowPayload recomputes the table hash a proof-carrying RowResult
+// commits to — sha256(schemaSum ‖ rowCount ‖ root), the exact preimage
+// of reldb.Table.Hash — returned hex-encoded for comparison with the
+// share's on-chain PayloadHash at the result's Seq.
+func VerifyRowPayload(res RowResult) (string, error) {
+	if res.Root == "" || res.SchemaSum == "" {
+		return "", fmt.Errorf("api: result carries no table-hash preimage")
+	}
+	rb, err := hex.DecodeString(res.Root)
+	if err != nil || len(rb) != 32 {
+		return "", fmt.Errorf("api: bad root %q", res.Root)
+	}
+	sb, err := hex.DecodeString(res.SchemaSum)
+	if err != nil || len(sb) != 32 {
+		return "", fmt.Errorf("api: bad schema sum %q", res.SchemaSum)
+	}
+	var buf [72]byte
+	copy(buf[:32], sb)
+	binary.BigEndian.PutUint64(buf[32:40], uint64(res.Rows))
+	copy(buf[40:], rb)
+	h := sha256.Sum256(buf[:])
+	return hex.EncodeToString(h[:]), nil
 }
 
 // Update applies entry-level view mutations through the write

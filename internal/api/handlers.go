@@ -124,6 +124,7 @@ func (s *Server) shareStatus(id string) (ShareStatus, error) {
 		st.Pending = meta.Pending != nil
 		st.Columns = meta.Columns
 		st.Peers = addrStrings(meta.Peers)
+		st.PayloadHash = meta.LastPayloadHash
 	}
 	return st, nil
 }
@@ -293,11 +294,13 @@ func (s *Server) handleRow(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	return writeJSON(w, RowResult{
-		ShareID: id,
-		Seq:     pr.Seq,
-		Row:     pr.Row,
-		Root:    hex.EncodeToString(pr.Root[:]),
-		Proof:   &pr.Proof,
+		ShareID:   id,
+		Seq:       pr.Seq,
+		Row:       pr.Row,
+		Root:      hex.EncodeToString(pr.Root[:]),
+		Proof:     &pr.Proof,
+		SchemaSum: hex.EncodeToString(pr.SchemaSum[:]),
+		Rows:      pr.Rows,
 	})
 }
 

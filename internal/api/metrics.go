@@ -95,6 +95,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	buf = append(buf, "# TYPE medshare_chain_pending_txs gauge\n"...)
 	buf = promLine(buf, "medshare_chain_pending_txs", "", float64(s.node.PendingTxs()))
 
+	// Durable-store gauges, present only when the peer runs one: size and
+	// segmentation of the log, plus the recovery telemetry (torn tail,
+	// degraded segments) an operator alerts on.
+	if s.cfg.Store != nil {
+		ds := s.cfg.Store.Stats()
+		bool01 := func(b bool) float64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		storeGauges := [...]struct {
+			name string
+			v    float64
+		}{
+			{"medshare_store_segments", float64(ds.Segments)},
+			{"medshare_store_total_bytes", float64(ds.TotalBytes)},
+			{"medshare_store_live_bytes", float64(ds.TotalBytes - ds.TailBytes)},
+			{"medshare_store_tail_bytes", float64(ds.TailBytes)},
+			{"medshare_store_torn_tail", bool01(ds.TornTail)},
+			{"medshare_store_degraded_segments", float64(ds.DegradedSegments)},
+			{"medshare_store_commits", float64(ds.Commits)},
+		}
+		for _, g := range storeGauges {
+			buf = append(buf, "# TYPE "...)
+			buf = append(buf, g.name...)
+			buf = append(buf, " gauge\n"...)
+			buf = promLine(buf, g.name, "", g.v)
+		}
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write(buf)
 	return nil

@@ -17,6 +17,7 @@ import (
 	"medshare/internal/core"
 	"medshare/internal/loadgen"
 	"medshare/internal/node"
+	"medshare/internal/store"
 )
 
 // Config configures a Server. Peer and Node are required.
@@ -39,6 +40,10 @@ type Config struct {
 	// RequestTimeout bounds one API request's work, chain commits
 	// included. 0 means 30s.
 	RequestTimeout time.Duration
+	// Store is the peer's durable store, when it runs one; /metrics then
+	// exports the medshare_store_* gauges (segments, live/tail bytes,
+	// torn-tail and degraded-segment recovery telemetry).
+	Store *store.Store
 }
 
 // Server serves the API over one peer.
@@ -74,6 +79,7 @@ var requestKinds = []string{
 	"health", "ready", "metrics",
 	"shares_list", "register", "attach",
 	"share_get", "rows", "row", "update", "audit",
+	"light_headers", "light_head", "light_row",
 }
 
 // New builds a Server over the peer.
@@ -118,6 +124,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/shares/{id}/row", s.instrument("row", s.handleRow))
 	s.mux.HandleFunc("POST /v1/shares/{id}/update", s.instrument("update", s.handleUpdate))
 	s.mux.HandleFunc("GET /v1/shares/{id}/audit", s.instrument("audit", s.handleAudit))
+	s.mux.HandleFunc("GET /v1/light/headers", s.instrument("light_headers", s.handleLightHeaders))
+	s.mux.HandleFunc("GET /v1/light/shares/{id}/head", s.instrument("light_head", s.handleLightHead))
+	s.mux.HandleFunc("GET /v1/light/shares/{id}/row", s.instrument("light_row", s.handleLightRow))
 }
 
 // Handler returns the server's HTTP handler.

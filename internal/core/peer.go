@@ -306,6 +306,15 @@ func (p *Peer) serveRequest(msg p2p.Message) (p2p.Message, error) {
 	case p2p.KindSync:
 		p.stats.syncsServed.Add(1)
 		return p.serveSync(msg)
+	case p2p.KindHeaders:
+		p.stats.headersServed.Add(1)
+		return p.serveHeaders(msg)
+	case p2p.KindLightHead:
+		p.stats.lightHeadsServed.Add(1)
+		return p.serveLightHead(msg)
+	case p2p.KindLightRow:
+		p.stats.lightRowsServed.Add(1)
+		return p.serveLightRow(msg)
 	default:
 		return p2p.Message{}, fmt.Errorf("core: unexpected message kind %q", msg.Kind)
 	}

@@ -38,6 +38,14 @@ type RowProof struct {
 	Root [32]byte
 	// Proof verifies Row against Root via reldb.VerifyRowProof.
 	Proof pmap.Proof
+	// SchemaSum and Rows are the other two inputs of the table hash the
+	// on-chain payload hash commits to (sha256(schemaSum ‖ rowCount ‖
+	// rowsRoot)); carrying them lets a chain-anchored verifier recompute
+	// that hash and bind Root to the share's on-chain Seq without any
+	// other data from this peer. All three come from the same view
+	// snapshot, so they are mutually consistent by construction.
+	SchemaSum [32]byte
+	Rows      int
 }
 
 // proofCache is one share's memoized proof set for a single version.
@@ -93,7 +101,10 @@ func (p *Peer) ProveView(shareID string, key reldb.Row) (RowProof, error) {
 	if err != nil {
 		return RowProof{}, err
 	}
-	pr := RowProof{ShareID: shareID, Seq: seq, Row: row, Root: root, Proof: proof}
+	pr := RowProof{
+		ShareID: shareID, Seq: seq, Row: row, Root: root, Proof: proof,
+		SchemaSum: view.SchemaSum(), Rows: view.Len(),
+	}
 
 	c.mu.Lock()
 	// Any version advance (or a racing proposal that changed the root

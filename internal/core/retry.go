@@ -165,6 +165,12 @@ type Stats struct {
 	// the peer-side view of serve traffic the /metrics endpoint exports.
 	FetchesServed uint64
 	SyncsServed   uint64
+	// HeadersServed, LightHeadsServed and LightRowsServed count the
+	// light-client RPCs this peer answered (header pages, chain-proven
+	// share heads, proof-carrying row fetches).
+	HeadersServed    uint64
+	LightHeadsServed uint64
+	LightRowsServed  uint64
 	// ProofCacheHits/Misses split ProveView calls between memoized
 	// proofs and fresh O(log n) tree walks; the cache resets on every
 	// applied-sequence advance, so the hit rate is also a measure of
@@ -191,6 +197,9 @@ type statsCounters struct {
 	batchTxs          atomic.Uint64
 	fetchesServed     atomic.Uint64
 	syncsServed       atomic.Uint64
+	headersServed     atomic.Uint64
+	lightHeadsServed  atomic.Uint64
+	lightRowsServed   atomic.Uint64
 	proofCacheHits    atomic.Uint64
 	proofCacheMisses  atomic.Uint64
 }
@@ -210,6 +219,9 @@ func (c *statsCounters) snapshot() Stats {
 		BatchTxs:          c.batchTxs.Load(),
 		FetchesServed:     c.fetchesServed.Load(),
 		SyncsServed:       c.syncsServed.Load(),
+		HeadersServed:     c.headersServed.Load(),
+		LightHeadsServed:  c.lightHeadsServed.Load(),
+		LightRowsServed:   c.lightRowsServed.Load(),
 		ProofCacheHits:    c.proofCacheHits.Load(),
 		ProofCacheMisses:  c.proofCacheMisses.Load(),
 	}

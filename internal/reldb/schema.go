@@ -1,6 +1,7 @@
 package reldb
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 )
@@ -183,6 +184,16 @@ func (s Schema) Project(name string, cols []string, key []string) (Schema, error
 		return Schema{}, err
 	}
 	return out, nil
+}
+
+// SchemaSumOf returns the digest a table built from s reports as
+// SchemaSum — the schema half of the table-hash preimage (the table
+// name is excluded, like Table.Hash). Light verifiers recompute it from
+// a served schema to bind that schema to a hash-committed SchemaSum
+// before trusting its key-column layout.
+func SchemaSumOf(s Schema) [32]byte {
+	var buf [256]byte
+	return sha256.Sum256(appendSchemaCanonical(buf[:0], s))
 }
 
 // checkRow verifies that the row matches the schema arity, types, and

@@ -1,0 +1,67 @@
+package statedb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"medshare/internal/merkle"
+)
+
+// Key-membership proofs over the world-state commitment. A block header
+// commits to Root(); ProveKey produces the Merkle membership proof of
+// one key's canonical leaf against that root, which is what a light
+// client verifies to trust a single contract value (e.g. a share's
+// metadata) without holding any state of its own.
+
+// appendStateLeaf builds the canonical key/value/version leaf — exactly
+// the encoding Root() hashes, factored out so proof and root can never
+// drift apart.
+func appendStateLeaf(dst []byte, key string, value []byte, ver Version) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(value)))
+	dst = append(dst, value...)
+	dst = binary.BigEndian.AppendUint64(dst, ver.Height)
+	return binary.BigEndian.AppendUint64(dst, uint64(ver.TxIndex))
+}
+
+// ProveKey returns the current value and version of key together with a
+// Merkle membership proof against the state root it computes in the
+// same atomic snapshot. The returned root is the commitment the proof
+// verifies under — callers match it against a block header's StateRoot.
+func (s *Store) ProveKey(key string) (value []byte, ver Version, proof merkle.Proof, root merkle.Hash, err error) {
+	s.mu.RLock()
+	e, ok := s.data[key]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, Version{}, merkle.Proof{}, merkle.Hash{}, fmt.Errorf("statedb: key %q not found", key)
+	}
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	leaves := make([][]byte, 0, len(keys))
+	idx := -1
+	for i, k := range keys {
+		kv := s.data[k]
+		leaves = append(leaves, appendStateLeaf(make([]byte, 0, len(k)+len(kv.value)+32), k, kv.value, kv.version))
+		if k == key {
+			idx = i
+		}
+	}
+	s.mu.RUnlock()
+	proof, err = merkle.Prove(leaves, idx)
+	if err != nil {
+		return nil, Version{}, merkle.Proof{}, merkle.Hash{}, err
+	}
+	return append([]byte(nil), e.value...), e.version, proof, merkle.Root(leaves), nil
+}
+
+// VerifyKeyProof checks that (key, value, ver) is committed under root
+// by the given membership proof.
+func VerifyKeyProof(root merkle.Hash, key string, value []byte, ver Version, proof merkle.Proof) bool {
+	leaf := appendStateLeaf(make([]byte, 0, len(key)+len(value)+32), key, value, ver)
+	return merkle.Verify(root, leaf, proof)
+}

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"time"
 
+	"medshare/internal/chain"
 	"medshare/internal/clock"
 	"medshare/internal/consensus"
 	"medshare/internal/contract"
 	"medshare/internal/contract/sharereg"
 	"medshare/internal/core"
 	"medshare/internal/identity"
+	"medshare/internal/light"
 	"medshare/internal/node"
 	"medshare/internal/p2p"
 	"medshare/internal/p2p/faultnet"
@@ -328,6 +330,51 @@ func (nw *Network) NewPeerWithOptions(name string, nodeIndex int, opts PeerOptio
 	p.Start()
 	nw.peers = append(nw.peers, p)
 	return p, nil
+}
+
+// NewLightClient attaches a header-only light client to the network: its
+// own endpoint on the simulated network (so block gossip reaches it and
+// invalidates its caches without polling), a consensus header verifier
+// matching the network's engine, and a proof source pointing at the
+// named serving peer. The client holds no replica and is not a sharing
+// peer — every row it returns is verified against its own header chain.
+// Requires the in-memory data transport; block gossip only flows on
+// networks with more than one node (a single node has no transport to
+// broadcast from), so invalidation-sensitive scenarios use Nodes >= 2.
+func (nw *Network) NewLightClient(name, servingPeer string) (*light.Client, error) {
+	if nw.cfg.DataTransport != "" && nw.cfg.DataTransport != DataTransportMem {
+		return nil, fmt.Errorf("medshare: light clients require the in-memory data transport")
+	}
+	id, err := identity.New(name)
+	if err != nil {
+		return nil, err
+	}
+	var verify chain.HeaderVerifier
+	switch nw.cfg.Consensus {
+	case ConsensusPoA:
+		addrs := make([]identity.Address, len(nw.nodes))
+		for i, n := range nw.nodes {
+			addrs[i] = n.Address()
+		}
+		verify = consensus.NewPoA(true, addrs...).VerifyHeader
+	case ConsensusPoW:
+		verify = consensus.NewPoW(nw.cfg.PoWDifficulty).VerifyHeader
+	}
+	tr := nw.mem.Endpoint("light-" + name)
+	c, err := light.New(light.Config{
+		Network: nw.cfg.Name,
+		Verify:  verify,
+		Source: &light.PeerSource{
+			Transport: tr,
+			Endpoint:  nw.PeerEndpoint(servingPeer),
+			Identity:  id,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.Handle(c.HandleGossip)
+	return c, nil
 }
 
 // Stop halts peers and nodes.
